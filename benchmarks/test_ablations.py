@@ -1,0 +1,47 @@
+"""Benchmark: ablations of the extended model's design choices."""
+
+from repro.experiments import ablations
+
+from conftest import save_report
+
+
+def test_ablations(benchmark, results_dir):
+    result = benchmark.pedantic(ablations.run, rounds=1, iterations=1)
+    save_report(results_dir, result)
+    print("\n" + result.format_report())
+
+    # No ingredient hurts accuracy...
+    assert result.findings["all_ingredients_non_negative"]
+    # ...and position-awareness plus multi-input scaling measurably help.
+    assert result.findings["position_gain_ns"] > 0.0
+    assert result.findings["multi_input_gain_ns"] >= 0.0
+
+
+def test_lookup_model_coverage_limitation(benchmark, library_table):
+    """Table-lookup models cannot extend to more variables (ref [17])."""
+    import pytest
+
+    from repro.experiments.common import default_library
+    from repro.models import InputEvent, LookupModel, ModelCoverageError
+
+    table, nand2 = library_table
+    model = LookupModel(table)
+    events2 = [
+        InputEvent(0, 0.0, 0.4e-9, False),
+        InputEvent(1, 0.0, 0.4e-9, False),
+    ]
+    delay, _ = benchmark(
+        model.controlling_response, nand2, events2, nand2.ref_load
+    )
+    assert delay > 0
+    # Inside its table, lookup is close to the proposed model...
+    from repro.models import VShapeModel
+
+    ours, _ = VShapeModel().controlling_response(
+        nand2, events2, nand2.ref_load
+    )
+    assert delay == pytest.approx(ours, abs=0.05e-9)
+    # ...but a third simultaneous input is simply outside its coverage.
+    events3 = events2 + [InputEvent(2, 0.0, 0.4e-9, False)]
+    with pytest.raises(ModelCoverageError):
+        model.controlling_response(nand2, events3, nand2.ref_load)

@@ -1,0 +1,17 @@
+"""Benchmark: Section 3.5 — validation of Claims 1 and 2."""
+
+from repro.experiments import claims
+
+from conftest import save_report
+
+
+def test_claims_validation(benchmark, results_dir):
+    result = benchmark.pedantic(claims.run, rounds=1, iterations=1)
+    save_report(results_dir, result)
+    print("\n" + result.format_report())
+
+    # Claim 1: the delay minimum sits at zero skew for every (T_X, T_Y).
+    assert result.findings["claim1_minimum_at_zero_skew"]
+    # Claim 2: the V-shape stays within a modest relative error of the
+    # simulated curve across the grid.
+    assert result.findings["claim2_worst_relative_error_pct"] < 30.0

@@ -1,0 +1,24 @@
+"""Benchmark: extension — simultaneous to-non-controlling switching.
+
+The paper's Section 3.6 names this model as work in progress; the
+repository implements it (Λ-shaped slow-down with pre-initialization
+saturation) and this benchmark validates it against the simulator.
+"""
+
+from repro.experiments import nonctrl_ext
+
+from conftest import save_report
+
+
+def test_ext_nonctrl(benchmark, results_dir):
+    result = benchmark.pedantic(nonctrl_ext.run, rounds=1, iterations=1)
+    save_report(results_dir, result)
+    print("\n" + result.format_report())
+
+    # The hazard: the SDF max rule underestimates the zero-skew delay by
+    # a first-order-visible margin.
+    assert result.findings["sdf_underestimates_at_zero_pct"] > 15.0
+    # The Λ-model fixes it and stays conservative at the peak.
+    assert result.findings["lambda_beats_sdf"]
+    assert result.findings["lambda_conservative_at_peak"]
+    assert result.findings["lambda_max_err_ns"] < 0.04

@@ -1,0 +1,17 @@
+"""Benchmark: Figure 1 — simultaneous to-controlling switching speed-up."""
+
+from repro.experiments import fig01
+
+from conftest import save_report
+
+
+def test_fig01_simultaneous_speedup(benchmark, results_dir):
+    result = benchmark.pedantic(fig01.run, rounds=1, iterations=1)
+    save_report(results_dir, result)
+    print("\n" + result.format_report())
+
+    # Shape of the paper's Figure 1: a clear first-order speed-up.  The
+    # paper measures 0.30 vs 0.17 ns (ratio ~1.76) on its technology.
+    ratio = result.findings["speedup_ratio"]
+    assert 1.3 < ratio < 2.5
+    assert result.findings["delay_both_ns"] < result.findings["delay_single_ns"]

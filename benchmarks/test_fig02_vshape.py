@@ -1,0 +1,23 @@
+"""Benchmark: Figure 2 — delay vs skew and its V-shape approximation."""
+
+from repro.experiments import fig02
+
+from conftest import save_report
+
+
+def test_fig02_vshape(benchmark, results_dir):
+    result = benchmark.pedantic(fig02.run, rounds=1, iterations=1)
+    save_report(results_dir, result)
+    print("\n" + result.format_report())
+
+    # The measured curve is a V with its minimum at zero skew (Claim 1).
+    assert result.findings["min_delay_at_zero_skew"]
+    # Anchors are ordered like the paper's Figure 2.
+    assert result.findings["anchor_D0R_ns"] < result.findings["anchor_DR_ns"]
+    assert result.findings["anchor_D0R_ns"] < result.findings["anchor_DYR_ns"]
+    assert result.findings["anchor_SR_ns"] > 0
+    assert result.findings["anchor_SYR_ns"] > 0
+    # The approximation tracks the curve: tails nearly exact, interior
+    # within the linear-approximation error the paper accepts.
+    assert result.findings["tail_error_ns"] < 0.02
+    assert result.findings["max_abs_error_ns"] < 0.06

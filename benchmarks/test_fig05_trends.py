@@ -1,0 +1,23 @@
+"""Benchmark: Figure 5 — trends of timing functions vs each variable."""
+
+from repro.experiments import fig05
+
+from conftest import save_report
+
+
+def test_fig05_trends(benchmark, results_dir):
+    result = benchmark.pedantic(fig05.run, rounds=1, iterations=1)
+    save_report(results_dir, result)
+    print("\n" + result.format_report())
+
+    # Delay vs T is monotone or bi-tonic; at least one library direction
+    # exhibits the bi-tonic case with negative pin-to-pin delay.
+    assert result.findings["nand_delay_shape"] in (
+        "monotone-increasing", "bi-tonic",
+    )
+    assert result.findings["nor_delay_shape"] == "bi-tonic"
+    assert result.findings["nor_delay_goes_negative"]
+    # Output transition time always increases with T.
+    assert result.findings["trans_monotone"]
+    # Minimal delay at zero skew (Claim 1).
+    assert abs(result.findings["delay_min_skew_ns"]) < 0.06

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 10 — input-position effect on a five-input NAND."""
+
+from repro.experiments import fig10
+
+from conftest import save_report
+
+
+def test_fig10_nand5_position(benchmark, results_dir):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    save_report(results_dir, result)
+    print("\n" + result.format_report())
+
+    # Position-aware characterization beats the position-blind collapse.
+    assert result.findings["proposed_beats_nabavi"]
+    # The position penalty is substantial (the paper reports up to ~50%
+    # for its technology; ours must show a clearly measurable effect).
+    assert result.findings["position_penalty"] > 1.1
+    # The proposed model stays close to the simulator.
+    assert result.findings["proposed_max_err_ns"] < 0.05
+    assert (
+        result.findings["nabavi_max_err_ns"]
+        > 2 * result.findings["proposed_max_err_ns"]
+    )

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 11 — zero-skew simultaneous switch, T_Y sweep."""
+
+from repro.experiments import fig11
+
+from conftest import save_report
+
+
+def test_fig11_transition_sweep(benchmark, results_dir):
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    save_report(results_dir, result)
+    print("\n" + result.format_report())
+
+    # Proposed and Jun track the simulator at zero skew; Nabavi is the
+    # loser once the two transition times diverge.
+    assert result.findings["proposed_beats_nabavi"]
+    assert result.findings["jun_close_at_zero_skew"]
+    assert result.findings["proposed_max_err_ns"] < 0.05
+    assert result.findings["nabavi_max_err_ns"] > 0.05

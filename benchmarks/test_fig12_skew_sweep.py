@@ -1,0 +1,18 @@
+"""Benchmark: Figure 12 — skew sweep across all delay models."""
+
+from repro.experiments import fig12
+
+from conftest import save_report
+
+
+def test_fig12_skew_sweep(benchmark, results_dir):
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    save_report(results_dir, result)
+    print("\n" + result.format_report())
+
+    # Who wins, as in the paper: proposed best overall; Jun collapses at
+    # large skew; Nabavi worst in aggregate.
+    assert result.findings["proposed_best_overall"]
+    assert result.findings["jun_fails_at_large_skew"]
+    assert result.findings["proposed_tail_err_ns"] < 0.02
+    assert result.findings["jun_tail_err_ns"] > 0.1

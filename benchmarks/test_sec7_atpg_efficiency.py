@@ -1,0 +1,40 @@
+"""Benchmark: Section 7 — crosstalk ATPG efficiency with/without ITR."""
+
+from repro.experiments import sec7
+
+from conftest import save_report
+
+NS = 1e-9
+
+
+def test_sec7_atpg_efficiency(benchmark, results_dir):
+    result = benchmark.pedantic(sec7.run, rounds=1, iterations=1)
+    save_report(results_dir, result)
+    print("\n" + result.format_report())
+
+    # The paper's experiment: ITR lifts efficiency dramatically
+    # (39.63% -> 82.75% in the paper; we assert the same ordering and a
+    # substantial gap under an identical backtrack budget).
+    assert result.findings["itr_wins"]
+    assert result.findings["gap_pct"] > 20.0
+    assert result.findings["efficiency_itr_pct"] > 60.0
+
+
+def test_sec7_detection_regime(benchmark, results_dir):
+    """Tight-period regime: actual two-pattern tests are generated."""
+    result = benchmark.pedantic(
+        sec7.run,
+        kwargs={"period_fraction": 0.15, "n_faults": 30},
+        rounds=1,
+        iterations=1,
+    )
+    (results_dir / "section-7-detection.txt").write_text(
+        result.format_report() + "\n"
+    )
+    print("\n" + result.format_report())
+    by_label = {row[0]: row for row in result.rows}
+    assert by_label["with ITR"][1] >= 1  # detected >= 1
+    assert result.findings["itr_wins"] or (
+        result.findings["efficiency_itr_pct"]
+        >= result.findings["efficiency_no_itr_pct"]
+    )

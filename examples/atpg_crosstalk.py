@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Crosstalk delay-fault ATPG with and without ITR (paper Section 7).
+
+Generates a random crosstalk fault list for a benchmark circuit and runs
+the two-pattern test generator twice under the same backtrack budget:
+once with incremental timing refinement pruning the search (alignment
+and violation feasibility checked against refined windows after every
+decision), once without.  The paper reports ITR lifting ATPG efficiency
+from 39.63% to 82.75%.
+
+Run:  python examples/atpg_crosstalk.py [circuit] [n_faults]
+"""
+
+import sys
+import time
+
+from repro.atpg import AtpgConfig, CrosstalkAtpg, generate_fault_list
+from repro.characterize import CellLibrary
+from repro.circuit import load_packaged_bench
+
+NS = 1e-9
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "c432s"
+    n_faults = int(sys.argv[2]) if len(sys.argv) > 2 else 30
+    circuit = load_packaged_bench(name)
+    library = CellLibrary.load_default()
+    faults = generate_fault_list(
+        circuit, n_faults, seed=1, delta=0.5 * NS, window=0.4 * NS
+    )
+    probe = CrosstalkAtpg(circuit, library, config=AtpgConfig())
+    period = probe._sta.output_max_arrival() * 0.85
+    print(f"{circuit!r}: {len(faults)} crosstalk faults, "
+          f"period = {period / NS:.3f} ns, backtrack limit = 48\n")
+
+    for use_itr in (False, True):
+        config = AtpgConfig(use_itr=use_itr, backtrack_limit=48,
+                            period=period)
+        atpg = CrosstalkAtpg(circuit, library, config=config)
+        started = time.time()
+        summary = atpg.run_all(faults)
+        elapsed = time.time() - started
+        label = "with ITR   " if use_itr else "without ITR"
+        print(
+            f"{label}: detected={summary.count('detected'):3d}  "
+            f"untestable={summary.count('untestable'):3d}  "
+            f"aborted={summary.count('aborted'):3d}  "
+            f"efficiency={100 * summary.efficiency:6.2f}%  "
+            f"({elapsed:.1f}s)"
+        )
+        if use_itr:
+            reasons = {}
+            for result in summary.results:
+                if result.status == "untestable":
+                    reasons[result.reason] = reasons.get(result.reason, 0) + 1
+            print(f"             untestability proofs: {reasons}")
+
+
+if __name__ == "__main__":
+    main()

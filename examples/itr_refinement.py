@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Watching timing windows shrink under ITR (paper Section 5).
+
+Starts from the fully unspecified assignment (where ITR coincides with
+STA), then pins primary-input values one at a time — exactly what a
+test generator does — and prints how the output timing windows of c17
+narrow after each implication + refinement step.
+
+Run:  python examples/itr_refinement.py
+"""
+
+from repro.characterize import CellLibrary
+from repro.circuit import load_packaged_bench
+from repro.itr import ItrEngine, TwoFrame
+
+NS = 1e-9
+
+#: The incremental decisions a test generator might make on c17:
+#: (line, two-frame value).
+DECISIONS = (
+    ("G1", "10"),   # G1 definitely falls
+    ("G2", "11"),   # G2 steady high
+    ("G7", "11"),   # G7 steady high
+    ("G3", "11"),   # G3 steady high
+    ("G6", "10"),   # G6 definitely falls
+)
+
+
+def window_report(result, lines):
+    parts = []
+    for line in lines:
+        timing = result.line(line)
+        for tag, window in (("R", timing.rise), ("F", timing.fall)):
+            if not window.is_active:
+                parts.append(f"{line}.{tag}: --")
+            else:
+                parts.append(
+                    f"{line}.{tag}: [{window.a_s / NS:.3f},"
+                    f"{window.a_l / NS:.3f}]"
+                )
+    return "  ".join(parts)
+
+
+def total_width(result, circuit):
+    total = 0.0
+    for line in circuit.lines:
+        for window in (result.line(line).rise, result.line(line).fall):
+            if window.is_active:
+                total += window.arrival_width()
+    return total
+
+
+def main() -> None:
+    circuit = load_packaged_bench("c17")
+    library = CellLibrary.load_default()
+    engine = ItrEngine(circuit, library)
+    values = engine.initial_values()
+    result = engine.refine(values)
+    print("step 0 (all xx, i.e. plain STA):")
+    print("  " + window_report(result, circuit.outputs))
+    print(f"  sum of arrival-window widths: {total_width(result, circuit) / NS:.4f} ns")
+
+    for step, (line, literal) in enumerate(DECISIONS, start=1):
+        values = engine.assign(values, line, TwoFrame.parse(literal))
+        result = engine.refine(values)
+        print(f"\nstep {step}: set {line} = {literal}")
+        print("  " + window_report(result, circuit.outputs))
+        print(
+            f"  sum of arrival-window widths: "
+            f"{total_width(result, circuit) / NS:.4f} ns"
+        )
+        states = {
+            po: (
+                result.values[po],
+                result.line(po).rise.state,
+                result.line(po).fall.state,
+            )
+            for po in circuit.outputs
+        }
+        print(f"  output values/states: "
+              + ", ".join(f"{po}={v} (S_R={sr}, S_F={sf})"
+                          for po, (v, sr, sf) in states.items()))
+
+    print(
+        "\nWindows only ever narrow (monotone refinement), impossible"
+        "\ntransitions lose their windows entirely, and fully specified"
+        "\nvectors collapse windows to points — the properties the"
+        "\ntiming-based ATPG relies on to prune its search space."
+    )
+
+
+if __name__ == "__main__":
+    main()

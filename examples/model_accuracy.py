@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Model-accuracy comparison: the paper's Figures 10, 11 and 12.
+
+Regenerates the three model-comparison experiments — input-position
+pin-to-pin delay (Fig. 10), zero-skew transition-time sweep (Fig. 11)
+and the full skew sweep (Fig. 12) — printing the simulator reference
+next to the proposed model and the Jun/Nabavi baselines.
+
+Run:  python examples/model_accuracy.py
+"""
+
+from repro.experiments import fig10, fig11, fig12
+
+
+def main() -> None:
+    for module in (fig10, fig11, fig12):
+        result = module.run()
+        print(result.format_report())
+        print()
+    print(
+        "Reading the findings: the proposed model's max error stays in "
+        "the ~10-30 ps range across all three\nexperiments, while each "
+        "baseline has a regime where its error is several times larger —"
+        "\nposition-blindness for Nabavi (Fig. 10), unequal transition "
+        "times for Nabavi (Fig. 11), and\nlarge skews for Jun (Fig. 12) "
+        "— exactly the failure modes the paper identifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

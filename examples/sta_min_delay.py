@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""STA with the simultaneous-switching model (the paper's Table 2).
+
+Runs static timing analysis over the packaged benchmark circuits twice —
+with the conventional pin-to-pin model and with the proposed model — and
+reports the min-delay at the union of the primary outputs.  The paper's
+observation: the pin-to-pin model *overestimates* min-delay by 5-31% on
+ISCAS85 circuits, which matters for hold-time checks.
+
+Run:  python examples/sta_min_delay.py [circuit ...]
+"""
+
+import sys
+import time
+
+from repro.characterize import CellLibrary
+from repro.circuit import load_packaged_bench
+from repro.models import PinToPinModel, VShapeModel
+from repro.sta import TimingAnalyzer
+
+NS = 1e-9
+DEFAULT_CIRCUITS = ("c17", "c432s", "c880s", "c1355s", "c1908s", "c3540s")
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(DEFAULT_CIRCUITS)
+    library = CellLibrary.load_default()
+    print(f"{'circuit':<10} {'gates':>6} {'p2p min':>9} {'ours min':>9} "
+          f"{'ratio':>6} {'max (both)':>11} {'time':>7}")
+    for name in names:
+        circuit = load_packaged_bench(name)
+        started = time.time()
+        ours = TimingAnalyzer(circuit, library, VShapeModel()).analyze()
+        base = TimingAnalyzer(circuit, library, PinToPinModel()).analyze()
+        elapsed = time.time() - started
+        ratio = base.output_min_arrival() / ours.output_min_arrival()
+        print(
+            f"{name:<10} {len(circuit.gates):>6} "
+            f"{base.output_min_arrival() / NS:>9.4f} "
+            f"{ours.output_min_arrival() / NS:>9.4f} "
+            f"{ratio:>6.3f} "
+            f"{ours.output_max_arrival() / NS:>11.4f} "
+            f"{elapsed:>6.2f}s"
+        )
+    print(
+        "\nratio > 1 means conventional STA overestimates the earliest"
+        "\npossible output arrival (optimistic for hold checks); the two"
+        "\nmodels always agree on the max delay, as in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Write the packaged benchmark netlists into src/repro/data/.
+
+Ships the real ISCAS85 c17 plus the seeded synthetic stand-ins for the
+larger circuits (see DESIGN.md, "Substitutions").
+"""
+
+from pathlib import Path
+
+from repro.circuit import (
+    C17_BENCH,
+    ISCAS_PROFILES,
+    generate_iscas_like,
+    save_bench,
+)
+
+
+def main() -> int:
+    data_dir = Path(__file__).resolve().parent.parent / "src" / "repro" / "data"
+    data_dir.mkdir(parents=True, exist_ok=True)
+    (data_dir / "c17.bench").write_text(C17_BENCH)
+    print("wrote c17.bench")
+    for name in ISCAS_PROFILES:
+        circuit = generate_iscas_like(name)
+        save_bench(circuit, data_dir / f"{name}.bench")
+        print(f"wrote {name}.bench {circuit.stats()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Build the packaged characterized cell library.
+
+Runs the full characterization flow (Section 3.7 of the paper: a one-time
+effort per cell library) against the generic 0.5 um technology and writes
+``src/repro/data/lib_generic05.json``.
+
+Usage:
+    python scripts/build_library.py [output.json]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.characterize import characterize_library
+from repro.tech import GENERIC_05UM
+
+
+def main() -> int:
+    default = (
+        Path(__file__).resolve().parent.parent
+        / "src" / "repro" / "data" / "lib_generic05.json"
+    )
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else default
+    started = time.time()
+    library = characterize_library(GENERIC_05UM, verbose=True)
+    library.meta["build_seconds"] = round(time.time() - started, 1)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    library.save(out_path)
+    print(f"wrote {out_path} ({len(library.cells)} cells, "
+          f"{library.meta['build_seconds']} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

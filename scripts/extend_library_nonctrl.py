@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Add simultaneous to-non-controlling data to the packaged library.
+
+Characterizes the Λ-shape extension (see ``repro.models.nonctrl``) for
+the two- and three-input NAND/NOR/AND/OR cells and rewrites
+``src/repro/data/lib_generic05.json`` in place.  Cells not listed keep
+``nonctrl = None`` and fall back to the SDF rule.
+
+Usage:
+    python scripts/extend_library_nonctrl.py [library.json]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.characterize import (
+    CellLibrary,
+    characterize_noncontrolling,
+)
+from repro.spice import GateCell
+from repro.tech import GENERIC_05UM
+
+EXTENDED_CELLS = (
+    ("nand", 2), ("nand", 3),
+    ("nor", 2), ("nor", 3),
+    ("and", 2), ("or", 2),
+)
+
+
+def main() -> int:
+    default = (
+        Path(__file__).resolve().parent.parent
+        / "src" / "repro" / "data" / "lib_generic05.json"
+    )
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else default
+    library = CellLibrary.load(path)
+    started = time.time()
+    for kind, n_inputs in EXTENDED_CELLS:
+        cell = GateCell(kind, n_inputs, GENERIC_05UM)
+        if cell.name not in library:
+            print(f"skipping {cell.name} (not in library)")
+            continue
+        print(f"characterizing nonctrl for {cell.name} ...", flush=True)
+        library.cells[cell.name].nonctrl = characterize_noncontrolling(cell)
+    library.meta["nonctrl_extension"] = [
+        f"{kind.upper()}{n}" for kind, n in EXTENDED_CELLS
+    ]
+    library.save(path)
+    print(f"rewrote {path} ({time.time() - started:.1f} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Validate the packaged library against fresh transistor simulations.
+
+For every characterized cell, re-simulates a few spot points and reports
+the fit error of the pin-to-pin arcs and (where applicable) the zero-skew
+simultaneous-switching surface.  Run after changing the technology or
+the characterization grids.
+
+Usage:
+    python scripts/validate_library.py [cell ...]
+"""
+
+import sys
+
+from repro.characterize import CellLibrary
+from repro.characterize.sweep import (
+    multi_switch_delay,
+    pin_to_pin_sweep,
+)
+from repro.spice import GateCell
+from repro.tech import GENERIC_05UM
+
+NS = 1e-9
+SPOT_T = 0.45 * NS
+
+
+def validate_cell(name: str, timing, library) -> dict:
+    cell = GateCell(timing.kind, timing.n_inputs, GENERIC_05UM)
+    report = {"cell": name}
+    # Pin-to-pin spot check on pin 0 for each direction.
+    errors = []
+    for in_rising in (True, False):
+        if timing.kind == "xor":
+            points = pin_to_pin_sweep(
+                cell, 0, in_rising, [SPOT_T], other_value=0
+            )
+            arc = timing.arc(0, in_rising, points[0].out_rising)
+        else:
+            points = pin_to_pin_sweep(cell, 0, in_rising, [SPOT_T])
+            arc = timing.arc(0, in_rising, points[0].out_rising)
+        predicted = arc.delay(SPOT_T)
+        errors.append(abs(predicted - points[0].delay))
+    report["pin_err_ps"] = max(errors) / 1e-12
+    # Zero-skew simultaneous spot check.
+    if timing.ctrl is not None:
+        measured = multi_switch_delay(cell, [0, 1], SPOT_T)
+        predicted = timing.ctrl.d0(SPOT_T, SPOT_T)
+        report["d0_err_ps"] = abs(predicted - measured.delay) / 1e-12
+    return report
+
+
+def main() -> int:
+    library = CellLibrary.load_default()
+    names = sys.argv[1:] or sorted(library.cells)
+    print(f"{'cell':<8} {'pin err (ps)':>13} {'D0 err (ps)':>12}")
+    worst = 0.0
+    for name in names:
+        timing = library.cell(name)
+        report = validate_cell(name, timing, library)
+        d0 = report.get("d0_err_ps")
+        print(
+            f"{name:<8} {report['pin_err_ps']:>13.2f} "
+            f"{d0 if d0 is not None else float('nan'):>12.2f}"
+        )
+        worst = max(worst, report["pin_err_ps"], d0 or 0.0)
+    print(f"\nworst spot error: {worst:.2f} ps")
+    return 0 if worst < 30.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

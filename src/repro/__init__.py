@@ -1,0 +1,30 @@
+"""repro: reproduction of the DAC 2001 simultaneous-switching delay model.
+
+Chen, Gupta, Breuer, "A New Gate Delay Model for Simultaneous Switching
+and Its Applications", DAC 2001.
+
+Public API overview
+-------------------
+
+* :mod:`repro.spice` — transistor-level transient simulator (HSPICE
+  substitute) used to generate empirical delay data.
+* :mod:`repro.characterize` — library characterization: sweeps and curve
+  fitting of the paper's DR / D0R / SR empirical formulas.
+* :mod:`repro.models` — the proposed V-shape simultaneous-switching delay
+  model and the baselines it is compared against (pin-to-pin, Jun, Nabavi,
+  table lookup).
+* :mod:`repro.circuit` — gate-level netlists, ISCAS85 ``.bench`` I/O and a
+  synthetic benchmark generator.
+* :mod:`repro.sta` — static timing analysis with worst-case corner
+  identification, plus a two-pattern timing simulator.
+* :mod:`repro.itr` — incremental timing refinement over the nine-valued
+  two-frame logic.
+* :mod:`repro.atpg` — timing-based ATPG for crosstalk delay faults with
+  ITR search-space pruning.
+"""
+
+from .tech import GENERIC_05UM, Technology
+
+__version__ = "1.0.0"
+
+__all__ = ["GENERIC_05UM", "Technology", "__version__"]

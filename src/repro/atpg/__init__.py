@@ -1,0 +1,29 @@
+"""Timing-based ATPG for crosstalk delay faults with ITR pruning."""
+
+from .excite import ExcitationCheck, check_excitation, transition_literal
+from .faults import CrosstalkFault, FaultySimulator, generate_fault_list
+from .search import (
+    ABORTED,
+    AtpgConfig,
+    AtpgSummary,
+    CrosstalkAtpg,
+    DETECTED,
+    FaultResult,
+    UNTESTABLE,
+)
+
+__all__ = [
+    "ABORTED",
+    "AtpgConfig",
+    "AtpgSummary",
+    "CrosstalkAtpg",
+    "CrosstalkFault",
+    "DETECTED",
+    "ExcitationCheck",
+    "FaultResult",
+    "FaultySimulator",
+    "UNTESTABLE",
+    "check_excitation",
+    "generate_fault_list",
+    "transition_literal",
+]

@@ -1,0 +1,91 @@
+"""Crosstalk fault excitation criteria and ITR-based feasibility checks.
+
+The paper (Section 7): "The required times at A and B should be within
+the min-max ranges with relative arrival time constraints on these two
+lines" — i.e. the ATPG can prune a search branch as soon as the refined
+timing windows show the aggressor and victim transitions can no longer
+align within the coupling window, or that even the worst-case delayed
+victim cannot violate any required time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional
+
+from ..itr.refine import ItrResult
+from ..itr.values import TwoFrame
+from ..sta.windows import IMPOSSIBLE, LineRequired
+from .faults import CrosstalkFault
+
+
+def transition_literal(rising: bool) -> TwoFrame:
+    """The two-frame value demanding a transition in the given direction."""
+    return TwoFrame.parse("01" if rising else "10")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExcitationCheck:
+    """Result of the ITR feasibility checks on a partial assignment."""
+
+    logic_possible: bool
+    alignment_possible: bool
+    violation_possible: bool
+
+    @property
+    def feasible(self) -> bool:
+        return (
+            self.logic_possible
+            and self.alignment_possible
+            and self.violation_possible
+        )
+
+
+def check_excitation(
+    fault: CrosstalkFault,
+    result: ItrResult,
+    required: Optional[Dict[str, LineRequired]] = None,
+) -> ExcitationCheck:
+    """Evaluate excitation feasibility against refined ITR windows.
+
+    Args:
+        fault: The fault under test.
+        result: Refined ITR windows for the current partial assignment.
+        required: Required-time windows (from the backward pass with the
+            clock period); enables the "can the delayed victim still
+            violate timing anywhere" check.
+
+    Returns:
+        Three independent verdicts; the branch is prunable when any one
+        is impossible.
+    """
+    a_value = result.values[fault.aggressor]
+    v_value = result.values[fault.victim]
+    logic_possible = (
+        a_value.state(fault.aggressor_rising) != IMPOSSIBLE
+        and v_value.state(fault.victim_rising) != IMPOSSIBLE
+    )
+
+    alignment_possible = False
+    if logic_possible:
+        wa = result.line(fault.aggressor).window(fault.aggressor_rising)
+        wv = result.line(fault.victim).window(fault.victim_rising)
+        if wa.is_active and wv.is_active:
+            gap = max(wv.a_s - wa.a_l, wa.a_s - wv.a_l)
+            alignment_possible = gap <= fault.window
+
+    violation_possible = True
+    if required is not None and logic_possible:
+        wv = result.line(fault.victim).window(fault.victim_rising)
+        if wv.is_active:
+            q_l = required[fault.victim].window(fault.victim_rising).q_l
+            if math.isfinite(q_l):
+                # Even the latest possible faulty arrival meets the
+                # required time: no downstream violation can occur.
+                violation_possible = wv.a_l + fault.delta > q_l
+    return ExcitationCheck(
+        logic_possible=logic_possible,
+        alignment_possible=alignment_possible,
+        violation_possible=violation_possible,
+    )

@@ -1,0 +1,162 @@
+"""Crosstalk delay fault model (paper Section 7, following ref [8]).
+
+A fault site couples an *aggressor* line to a *victim* line.  The fault
+is excited when both lines carry transitions of the specified directions
+whose arrival times align within the coupling window; its effect is extra
+delay on the victim's transition (the slow-down case of crosstalk, the
+one that causes setup violations downstream).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional
+
+from ..circuit.netlist import Circuit
+from ..models.base import OutputEvent
+from ..sta.simulate import TimingSimulator
+
+
+@dataclasses.dataclass(frozen=True)
+class CrosstalkFault:
+    """One crosstalk delay fault site.
+
+    Args:
+        aggressor: Coupling line whose switching injects noise.
+        victim: Line whose transition is slowed down.
+        aggressor_rising: Required aggressor transition direction.
+        victim_rising: Required victim transition direction.
+        delta: Extra delay added to the victim's arrival when excited.
+        window: Maximum |A_aggressor - A_victim| for excitation, seconds.
+    """
+
+    aggressor: str
+    victim: str
+    aggressor_rising: bool
+    victim_rising: bool
+    delta: float
+    window: float
+
+    def __post_init__(self) -> None:
+        if self.aggressor == self.victim:
+            raise ValueError("aggressor and victim must differ")
+        if self.delta <= 0 or self.window <= 0:
+            raise ValueError("delta and window must be positive")
+
+    def describe(self) -> str:
+        a_dir = "R" if self.aggressor_rising else "F"
+        v_dir = "R" if self.victim_rising else "F"
+        return (
+            f"xtalk({self.aggressor}{a_dir} -> {self.victim}{v_dir}, "
+            f"delta={self.delta * 1e12:.0f}ps, w={self.window * 1e12:.0f}ps)"
+        )
+
+    def excited_by(
+        self,
+        aggressor_event: Optional[OutputEvent],
+        victim_event: Optional[OutputEvent],
+    ) -> bool:
+        """Whether a concrete event pair excites the fault."""
+        if aggressor_event is None or victim_event is None:
+            return False
+        if aggressor_event.rising != self.aggressor_rising:
+            return False
+        if victim_event.rising != self.victim_rising:
+            return False
+        return abs(aggressor_event.arrival - victim_event.arrival) <= self.window
+
+
+def generate_fault_list(
+    circuit: Circuit,
+    count: int,
+    seed: int = 0,
+    delta: float = 0.15e-9,
+    window: float = 0.25e-9,
+    max_level_gap: int = 3,
+) -> List[CrosstalkFault]:
+    """Random crosstalk fault sites on internal lines.
+
+    Adjacency is approximated by logic-level proximity (we have no layout):
+    aggressor and victim must sit within ``max_level_gap`` levels of each
+    other, which is where routed nets actually run side by side in a
+    levelized placement.
+
+    Args:
+        circuit: Circuit to generate faults for.
+        count: Number of fault sites.
+        seed: RNG seed (deterministic fault lists).
+        delta: Crosstalk-induced extra delay.
+        window: Alignment window.
+        max_level_gap: Maximum logic-level distance between the pair.
+    """
+    rng = random.Random(seed)
+    levels = circuit.levelize()
+    order = {line: i for i, line in enumerate(circuit.topological_order())}
+    internal = [line for line in circuit.gates if circuit.fanouts(line)]
+    if len(internal) < 2:
+        raise ValueError("circuit too small for crosstalk fault sites")
+    faults: List[CrosstalkFault] = []
+    seen = set()
+    attempts = 0
+    while len(faults) < count and attempts < 200 * count:
+        attempts += 1
+        aggressor = rng.choice(internal)
+        victim = rng.choice(internal)
+        if aggressor == victim:
+            continue
+        if abs(levels[aggressor] - levels[victim]) > max_level_gap:
+            continue
+        if order[aggressor] > order[victim]:
+            # Injection happens when the victim settles, so the aggressor
+            # must be evaluated first.
+            aggressor, victim = victim, aggressor
+        aggressor_rising = rng.random() < 0.5
+        victim_rising = rng.random() < 0.5
+        key = (aggressor, victim, aggressor_rising, victim_rising)
+        if key in seen:
+            continue
+        seen.add(key)
+        faults.append(
+            CrosstalkFault(
+                aggressor=aggressor,
+                victim=victim,
+                aggressor_rising=aggressor_rising,
+                victim_rising=victim_rising,
+                delta=delta,
+                window=window,
+            )
+        )
+    return faults
+
+
+class FaultySimulator(TimingSimulator):
+    """Timing simulator with one injected crosstalk delay fault.
+
+    The victim's event is delayed by ``fault.delta`` whenever the
+    aggressor's event (already computed — the generator only pairs lines
+    whose levels are close, and injection uses whichever is available
+    when the victim settles) aligns within the coupling window.
+    """
+
+    def __init__(self, *args, fault: CrosstalkFault, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.fault = fault
+
+    def _post_event(
+        self,
+        line: str,
+        event: Optional[OutputEvent],
+        events: Dict[str, Optional[OutputEvent]],
+    ) -> Optional[OutputEvent]:
+        fault = self.fault
+        if line != fault.victim or event is None:
+            return event
+        aggressor_event = events.get(fault.aggressor)
+        if fault.excited_by(aggressor_event, event):
+            return OutputEvent(
+                arrival=event.arrival + fault.delta,
+                trans=event.trans,
+                rising=event.rising,
+            )
+        return event

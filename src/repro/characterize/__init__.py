@@ -1,0 +1,73 @@
+"""Library characterization: sweeps and fits of the paper's delay formulas.
+
+This package implements the "one-time effort" of the paper's Section 3.7:
+for every NAND/NOR-family cell in the library, run transistor-level sweeps
+and fit the empirical DR / D0R / SR formulas (and their transition-time
+analogues), producing a persistent :class:`CellLibrary`.
+"""
+
+from .characterizer import (
+    CharacterizationConfig,
+    DEFAULT_CELLS,
+    characterize_arc,
+    characterize_cell,
+    characterize_library,
+    characterize_noncontrolling,
+)
+from .formulas import (
+    CubeRootSurface,
+    LinForm2,
+    QuadForm2,
+    QuadPoly1,
+    refine_minimum,
+    saturation_crossing,
+)
+from .library import (
+    CellLibrary,
+    CellTiming,
+    DEFAULT_LIBRARY,
+    SimultaneousTiming,
+    TimingArc,
+    arc_key,
+    pair_key,
+)
+from .sweep import (
+    BASE_ARRIVAL,
+    PinToPinPoint,
+    SkewPoint,
+    load_sweep,
+    multi_switch_delay,
+    pair_skew_sweep,
+    pair_skew_sweep_noncontrolling,
+    pin_to_pin_sweep,
+)
+
+__all__ = [
+    "BASE_ARRIVAL",
+    "CellLibrary",
+    "CellTiming",
+    "CharacterizationConfig",
+    "CubeRootSurface",
+    "DEFAULT_CELLS",
+    "DEFAULT_LIBRARY",
+    "LinForm2",
+    "PinToPinPoint",
+    "QuadForm2",
+    "QuadPoly1",
+    "SimultaneousTiming",
+    "SkewPoint",
+    "TimingArc",
+    "arc_key",
+    "characterize_arc",
+    "characterize_cell",
+    "characterize_library",
+    "characterize_noncontrolling",
+    "load_sweep",
+    "multi_switch_delay",
+    "pair_key",
+    "pair_skew_sweep",
+    "pair_skew_sweep_noncontrolling",
+    "pin_to_pin_sweep",
+    "refine_minimum",
+    "saturation_crossing",
+]

@@ -1,0 +1,400 @@
+"""The characterization flow: sweeps -> fitted :class:`CellTiming`.
+
+This is the paper's Section 3.4 / 3.7 pre-characterization, executed
+against the in-tree transistor simulator instead of HSPICE:
+
+1. fit the pin-to-pin DR and output-transition-time quadratics per arc;
+2. sweep (T_p, T_q, skew) grids for the base input pair (0, 1), extract
+   the V-shape anchors per grid point — D0 at zero skew, the saturation
+   skews SR/SYR, and the transition-time vertex — then fit the paper's
+   D0R (cube-root product), SR (bivariate quadratic) and SK_t,min forms;
+3. measure pair and multi-input scaling factors for the extended model;
+4. fit linear load-sensitivity slopes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..spice import GateCell
+from ..tech import GENERIC_05UM, Technology
+from .formulas import (
+    CubeRootSurface,
+    LinForm2,
+    QuadForm2,
+    QuadPoly1,
+    refine_minimum,
+    saturation_crossing,
+)
+from .library import (
+    CellLibrary,
+    CellTiming,
+    SimultaneousTiming,
+    TimingArc,
+    arc_key,
+    pair_key,
+)
+from .sweep import (
+    load_sweep,
+    multi_switch_delay,
+    pair_skew_sweep,
+    pair_skew_sweep_noncontrolling,
+    pin_to_pin_sweep,
+)
+
+#: Cells characterized into the default library.
+DEFAULT_CELLS = (
+    ("inv", 1),
+    ("buf", 1),
+    ("nand", 2), ("nand", 3), ("nand", 4), ("nand", 5),
+    ("nor", 2), ("nor", 3), ("nor", 4), ("nor", 5),
+    ("and", 2), ("and", 3), ("and", 4),
+    ("or", 2), ("or", 3), ("or", 4),
+    ("xor", 2),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacterizationConfig:
+    """Grid sizes and tolerances of the characterization sweeps.
+
+    The defaults reproduce the paper's "typical range of input transition
+    times" at a cost of a few minutes of simulation for the full library.
+    """
+
+    t_grid: Sequence[float] = (
+        0.08e-9, 0.15e-9, 0.25e-9, 0.40e-9, 0.60e-9, 0.90e-9, 1.30e-9, 1.80e-9
+    )
+    pair_t_grid: Sequence[float] = (0.15e-9, 0.40e-9, 0.80e-9, 1.40e-9)
+    skews_per_side: int = 6
+    t_nominal: float = 0.40e-9
+    load_multipliers: Sequence[float] = (0.5, 1.0, 3.0)
+    saturation_fraction: float = 0.98
+
+    def skew_grid(self, t_p: float, t_q: float) -> List[float]:
+        """Symmetric skew samples dense near zero, spanning to saturation."""
+        reach = 0.75 * (t_p + t_q) + 0.5e-9
+        fractions = np.linspace(0.0, 1.0, self.skews_per_side + 1)[1:]
+        positive = [reach * f * f for f in fractions]  # denser near zero
+        negative = [-s for s in reversed(positive)]
+        return negative + [0.0] + positive
+
+
+def characterize_arc(
+    cell: GateCell,
+    pin: int,
+    in_rising: bool,
+    config: CharacterizationConfig,
+    ref_load: float,
+    other_value: Optional[int] = None,
+) -> TimingArc:
+    """Fit one pin-to-pin timing arc from a transition-time sweep."""
+    points = pin_to_pin_sweep(
+        cell, pin, in_rising, config.t_grid, load_cap=ref_load,
+        other_value=other_value,
+    )
+    out_dirs = {p.out_rising for p in points}
+    if len(out_dirs) != 1:
+        raise RuntimeError(
+            f"{cell.name} pin {pin}: inconsistent output direction in sweep"
+        )
+    ts = [p.t_in for p in points]
+    return TimingArc(
+        pin=pin,
+        in_rising=in_rising,
+        out_rising=points[0].out_rising,
+        delay=QuadPoly1.fit(ts, [p.delay for p in points]),
+        trans=QuadPoly1.fit(ts, [p.trans for p in points]),
+        t_lo=min(ts),
+        t_hi=max(ts),
+    )
+
+
+def _characterize_ctrl(
+    cell: GateCell,
+    config: CharacterizationConfig,
+    ref_load: float,
+) -> SimultaneousTiming:
+    """Characterize the simultaneous to-controlling switching behaviour."""
+    grid = list(config.pair_t_grid)
+    txs: List[float] = []
+    tys: List[float] = []
+    d0s: List[float] = []
+    s_pos: List[float] = []
+    s_neg: List[float] = []
+    t_vertex_vals: List[float] = []
+    t_vertex_skews: List[float] = []
+    out_rising = None
+
+    for t_p in grid:
+        for t_q in grid:
+            skews = config.skew_grid(t_p, t_q)
+            points = pair_skew_sweep(
+                cell, 0, 1, t_p, t_q, skews, load_cap=ref_load
+            )
+            by_skew = {p.skew: p for p in points}
+            zero = by_skew[0.0]
+            pos_side = [p for p in points if p.skew >= 0.0]
+            neg_side = [p for p in points if p.skew <= 0.0]
+            neg_side = list(reversed(neg_side))  # increasing |skew|
+            txs.append(t_p)
+            tys.append(t_q)
+            d0s.append(zero.delay)
+            s_pos.append(
+                saturation_crossing(
+                    [p.skew for p in pos_side],
+                    [p.delay for p in pos_side],
+                    floor=zero.delay,
+                    ceiling=pos_side[-1].delay,
+                    fraction=config.saturation_fraction,
+                )
+            )
+            s_neg.append(
+                saturation_crossing(
+                    [-p.skew for p in neg_side],
+                    [p.delay for p in neg_side],
+                    floor=zero.delay,
+                    ceiling=neg_side[-1].delay,
+                    fraction=config.saturation_fraction,
+                )
+            )
+            vertex_skew, vertex_val = refine_minimum(
+                [p.skew for p in points], [p.trans for p in points]
+            )
+            t_vertex_skews.append(vertex_skew)
+            t_vertex_vals.append(vertex_val)
+
+    cv = cell.controlling_value
+    out_rising = cv == 0 if cell.inverting else cv == 1
+
+    # Pair scaling factors relative to the characterized (0, 1) pair.
+    t_nom = config.t_nominal
+    base = multi_switch_delay(cell, [0, 1], t_nom, load_cap=ref_load)
+    pair_scale: Dict[str, float] = {pair_key(0, 1): 1.0}
+    for p in range(cell.n_inputs):
+        for q in range(p + 1, cell.n_inputs):
+            if (p, q) == (0, 1):
+                continue
+            point = multi_switch_delay(cell, [p, q], t_nom, load_cap=ref_load)
+            pair_scale[pair_key(p, q)] = point.delay / base.delay
+
+    # Multi-input (k > 2) zero-skew scaling factors.
+    multi_scale: Dict[str, float] = {"2": 1.0}
+    trans_multi_scale: Dict[str, float] = {"2": 1.0}
+    for k in range(3, cell.n_inputs + 1):
+        point = multi_switch_delay(
+            cell, list(range(k)), t_nom, load_cap=ref_load
+        )
+        multi_scale[str(k)] = point.delay / base.delay
+        trans_multi_scale[str(k)] = point.trans / base.trans
+
+    return SimultaneousTiming(
+        out_rising=out_rising,
+        d0=CubeRootSurface.fit(txs, tys, d0s),
+        s_pos=QuadForm2.fit(txs, tys, s_pos),
+        s_neg=QuadForm2.fit(txs, tys, s_neg),
+        t_vertex=CubeRootSurface.fit(txs, tys, t_vertex_vals),
+        t_vertex_skew=LinForm2.fit(txs, tys, t_vertex_skews),
+        pair_scale=pair_scale,
+        multi_scale=multi_scale,
+        trans_multi_scale=trans_multi_scale,
+    )
+
+
+def characterize_noncontrolling(
+    cell: GateCell,
+    config: Optional[CharacterizationConfig] = None,
+    ref_load: Optional[float] = None,
+) -> SimultaneousTiming:
+    """Characterize simultaneous to-NON-controlling switching (extension).
+
+    The measured skew-delay curve is a peak (Λ): slower than any
+    pin-to-pin path near zero skew, saturating to the lagging pin's
+    pin-to-pin delay beyond +-S.  The result reuses the
+    :class:`SimultaneousTiming` container with ``d0`` reinterpreted as
+    the peak value P0 (delay from the *latest* arrival).
+
+    See :mod:`repro.models.nonctrl` for the model this feeds.
+    """
+    config = config or CharacterizationConfig()
+    if ref_load is None:
+        ref_load = cell.tech.min_inverter_input_cap()
+    cv = cell.controlling_value
+    if cv is None or cell.n_inputs < 2:
+        raise ValueError(f"cell {cell.name} has no to-non-controlling pair")
+    out_rising = (cv == 1) if cell.inverting else (cv == 0)
+
+    grid = list(config.pair_t_grid)
+    txs: List[float] = []
+    tys: List[float] = []
+    peaks: List[float] = []
+    s_pos: List[float] = []
+    s_neg: List[float] = []
+    t_vertex_vals: List[float] = []
+    t_vertex_skews: List[float] = []
+    for t_p in grid:
+        for t_q in grid:
+            skews = config.skew_grid(t_p, t_q)
+            points = pair_skew_sweep_noncontrolling(
+                cell, 0, 1, t_p, t_q, skews, load_cap=ref_load
+            )
+            by_skew = {p.skew: p for p in points}
+            zero = by_skew[0.0]
+            pos_side = [p for p in points if p.skew >= 0.0]
+            neg_side = list(reversed([p for p in points if p.skew <= 0.0]))
+            txs.append(t_p)
+            tys.append(t_q)
+            peaks.append(zero.delay)
+            # The curve falls from the peak toward the tails; negate so
+            # the rising-saturation extractor applies.
+            s_pos.append(
+                saturation_crossing(
+                    [p.skew for p in pos_side],
+                    [-p.delay for p in pos_side],
+                    floor=-zero.delay,
+                    ceiling=-pos_side[-1].delay,
+                    fraction=config.saturation_fraction,
+                )
+            )
+            s_neg.append(
+                saturation_crossing(
+                    [-p.skew for p in neg_side],
+                    [-p.delay for p in neg_side],
+                    floor=-zero.delay,
+                    ceiling=-neg_side[-1].delay,
+                    fraction=config.saturation_fraction,
+                )
+            )
+            vertex_skew, vertex_val = refine_minimum(
+                [p.skew for p in points], [p.trans for p in points]
+            )
+            t_vertex_skews.append(vertex_skew)
+            t_vertex_vals.append(vertex_val)
+
+    return SimultaneousTiming(
+        out_rising=out_rising,
+        d0=CubeRootSurface.fit(txs, tys, peaks),
+        s_pos=QuadForm2.fit(txs, tys, s_pos),
+        s_neg=QuadForm2.fit(txs, tys, s_neg),
+        t_vertex=CubeRootSurface.fit(txs, tys, t_vertex_vals),
+        t_vertex_skew=LinForm2.fit(txs, tys, t_vertex_skews),
+        pair_scale={pair_key(0, 1): 1.0},
+        multi_scale={"2": 1.0},
+        trans_multi_scale={"2": 1.0},
+    )
+
+
+def _characterize_load_slopes(
+    cell: GateCell,
+    arcs: Dict[str, TimingArc],
+    config: CharacterizationConfig,
+    ref_load: float,
+) -> tuple:
+    """Linear load-sensitivity slopes per output direction."""
+    loads = [m * ref_load for m in config.load_multipliers]
+    delay_slope: Dict[str, float] = {}
+    trans_slope: Dict[str, float] = {}
+    seen_dirs = set()
+    for arc in arcs.values():
+        direction = "R" if arc.out_rising else "F"
+        if direction in seen_dirs or arc.pin != 0:
+            continue
+        seen_dirs.add(direction)
+        other = None
+        if cell.controlling_value is None and cell.n_inputs > 1:
+            # XOR: pick the context that reproduces this arc's polarity.
+            other = 0 if arc.in_rising == arc.out_rising else 1
+        points = load_sweep(
+            cell, 0, arc.in_rising, config.t_nominal, loads, other_value=other
+        )
+        caps = np.array(loads)
+        delay_slope[direction] = float(
+            np.polyfit(caps, [p.delay for p in points], 1)[0]
+        )
+        trans_slope[direction] = float(
+            np.polyfit(caps, [p.trans for p in points], 1)[0]
+        )
+    for direction in ("R", "F"):
+        delay_slope.setdefault(direction, 0.0)
+        trans_slope.setdefault(direction, 0.0)
+    return delay_slope, trans_slope
+
+
+def characterize_cell(
+    cell: GateCell,
+    config: Optional[CharacterizationConfig] = None,
+) -> CellTiming:
+    """Characterize a single cell into a :class:`CellTiming`.
+
+    Args:
+        cell: The transistor-level cell.
+        config: Sweep configuration (defaults are the library settings).
+    """
+    config = config or CharacterizationConfig()
+    ref_load = cell.tech.min_inverter_input_cap()
+    arcs: Dict[str, TimingArc] = {}
+
+    if cell.kind == "xor":
+        contexts = [(True, 0), (True, 1), (False, 0), (False, 1)]
+        for pin in range(cell.n_inputs):
+            for in_rising, other in contexts:
+                arc = characterize_arc(
+                    cell, pin, in_rising, config, ref_load, other_value=other
+                )
+                arcs[arc.key] = arc
+    else:
+        in_dirs = (True, False) if cell.n_inputs >= 1 else ()
+        for pin in range(cell.n_inputs):
+            for in_rising in in_dirs:
+                arc = characterize_arc(cell, pin, in_rising, config, ref_load)
+                arcs[arc.key] = arc
+
+    ctrl = None
+    if cell.controlling_value is not None and cell.n_inputs >= 2:
+        ctrl = _characterize_ctrl(cell, config, ref_load)
+
+    delay_slope, trans_slope = _characterize_load_slopes(
+        cell, arcs, config, ref_load
+    )
+
+    return CellTiming(
+        name=cell.name,
+        kind=cell.kind,
+        n_inputs=cell.n_inputs,
+        controlling_value=cell.controlling_value,
+        inverting=cell.inverting,
+        input_caps=[cell.input_capacitance(p) for p in range(cell.n_inputs)],
+        ref_load=ref_load,
+        arcs=arcs,
+        ctrl=ctrl,
+        load_delay_slope=delay_slope,
+        load_trans_slope=trans_slope,
+    )
+
+
+def characterize_library(
+    tech: Technology = GENERIC_05UM,
+    cells: Iterable[tuple] = DEFAULT_CELLS,
+    config: Optional[CharacterizationConfig] = None,
+    verbose: bool = False,
+) -> CellLibrary:
+    """Characterize a full cell library (the paper's one-time effort)."""
+    config = config or CharacterizationConfig()
+    timings: Dict[str, CellTiming] = {}
+    for kind, n_inputs in cells:
+        cell = GateCell(kind, n_inputs, tech)
+        if verbose:
+            print(f"characterizing {cell.name} ...", flush=True)
+        timings[cell.name] = characterize_cell(cell, config)
+    return CellLibrary(
+        tech_name=tech.name,
+        vdd=tech.vdd,
+        cells=timings,
+        meta={
+            "t_grid": list(config.t_grid),
+            "pair_t_grid": list(config.pair_t_grid),
+        },
+    )

@@ -1,0 +1,222 @@
+"""Simulation sweeps that generate raw characterization data.
+
+Each function runs the transistor-level simulator over a parameter grid
+and returns plain record lists; :mod:`repro.characterize.characterizer`
+turns those into fitted formulas.  The sweeps mirror the paper's
+experimental setup: one transitioning input with the non-controlling
+value on the rest (pin-to-pin), or two-or-more simultaneous
+to-controlling transitions with controlled skew.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..spice import GateCell, RampStimulus, simulate_gate
+
+#: Arrival time used for the (earliest) stimulated input in every sweep.
+BASE_ARRIVAL = 2e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class PinToPinPoint:
+    """One pin-to-pin measurement."""
+
+    t_in: float
+    delay: float
+    trans: float
+    out_rising: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class SkewPoint:
+    """One simultaneous-switching measurement at a given skew."""
+
+    skew: float
+    delay: float
+    trans: float
+
+
+def _context_stimuli(
+    cell: GateCell, active_pins: Sequence[int], other_value: Optional[int]
+) -> List[RampStimulus]:
+    """Steady stimuli for every pin, to be overwritten on active pins."""
+    if other_value is None:
+        if len(active_pins) >= cell.n_inputs:
+            other_value = 0  # no context pins exist; value is irrelevant
+        elif cell.controlling_value is None:
+            raise ValueError(
+                f"cell {cell.name} needs an explicit context value"
+            )
+        else:
+            other_value = 1 - cell.controlling_value
+    vdd = cell.tech.vdd
+    return [RampStimulus.steady(other_value, vdd) for _ in range(cell.n_inputs)]
+
+
+def pin_to_pin_sweep(
+    cell: GateCell,
+    pin: int,
+    in_rising: bool,
+    t_grid: Sequence[float],
+    load_cap: Optional[float] = None,
+    other_value: Optional[int] = None,
+) -> List[PinToPinPoint]:
+    """Sweep the input transition time on one pin, others held steady.
+
+    Args:
+        cell: The cell to characterize.
+        pin: Stimulated input position.
+        in_rising: Direction of the input transition.
+        t_grid: Input 10-90 transition times to sweep, seconds.
+        load_cap: Output load (defaults to a minimum inverter).
+        other_value: Steady logic value on the remaining inputs.  Defaults
+            to the cell's non-controlling value; must be given for cells
+            without one (e.g. XOR).
+
+    Returns:
+        One :class:`PinToPinPoint` per grid value, with the delay measured
+        from the stimulated pin's arrival time.
+    """
+    vdd = cell.tech.vdd
+    points = []
+    for t_in in t_grid:
+        stimuli = _context_stimuli(cell, [pin], other_value)
+        stimuli[pin] = RampStimulus.transition(in_rising, BASE_ARRIVAL, t_in, vdd)
+        result = simulate_gate(cell, stimuli, load_cap=load_cap)
+        points.append(
+            PinToPinPoint(
+                t_in=t_in,
+                delay=result.delay_from_pin(BASE_ARRIVAL),
+                trans=result.trans_time,
+                out_rising=result.output_rising,
+            )
+        )
+    return points
+
+
+def pair_skew_sweep(
+    cell: GateCell,
+    pin_p: int,
+    pin_q: int,
+    t_p: float,
+    t_q: float,
+    skews: Sequence[float],
+    load_cap: Optional[float] = None,
+) -> List[SkewPoint]:
+    """Simultaneous to-controlling transitions on two pins over a skew grid.
+
+    Skew is ``A_q - A_p`` (the paper's delta_{X,Y} with X=p, Y=q).  The
+    delay of each point is measured from the earliest input arrival, per
+    the paper's to-controlling gate-delay definition.
+    """
+    cv = cell.controlling_value
+    if cv is None:
+        raise ValueError(f"cell {cell.name} has no controlling value")
+    in_rising = cv == 1
+    vdd = cell.tech.vdd
+    points = []
+    for skew in skews:
+        stimuli = _context_stimuli(cell, [pin_p, pin_q], None)
+        stimuli[pin_p] = RampStimulus.transition(
+            in_rising, BASE_ARRIVAL, t_p, vdd
+        )
+        stimuli[pin_q] = RampStimulus.transition(
+            in_rising, BASE_ARRIVAL + skew, t_q, vdd
+        )
+        result = simulate_gate(cell, stimuli, load_cap=load_cap)
+        points.append(
+            SkewPoint(
+                skew=skew,
+                delay=result.delay_from_earliest(),
+                trans=result.trans_time,
+            )
+        )
+    return points
+
+
+def pair_skew_sweep_noncontrolling(
+    cell: GateCell,
+    pin_p: int,
+    pin_q: int,
+    t_p: float,
+    t_q: float,
+    skews: Sequence[float],
+    load_cap: Optional[float] = None,
+) -> List[SkewPoint]:
+    """Simultaneous to-NON-controlling transitions over a skew grid.
+
+    Both pins transition *away* from the controlling value (both rise on
+    a NAND); remaining inputs hold the non-controlling value so the
+    output responds.  Per the paper's to-non-controlling definition, the
+    delay of each point is measured from the *latest* input arrival.
+    """
+    cv = cell.controlling_value
+    if cv is None:
+        raise ValueError(f"cell {cell.name} has no controlling value")
+    in_rising = cv == 0
+    vdd = cell.tech.vdd
+    points = []
+    for skew in skews:
+        stimuli = _context_stimuli(cell, [pin_p, pin_q], None)
+        stimuli[pin_p] = RampStimulus.transition(
+            in_rising, BASE_ARRIVAL, t_p, vdd
+        )
+        stimuli[pin_q] = RampStimulus.transition(
+            in_rising, BASE_ARRIVAL + skew, t_q, vdd
+        )
+        result = simulate_gate(cell, stimuli, load_cap=load_cap)
+        points.append(
+            SkewPoint(
+                skew=skew,
+                delay=result.delay_from_latest(),
+                trans=result.trans_time,
+            )
+        )
+    return points
+
+
+def multi_switch_delay(
+    cell: GateCell,
+    pins: Sequence[int],
+    t_in: float,
+    load_cap: Optional[float] = None,
+) -> SkewPoint:
+    """Zero-skew simultaneous to-controlling switch on ``pins``.
+
+    Used for the k>2 simultaneous-transition scaling factors of the
+    extended model (paper Section 3.6).
+    """
+    cv = cell.controlling_value
+    if cv is None:
+        raise ValueError(f"cell {cell.name} has no controlling value")
+    in_rising = cv == 1
+    vdd = cell.tech.vdd
+    stimuli = _context_stimuli(cell, pins, None)
+    for pin in pins:
+        stimuli[pin] = RampStimulus.transition(in_rising, BASE_ARRIVAL, t_in, vdd)
+    result = simulate_gate(cell, stimuli, load_cap=load_cap)
+    return SkewPoint(
+        skew=0.0,
+        delay=result.delay_from_earliest(),
+        trans=result.trans_time,
+    )
+
+
+def load_sweep(
+    cell: GateCell,
+    pin: int,
+    in_rising: bool,
+    t_in: float,
+    loads: Sequence[float],
+    other_value: Optional[int] = None,
+) -> List[PinToPinPoint]:
+    """Pin-to-pin measurements across output loads (for the load slopes)."""
+    points = []
+    for load in loads:
+        (point,) = pin_to_pin_sweep(
+            cell, pin, in_rising, [t_in], load_cap=load, other_value=other_value
+        )
+        points.append(point)
+    return points

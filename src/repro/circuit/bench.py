@@ -1,0 +1,137 @@
+"""ISCAS85 ``.bench`` netlist reader and writer.
+
+The format, as used by the ISCAS85 benchmark distribution::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G11 = NOT(G10)
+
+Gate keywords map onto our kinds: NOT -> inv, BUFF/BUF -> buf, and
+AND/NAND/OR/NOR/XOR/XNOR keep their names.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List
+
+from .netlist import Circuit, CircuitError, Gate
+
+_KIND_BY_KEYWORD = {
+    "NOT": "inv",
+    "INV": "inv",
+    "BUF": "buf",
+    "BUFF": "buf",
+    "AND": "and",
+    "NAND": "nand",
+    "OR": "or",
+    "NOR": "nor",
+    "XOR": "xor",
+    "XNOR": "xnor",
+}
+
+_KEYWORD_BY_KIND = {
+    "inv": "NOT",
+    "buf": "BUFF",
+    "and": "AND",
+    "nand": "NAND",
+    "or": "OR",
+    "nor": "NOR",
+    "xor": "XOR",
+    "xnor": "XNOR",
+}
+
+_GATE_RE = re.compile(
+    r"^\s*(?P<out>[\w.\[\]$/-]+)\s*=\s*(?P<kw>\w+)\s*\((?P<args>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(?P<dir>INPUT|OUTPUT)\s*\((?P<line>[\w.\[\]$/-]+)\)\s*$")
+
+
+class BenchParseError(ValueError):
+    """Raised for malformed .bench text."""
+
+
+def parse_bench(text: str, name: str = "circuit") -> Circuit:
+    """Parse ``.bench`` source text into a :class:`Circuit`.
+
+    Args:
+        text: The netlist source.
+        name: Circuit name recorded on the result.
+
+    Raises:
+        BenchParseError: For syntax errors or unknown gate keywords.
+        CircuitError: For structural problems (undriven lines, cycles...).
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Gate] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            target = inputs if io_match["dir"] == "INPUT" else outputs
+            target.append(io_match["line"])
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            keyword = gate_match["kw"].upper()
+            kind = _KIND_BY_KEYWORD.get(keyword)
+            if kind is None:
+                raise BenchParseError(
+                    f"line {lineno}: unknown gate keyword {keyword!r}"
+                )
+            args = [a.strip() for a in gate_match["args"].split(",") if a.strip()]
+            if not args:
+                raise BenchParseError(f"line {lineno}: gate with no inputs")
+            try:
+                gates.append(Gate(gate_match["out"], kind, args))
+            except CircuitError as exc:
+                raise BenchParseError(f"line {lineno}: {exc}") from exc
+            continue
+        raise BenchParseError(f"line {lineno}: cannot parse {raw!r}")
+    return Circuit(name, inputs, outputs, gates)
+
+
+def load_bench(path) -> Circuit:
+    """Read a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a :class:`Circuit` back to ``.bench`` text."""
+    lines = [f"# {circuit.name}"]
+    lines += [f"INPUT({pi})" for pi in circuit.inputs]
+    lines += [f"OUTPUT({po})" for po in circuit.outputs]
+    lines.append("")
+    for out in circuit.topological_order():
+        gate = circuit.gates[out]
+        keyword = _KEYWORD_BY_KIND[gate.kind]
+        lines.append(f"{out} = {keyword}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: Circuit, path) -> None:
+    """Write a circuit to a ``.bench`` file."""
+    Path(path).write_text(write_bench(circuit))
+
+
+def packaged_bench_path(name: str) -> Path:
+    """Path of a benchmark netlist shipped in ``repro/data``."""
+    return Path(__file__).resolve().parent.parent / "data" / f"{name}.bench"
+
+
+def load_packaged_bench(name: str) -> Circuit:
+    """Load a benchmark circuit shipped with the package (e.g. "c17")."""
+    path = packaged_bench_path(name)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no packaged benchmark named {name!r} "
+            f"(run scripts/build_benchmarks.py)"
+        )
+    return load_bench(path)

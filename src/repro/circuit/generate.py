@@ -1,0 +1,302 @@
+"""Synthetic ISCAS85-like benchmark generator.
+
+The original ISCAS85 netlists (c432 ... c7552) are distribution artifacts
+we do not ship; Table 2 of the paper is a statistical claim about STA
+min-delay on large combinational circuits, so we substitute seeded
+synthetic circuits with matched interface sizes, gate counts and gate-kind
+mix (see DESIGN.md, "Substitutions").  The generator produces levelized
+random DAGs with locality-biased fan-in selection, which yields the deep
+reconvergent topologies the ISCAS circuits are known for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Sequence
+
+from .netlist import Circuit, Gate
+
+#: Interface/gate-count profiles mirroring the ISCAS85 suite.  Names carry
+#: an ``s`` suffix ("synthetic") except c17, which we ship verbatim.
+ISCAS_PROFILES: Dict[str, Dict[str, int]] = {
+    "c432s": {"inputs": 36, "outputs": 7, "gates": 160, "seed": 432},
+    "c499s": {"inputs": 41, "outputs": 32, "gates": 202, "seed": 499},
+    "c880s": {"inputs": 60, "outputs": 26, "gates": 383, "seed": 880},
+    "c1355s": {"inputs": 41, "outputs": 32, "gates": 546, "seed": 1355},
+    "c1908s": {"inputs": 33, "outputs": 25, "gates": 880, "seed": 1908},
+    "c2670s": {"inputs": 157, "outputs": 64, "gates": 1193, "seed": 2670},
+    "c3540s": {"inputs": 50, "outputs": 22, "gates": 1669, "seed": 3540},
+    "c5315s": {"inputs": 178, "outputs": 123, "gates": 2307, "seed": 5315},
+    "c7552s": {"inputs": 207, "outputs": 108, "gates": 3512, "seed": 7552},
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of the random circuit generator.
+
+    Args:
+        n_inputs: Number of primary inputs.
+        n_outputs: Number of primary outputs.
+        n_gates: Number of gates to create.
+        seed: RNG seed (generation is fully deterministic).
+        kind_weights: Relative frequency of each gate kind.
+        fanin_weights: Relative frequency of each multi-input fan-in.
+        locality: Probability that a gate input is drawn from the most
+            recently created lines (higher => deeper circuits).
+        window: Size of the "recent lines" window.
+    """
+
+    n_inputs: int
+    n_outputs: int
+    n_gates: int
+    seed: int = 0
+    kind_weights: Dict[str, float] = dataclasses.field(
+        default_factory=lambda: {
+            "nand": 0.30,
+            "nor": 0.14,
+            "and": 0.16,
+            "or": 0.10,
+            "inv": 0.18,
+            "buf": 0.04,
+            "xor": 0.08,
+        }
+    )
+    fanin_weights: Dict[int, float] = dataclasses.field(
+        default_factory=lambda: {2: 0.55, 3: 0.27, 4: 0.13, 5: 0.05}
+    )
+    locality: float = 0.35
+    window: int = 200
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 2 or self.n_outputs < 1 or self.n_gates < 1:
+            raise ValueError("generator needs >=2 inputs, >=1 output/gate")
+
+
+#: Maximum fan-in supported by the characterized library per kind.
+_MAX_FANIN = {"nand": 5, "nor": 5, "and": 4, "or": 4, "xor": 2}
+
+
+def generate_circuit(name: str, config: GeneratorConfig) -> Circuit:
+    """Generate a random combinational circuit.
+
+    The result is guaranteed acyclic (inputs are only drawn from already
+    created lines) and every generated gate output that is not read by
+    another gate becomes (or competes to become) a primary output.
+    """
+    rng = random.Random(config.seed)
+    inputs = [f"I{i}" for i in range(config.n_inputs)]
+    lines: List[str] = list(inputs)
+    gates: List[Gate] = []
+    kinds = list(config.kind_weights)
+    kind_cum = _cumulative(config.kind_weights.values())
+    fanins = list(config.fanin_weights)
+    fanin_cum = _cumulative(config.fanin_weights.values())
+
+    for index in range(config.n_gates):
+        kind = kinds[_pick(rng, kind_cum)]
+        if kind in ("inv", "buf"):
+            fanin = 1
+        elif kind == "xor":
+            fanin = 2
+        else:
+            fanin = fanins[_pick(rng, fanin_cum)]
+            fanin = min(fanin, _MAX_FANIN[kind], len(lines))
+            fanin = max(fanin, 2)
+        chosen = _choose_inputs(rng, lines, fanin, config)
+        output = f"G{index}"
+        gates.append(Gate(output, kind, chosen))
+        lines.append(output)
+
+    outputs = _choose_outputs(rng, inputs, gates, config.n_outputs)
+    _absorb_dangling(rng, gates, outputs)
+    return Circuit(name, inputs, outputs, gates)
+
+
+def generate_iscas_like(name: str) -> Circuit:
+    """Generate the synthetic stand-in for one ISCAS85 circuit."""
+    try:
+        profile = ISCAS_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; choose from {sorted(ISCAS_PROFILES)}"
+        ) from None
+    config = GeneratorConfig(
+        n_inputs=profile["inputs"],
+        n_outputs=profile["outputs"],
+        n_gates=profile["gates"],
+        seed=profile["seed"],
+    )
+    return generate_circuit(name, config)
+
+
+def _cumulative(weights) -> List[float]:
+    total = 0.0
+    cum = []
+    for w in weights:
+        total += w
+        cum.append(total)
+    return [c / total for c in cum]
+
+
+def _pick(rng: random.Random, cumulative: Sequence[float]) -> int:
+    r = rng.random()
+    for i, threshold in enumerate(cumulative):
+        if r <= threshold:
+            return i
+    return len(cumulative) - 1
+
+
+def _choose_inputs(
+    rng: random.Random,
+    lines: Sequence[str],
+    fanin: int,
+    config: GeneratorConfig,
+) -> List[str]:
+    chosen: List[str] = []
+    attempts = 0
+    while len(chosen) < fanin and attempts < 200:
+        attempts += 1
+        if rng.random() < config.locality and len(lines) > config.window:
+            candidate = lines[rng.randrange(len(lines) - config.window,
+                                            len(lines))]
+        else:
+            candidate = lines[rng.randrange(len(lines))]
+        if candidate not in chosen:
+            chosen.append(candidate)
+    # Degenerate fallback for tiny line pools.
+    for line in lines:
+        if len(chosen) >= fanin:
+            break
+        if line not in chosen:
+            chosen.append(line)
+    return chosen
+
+
+def _absorb_dangling(
+    rng: random.Random,
+    gates: List[Gate],
+    outputs: Sequence[str],
+) -> None:
+    """Rewire gate inputs so no gate output dangles unobserved.
+
+    The raw DAG leaves many sinks that are not primary outputs; their
+    whole fan-in cones would be structurally unobservable, which real
+    ISCAS circuits never exhibit.  Each dangling line is wired into some
+    gate outside its own fan-in cone (preserving gate count, fan-in and
+    acyclicity), iterated to a fixpoint.
+    """
+    po_set = set(outputs)
+    by_output = {gate.output: gate for gate in gates}
+
+    def fanin_cone(line: str) -> set:
+        cone = {line}
+        stack = [line]
+        while stack:
+            node = stack.pop()
+            gate = by_output.get(node)
+            if gate is None:
+                continue
+            for inp in gate.inputs:
+                if inp not in cone:
+                    cone.add(inp)
+                    stack.append(inp)
+        return cone
+
+    for _ in range(40):
+        fanout_count: dict = {}
+        for gate in gates:
+            for inp in gate.inputs:
+                fanout_count[inp] = fanout_count.get(inp, 0) + 1
+        dangles = [
+            g.output
+            for g in gates
+            if g.output not in po_set and fanout_count.get(g.output, 0) == 0
+        ]
+        if not dangles:
+            return
+        index = {gate.output: i for i, gate in enumerate(gates)}
+        for line in dangles:
+            # Prefer gates created after the dangle (cycle-free by
+            # construction and depth-neutral); fall back to any gate
+            # outside the dangle's fan-in cone.
+            later = gates[index[line] + 1:]
+            rng.shuffle(later)
+            cone = fanin_cone(line)
+            earlier = [
+                g for g in gates[: index[line]] if g.output not in cone
+            ]
+            rng.shuffle(earlier)
+            candidates = later + earlier
+            placed = False
+            # First pass: steal a pin whose current net keeps other fanout.
+            for prefer_shared in (True, False):
+                for gate in candidates:
+                    if line in gate.inputs:
+                        continue
+                    for pin, old in enumerate(gate.inputs):
+                        shared = (
+                            fanout_count.get(old, 0) > 1
+                            or old in po_set
+                            or old not in by_output
+                        )
+                        if prefer_shared and not shared:
+                            continue
+                        gate.inputs[pin] = line
+                        fanout_count[line] = fanout_count.get(line, 0) + 1
+                        fanout_count[old] -= 1
+                        placed = True
+                        break
+                    if placed:
+                        break
+                if placed:
+                    break
+
+
+def _choose_outputs(
+    rng: random.Random,
+    inputs: Sequence[str],
+    gates: Sequence[Gate],
+    n_outputs: int,
+) -> List[str]:
+    """Pick primary outputs among the sink lines, preferring deep ones.
+
+    Real ISCAS85 primary outputs sit several logic levels deep; choosing
+    shallow sinks would let a single near-input gate dominate the
+    circuit's min-delay, which no real benchmark exhibits.
+    """
+    read = set()
+    for gate in gates:
+        read.update(gate.inputs)
+    levels: Dict[str, int] = {pi: 0 for pi in inputs}
+    for gate in gates:  # creation order is topological
+        levels[gate.output] = 1 + max(levels[i] for i in gate.inputs)
+    sinks = [g.output for g in gates if g.output not in read]
+    sinks.sort(key=lambda line: (-levels[line], rng.random()))
+    outputs = sinks[:n_outputs]
+    if len(outputs) < n_outputs:
+        pool = [g.output for g in gates if g.output not in outputs]
+        pool.sort(key=lambda line: (-levels[line], rng.random()))
+        outputs += pool[: n_outputs - len(outputs)]
+    return outputs
+
+
+#: The real ISCAS85 c17 netlist (small enough to ship verbatim).
+C17_BENCH = """\
+# c17 (ISCAS85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""

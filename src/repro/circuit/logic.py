@@ -1,0 +1,109 @@
+"""Boolean evaluation of gate kinds over three-valued logic (0, 1, X).
+
+Shared by the delay models (to classify output responses), the gate-level
+netlist (functional simulation) and the ITR implication engine.  ``None``
+represents the unknown value X.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+#: Gate kinds understood by the gate-level layers.
+GATE_KINDS = ("inv", "buf", "nand", "nor", "and", "or", "xor", "xnor")
+
+#: Controlling value per kind (None when the kind has no controlling value).
+CONTROLLING_VALUE = {
+    "and": 0,
+    "nand": 0,
+    "or": 1,
+    "nor": 1,
+    "inv": None,
+    "buf": None,
+    "xor": None,
+    "xnor": None,
+}
+
+#: Output inversion per kind (None when polarity depends on other inputs).
+INVERTING = {
+    "inv": True,
+    "nand": True,
+    "nor": True,
+    "xnor": None,
+    "buf": False,
+    "and": False,
+    "or": False,
+    "xor": None,
+}
+
+Trit = Optional[int]
+
+
+def evaluate_gate(kind: str, values: Sequence[Trit]) -> Trit:
+    """Evaluate a gate over three-valued inputs.
+
+    Args:
+        kind: One of :data:`GATE_KINDS`.
+        values: Input values; ``None`` means unknown (X).
+
+    Returns:
+        0, 1, or ``None`` when the output cannot be determined.
+
+    Raises:
+        ValueError: For unknown kinds or wrong input counts.
+    """
+    if kind not in GATE_KINDS:
+        raise ValueError(f"unknown gate kind {kind!r}")
+    n = len(values)
+    if kind in ("inv", "buf"):
+        if n != 1:
+            raise ValueError(f"{kind} takes one input, got {n}")
+        val = values[0]
+        if val is None:
+            return None
+        return 1 - val if kind == "inv" else val
+    if n < 2:
+        raise ValueError(f"{kind} needs at least two inputs")
+    if kind in ("and", "nand"):
+        result = _and(values)
+        return _maybe_invert(result, kind == "nand")
+    if kind in ("or", "nor"):
+        inverted = [None if v is None else 1 - v for v in values]
+        result = _and(inverted)
+        # De Morgan: OR(v) = NOT AND(NOT v).
+        result = None if result is None else 1 - result
+        return _maybe_invert(result, kind == "nor")
+    # xor / xnor.
+    if any(v is None for v in values):
+        return None
+    parity = sum(values) % 2
+    return parity if kind == "xor" else 1 - parity
+
+
+def _and(values: Sequence[Trit]) -> Trit:
+    if any(v == 0 for v in values):
+        return 0
+    if any(v is None for v in values):
+        return None
+    return 1
+
+
+def _maybe_invert(value: Trit, invert: bool) -> Trit:
+    if value is None or not invert:
+        return value
+    return 1 - value
+
+
+def controlled_output(kind: str) -> Optional[int]:
+    """Output value produced when any input carries the controlling value."""
+    cv = CONTROLLING_VALUE[kind]
+    if cv is None:
+        return None
+    inverting = INVERTING[kind]
+    return (1 - cv) if inverting else cv
+
+
+def noncontrolled_output(kind: str) -> Optional[int]:
+    """Output value produced when all inputs carry the non-controlling value."""
+    out = controlled_output(kind)
+    return None if out is None else 1 - out

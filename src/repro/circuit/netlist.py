@@ -1,0 +1,217 @@
+"""Gate-level netlist: the combinational circuits STA/ITR/ATPG run on.
+
+A :class:`Circuit` is a DAG of named lines.  Primary inputs are lines with
+no driver; every other line is driven by exactly one :class:`Gate`.
+Fan-out is implicit (a line may feed any number of gate inputs).  The
+structure mirrors the ISCAS85 ``.bench`` view of a circuit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .logic import GATE_KINDS, evaluate_gate
+
+
+class CircuitError(ValueError):
+    """Raised for structurally invalid circuits."""
+
+
+@dataclasses.dataclass
+class Gate:
+    """One gate instance driving the line ``output``."""
+
+    output: str
+    kind: str
+    inputs: List[str]
+
+    def __post_init__(self) -> None:
+        if self.kind not in GATE_KINDS:
+            raise CircuitError(f"unknown gate kind {self.kind!r}")
+        if self.kind in ("inv", "buf") and len(self.inputs) != 1:
+            raise CircuitError(f"{self.kind} gate needs exactly one input")
+        if self.kind not in ("inv", "buf") and len(self.inputs) < 2:
+            raise CircuitError(f"{self.kind} gate needs at least two inputs")
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    def cell_name(self) -> str:
+        """Library cell name implementing this gate."""
+        if self.kind in ("inv", "buf"):
+            return self.kind.upper()
+        return f"{self.kind.upper()}{self.n_inputs}"
+
+
+class Circuit:
+    """A combinational gate-level circuit.
+
+    Args:
+        name: Circuit identifier (e.g. "c17").
+        inputs: Primary input line names, in declaration order.
+        outputs: Primary output line names.
+        gates: Gate instances; outputs must be unique and must not collide
+            with primary inputs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        gates: Iterable[Gate],
+    ) -> None:
+        self.name = name
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.gates: Dict[str, Gate] = {}
+        for gate in gates:
+            if gate.output in self.gates:
+                raise CircuitError(f"line {gate.output} driven twice")
+            if gate.output in self.inputs:
+                raise CircuitError(
+                    f"line {gate.output} is a primary input and gate output"
+                )
+            self.gates[gate.output] = gate
+        self._validate()
+        self._input_set = set(self.inputs)
+        self._order: Optional[List[str]] = None
+        self._fanouts: Optional[Dict[str, List[Gate]]] = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        known: Set[str] = set(self.inputs) | set(self.gates)
+        for gate in self.gates.values():
+            for line in gate.inputs:
+                if line not in known:
+                    raise CircuitError(
+                        f"gate {gate.output} reads undriven line {line!r}"
+                    )
+        for line in self.outputs:
+            if line not in known:
+                raise CircuitError(f"primary output {line!r} is undriven")
+        if len(set(self.inputs)) != len(self.inputs):
+            raise CircuitError("duplicate primary input names")
+
+    @property
+    def lines(self) -> List[str]:
+        """All line names: primary inputs first, then gate outputs."""
+        return self.inputs + list(self.gates)
+
+    def driver(self, line: str) -> Optional[Gate]:
+        """The gate driving ``line`` (None for a primary input)."""
+        return self.gates.get(line)
+
+    def fanouts(self, line: str) -> List[Gate]:
+        """Gates that read ``line``."""
+        if self._fanouts is None:
+            table: Dict[str, List[Gate]] = {name: [] for name in self.lines}
+            for gate in self.gates.values():
+                for inp in gate.inputs:
+                    table[inp].append(gate)
+            self._fanouts = table
+        return self._fanouts[line]
+
+    def is_primary_input(self, line: str) -> bool:
+        return line in self._input_set
+
+    def topological_order(self) -> List[str]:
+        """Gate-output lines in topological (input-to-output) order.
+
+        Raises:
+            CircuitError: If the netlist contains a combinational cycle.
+        """
+        if self._order is not None:
+            return self._order
+        state: Dict[str, int] = {}
+        order: List[str] = []
+
+        def visit(line: str) -> None:
+            # Iterative DFS to survive deep circuits.
+            stack = [(line, False)]
+            while stack:
+                node, processed = stack.pop()
+                if processed:
+                    state[node] = 2
+                    if node in self.gates:
+                        order.append(node)
+                    continue
+                mark = state.get(node, 0)
+                if mark == 2:
+                    continue
+                if mark == 1:
+                    raise CircuitError(f"combinational cycle through {node}")
+                state[node] = 1
+                stack.append((node, True))
+                gate = self.gates.get(node)
+                if gate is not None:
+                    for inp in gate.inputs:
+                        if state.get(inp, 0) == 0:
+                            stack.append((inp, False))
+                        elif state.get(inp) == 1:
+                            raise CircuitError(
+                                f"combinational cycle through {inp}"
+                            )
+
+        for line in list(self.gates) + self.outputs:
+            if state.get(line, 0) == 0:
+                visit(line)
+        self._order = order
+        return order
+
+    def levelize(self) -> Dict[str, int]:
+        """Logic level per line (primary inputs are level 0)."""
+        levels = {line: 0 for line in self.inputs}
+        for out in self.topological_order():
+            gate = self.gates[out]
+            levels[out] = 1 + max(levels[inp] for inp in gate.inputs)
+        return levels
+
+    def depth(self) -> int:
+        """Maximum logic level over all lines."""
+        levels = self.levelize()
+        return max(levels.values()) if levels else 0
+
+    def stats(self) -> Dict[str, int]:
+        """Size summary used by the benchmark tables."""
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "gates": len(self.gates),
+            "depth": self.depth(),
+        }
+
+    # ------------------------------------------------------------------
+    # Functional simulation
+    # ------------------------------------------------------------------
+    def evaluate(self, input_values: Dict[str, Optional[int]]) -> Dict[str, Optional[int]]:
+        """Three-valued functional simulation.
+
+        Args:
+            input_values: Value (0, 1, or None for X) per primary input.
+
+        Returns:
+            Value per line, including the inputs.
+        """
+        missing = [i for i in self.inputs if i not in input_values]
+        if missing:
+            raise CircuitError(f"missing values for inputs: {missing}")
+        values: Dict[str, Optional[int]] = {
+            line: input_values[line] for line in self.inputs
+        }
+        for out in self.topological_order():
+            gate = self.gates[out]
+            values[out] = evaluate_gate(
+                gate.kind, [values[inp] for inp in gate.inputs]
+            )
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, {len(self.inputs)} PIs, "
+            f"{len(self.outputs)} POs, {len(self.gates)} gates)"
+        )

@@ -1,0 +1,219 @@
+"""Command-line interface: ``repro-sta`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+* ``sta``   — run static timing analysis on a ``.bench`` netlist and
+  print per-output timing windows under the proposed and the pin-to-pin
+  delay models;
+* ``sim``   — timing-simulate one two-pattern vector;
+* ``atpg``  — run the crosstalk-delay-fault ATPG over a random fault
+  list, with or without ITR pruning;
+* ``bench`` — list the benchmark circuits shipped with the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .atpg import AtpgConfig, CrosstalkAtpg, generate_fault_list
+from .characterize import CellLibrary
+from .circuit import ISCAS_PROFILES, load_bench, load_packaged_bench
+from .models import PinToPinModel, VShapeModel
+from .sta import (
+    PiStimulus,
+    TimingAnalyzer,
+    TimingReporter,
+    TimingSimulator,
+)
+
+NS = 1e-9
+
+
+def _load_circuit(spec: str):
+    path = Path(spec)
+    if path.exists():
+        return load_bench(path)
+    return load_packaged_bench(spec)
+
+
+def _cmd_sta(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    library = CellLibrary.load_default()
+    print(f"{circuit!r}")
+    rows = []
+    for label, model in (("proposed", VShapeModel()),
+                         ("pin2pin", PinToPinModel())):
+        result = TimingAnalyzer(circuit, library, model).analyze()
+        rows.append((label, result))
+        print(f"\n[{label}] per-output windows (ns):")
+        for po in circuit.outputs[: args.max_outputs]:
+            timing = result.line(po)
+            for name, window in (("rise", timing.rise), ("fall", timing.fall)):
+                if not window.is_active:
+                    continue
+                print(
+                    f"  {po:>10} {name}: A=[{window.a_s / NS:7.3f},"
+                    f" {window.a_l / NS:7.3f}] T=[{window.t_s / NS:6.3f},"
+                    f" {window.t_l / NS:6.3f}]"
+                )
+    proposed, pin2pin = rows[0][1], rows[1][1]
+    print("\nsummary (ns):")
+    print(f"  min-delay proposed : {proposed.output_min_arrival() / NS:.4f}")
+    print(f"  min-delay pin2pin  : {pin2pin.output_min_arrival() / NS:.4f}")
+    ratio = pin2pin.output_min_arrival() / proposed.output_min_arrival()
+    print(f"  ratio              : {ratio:.3f}")
+    print(f"  max-delay (both)   : {proposed.output_max_arrival() / NS:.4f}")
+    return 0
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    library = CellLibrary.load_default()
+    v1, v2 = args.v1, args.v2
+    if len(v1) != len(circuit.inputs) or len(v2) != len(circuit.inputs):
+        print(
+            f"error: vectors must have {len(circuit.inputs)} bits "
+            f"(inputs: {', '.join(circuit.inputs)})",
+            file=sys.stderr,
+        )
+        return 2
+    stimuli = {
+        pi: PiStimulus(int(a), int(b))
+        for pi, a, b in zip(circuit.inputs, v1, v2)
+    }
+    result = TimingSimulator(circuit, library).run(stimuli)
+    print("line          v1 v2  arrival(ns)  trans(ns)")
+    for line in circuit.inputs + circuit.topological_order():
+        event = result.events[line]
+        mark = "*" if line in circuit.outputs else " "
+        if event is None:
+            print(f"{line:>12}{mark} {result.values1[line]}  "
+                  f"{result.values2[line]}   (static)")
+        else:
+            print(
+                f"{line:>12}{mark} {result.values1[line]}  "
+                f"{result.values2[line]}   {event.arrival / NS:9.4f}   "
+                f"{event.trans / NS:7.4f}"
+            )
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    library = CellLibrary.load_default()
+    faults = generate_fault_list(
+        circuit, args.faults, seed=args.seed,
+        delta=args.delta * NS, window=args.window * NS,
+    )
+    probe = CrosstalkAtpg(circuit, library, config=AtpgConfig())
+    period = probe._sta.output_max_arrival() * args.period_fraction
+    for use_itr in ((True, False) if args.compare else (args.itr,)):
+        atpg = CrosstalkAtpg(
+            circuit, library,
+            config=AtpgConfig(
+                use_itr=use_itr,
+                backtrack_limit=args.backtrack_limit,
+                period=period,
+            ),
+        )
+        summary = atpg.run_all(faults)
+        label = "with ITR" if use_itr else "no ITR  "
+        print(
+            f"{label}: detected={summary.count('detected'):3d} "
+            f"untestable={summary.count('untestable'):3d} "
+            f"aborted={summary.count('aborted'):3d} "
+            f"efficiency={100 * summary.efficiency:6.2f}%"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    library = CellLibrary.load_default()
+    analyzer = TimingAnalyzer(circuit, library, VShapeModel())
+    result = analyzer.analyze()
+    reporter = TimingReporter(analyzer, result)
+    print(reporter.critical_path().format())
+    print()
+    print(reporter.shortest_path().format())
+    required = analyzer.compute_required(result)
+    print("\nworst setup endpoints (ns):")
+    for line, direction, a_l, q_l, slack in reporter.slack_table(
+        required, worst=args.worst
+    ):
+        print(
+            f"  {line:>12} {direction}  arrival {a_l / NS:8.4f}  "
+            f"required {q_l / NS:8.4f}  slack {slack / NS:+8.4f}"
+        )
+    return 0
+
+
+def _cmd_bench(_args: argparse.Namespace) -> int:
+    print("packaged benchmark circuits:")
+    print("  c17      (real ISCAS85 netlist)")
+    for name, profile in ISCAS_PROFILES.items():
+        print(
+            f"  {name:<8} (synthetic: {profile['inputs']} PIs, "
+            f"{profile['outputs']} POs, {profile['gates']} gates)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sta",
+        description=(
+            "Simultaneous-switching delay model toolkit "
+            "(DAC 2001 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sta = sub.add_parser("sta", help="static timing analysis")
+    sta.add_argument("circuit", help=".bench path or packaged name (c17...)")
+    sta.add_argument("--max-outputs", type=int, default=8)
+    sta.set_defaults(func=_cmd_sta)
+
+    sim = sub.add_parser("sim", help="two-pattern timing simulation")
+    sim.add_argument("circuit")
+    sim.add_argument("v1", help="first-frame input bits, PI order")
+    sim.add_argument("v2", help="second-frame input bits")
+    sim.set_defaults(func=_cmd_sim)
+
+    atpg = sub.add_parser("atpg", help="crosstalk delay-fault ATPG")
+    atpg.add_argument("circuit")
+    atpg.add_argument("--faults", type=int, default=20)
+    atpg.add_argument("--seed", type=int, default=1)
+    atpg.add_argument("--delta", type=float, default=0.4,
+                      help="crosstalk extra delay, ns")
+    atpg.add_argument("--window", type=float, default=0.35,
+                      help="alignment window, ns")
+    atpg.add_argument("--period-fraction", type=float, default=0.85,
+                      help="clock period as a fraction of STA max delay")
+    atpg.add_argument("--backtrack-limit", type=int, default=48)
+    atpg.add_argument("--itr", action="store_true", default=True)
+    atpg.add_argument("--no-itr", dest="itr", action="store_false")
+    atpg.add_argument("--compare", action="store_true",
+                      help="run both with and without ITR")
+    atpg.set_defaults(func=_cmd_atpg)
+
+    report = sub.add_parser("report", help="critical/shortest path report")
+    report.add_argument("circuit")
+    report.add_argument("--worst", type=int, default=10)
+    report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser("bench", help="list packaged benchmarks")
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Figure 1: single vs. simultaneous to-controlling transitions.
+
+The paper's motivating measurement: a NAND2 whose inputs both fall with
+zero skew switches markedly faster (0.17 ns) than when a single input
+falls (0.30 ns), because two PMOS devices charge the output in parallel.
+Absolute values depend on the technology; the *ratio* is the claim.
+"""
+
+from __future__ import annotations
+
+from ..spice import GateCell, RampStimulus, simulate_gate
+from ..tech import GENERIC_05UM as TECH
+from .common import ExperimentResult, NS
+
+ARRIVAL = 2 * NS
+
+
+def run(trans_time: float = 0.5 * NS) -> ExperimentResult:
+    """Simulate the Figure 1 scenario at the given input transition time."""
+    cell = GateCell("nand", 2, TECH)
+    single = simulate_gate(cell, [
+        RampStimulus.transition(False, ARRIVAL, trans_time, TECH.vdd),
+        RampStimulus.steady(1, TECH.vdd),
+    ])
+    both = simulate_gate(cell, [
+        RampStimulus.transition(False, ARRIVAL, trans_time, TECH.vdd),
+        RampStimulus.transition(False, ARRIVAL, trans_time, TECH.vdd),
+    ])
+    d_single = single.delay_from_earliest()
+    d_both = both.delay_from_earliest()
+    return ExperimentResult(
+        experiment="figure-1",
+        title="NAND2 delay: single vs simultaneous to-controlling inputs",
+        headers=["scenario", "delay (ns)", "output trans (ns)"],
+        rows=[
+            ["single falling input", d_single / NS, single.trans_time / NS],
+            ["both inputs falling", d_both / NS, both.trans_time / NS],
+        ],
+        findings={
+            "speedup_ratio": d_single / d_both,
+            "delay_single_ns": d_single / NS,
+            "delay_both_ns": d_both / NS,
+        },
+        paper_reference=(
+            "0.30 ns single vs 0.17 ns simultaneous (ratio ~1.76) on a "
+            "0.5 um NAND2 driving a minimum inverter"
+        ),
+    )

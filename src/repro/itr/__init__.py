@@ -1,0 +1,22 @@
+"""Incremental timing refinement over the nine-valued two-frame logic."""
+
+from .implication import (
+    Assignment,
+    Conflict,
+    TwoFrameImplicator,
+    initial_assignment,
+)
+from .refine import ItrEngine, ItrResult
+from .values import NINE_VALUES, TwoFrame, XX
+
+__all__ = [
+    "Assignment",
+    "Conflict",
+    "ItrEngine",
+    "ItrResult",
+    "NINE_VALUES",
+    "TwoFrame",
+    "TwoFrameImplicator",
+    "XX",
+    "initial_assignment",
+]

@@ -1,0 +1,204 @@
+"""Forward/backward logic implication over two time frames.
+
+The paper obtains its implication procedure by "extending a basic
+implication method to two timeframes" (Section 5.1, ref [20]).  This
+module does exactly that: standard three-valued constraint propagation —
+forward gate evaluation plus the classic backward rules (controlled
+output with a single unknown input, forced non-controlling inputs, XOR
+completion) — applied independently per frame, iterated to a fixpoint
+with a worklist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..circuit.logic import (
+    CONTROLLING_VALUE,
+    controlled_output,
+    evaluate_gate,
+    noncontrolled_output,
+)
+from ..circuit.netlist import Circuit, Gate
+from .values import TwoFrame, Trit, XX
+
+
+class Conflict(Exception):
+    """Raised when an assignment contradicts the implied values."""
+
+
+Assignment = Dict[str, TwoFrame]
+
+
+def initial_assignment(circuit: Circuit) -> Assignment:
+    """Every line fully unspecified (the test-generation starting point)."""
+    return {line: XX for line in circuit.lines}
+
+
+class TwoFrameImplicator:
+    """Fixpoint implication engine for one circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def assign(
+        self,
+        values: Assignment,
+        line: str,
+        new_value: TwoFrame,
+    ) -> Assignment:
+        """Refine one line's value and propagate all implications.
+
+        Args:
+            values: Current assignment (not mutated).
+            line: Line to refine.
+            new_value: The value to intersect onto the line.
+
+        Returns:
+            A new, implied assignment.
+
+        Raises:
+            Conflict: When the assignment is inconsistent.
+        """
+        merged = values[line].intersect(new_value)
+        if merged is None:
+            raise Conflict(f"{line}: {values[line]} conflicts with {new_value}")
+        updated = dict(values)
+        updated[line] = merged
+        return self.imply(updated, seeds=[line])
+
+    def imply(
+        self,
+        values: Assignment,
+        seeds: Optional[Iterable[str]] = None,
+    ) -> Assignment:
+        """Run implications to a fixpoint.
+
+        Args:
+            values: Assignment to refine (not mutated).
+            seeds: Lines whose neighbourhoods to start from (defaults to
+                every gate).
+
+        Raises:
+            Conflict: When the assignment is inconsistent.
+        """
+        values = dict(values)
+        if seeds is None:
+            worklist: List[Gate] = list(self.circuit.gates.values())
+        else:
+            worklist = []
+            for line in seeds:
+                worklist.extend(self._touching(line))
+        seen = {id(g) for g in worklist}
+        while worklist:
+            gate = worklist.pop()
+            seen.discard(id(gate))
+            changed = self._imply_gate(values, gate)
+            for line in changed:
+                for neighbour in self._touching(line):
+                    if id(neighbour) not in seen:
+                        worklist.append(neighbour)
+                        seen.add(id(neighbour))
+        return values
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _touching(self, line: str) -> List[Gate]:
+        gates = list(self.circuit.fanouts(line))
+        driver = self.circuit.driver(line)
+        if driver is not None:
+            gates.append(driver)
+        return gates
+
+    def _set_frame(
+        self,
+        values: Assignment,
+        line: str,
+        frame: int,
+        bit: Trit,
+        changed: List[str],
+    ) -> None:
+        if bit is None:
+            return
+        old = values[line]
+        candidate = (
+            TwoFrame(bit, old.v2) if frame == 1 else TwoFrame(old.v1, bit)
+        )
+        merged = old.intersect(candidate)
+        if merged is None:
+            raise Conflict(
+                f"{line} frame {frame}: {old} conflicts with {bit}"
+            )
+        if merged != old:
+            values[line] = merged
+            changed.append(line)
+
+    def _imply_gate(self, values: Assignment, gate: Gate) -> List[str]:
+        changed: List[str] = []
+        for frame in (1, 2):
+            self._imply_gate_frame(values, gate, frame, changed)
+        return changed
+
+    def _imply_gate_frame(
+        self,
+        values: Assignment,
+        gate: Gate,
+        frame: int,
+        changed: List[str],
+    ) -> None:
+        def get(line: str) -> Trit:
+            v = values[line]
+            return v.v1 if frame == 1 else v.v2
+
+        ins = [get(line) for line in gate.inputs]
+        out = get(gate.output)
+
+        # Forward implication.
+        forward = evaluate_gate(gate.kind, ins)
+        self._set_frame(values, gate.output, frame, forward, changed)
+        out = get(gate.output)
+
+        if out is None:
+            return
+
+        # Backward implications.
+        kind = gate.kind
+        if kind in ("inv", "buf"):
+            want = 1 - out if kind == "inv" else out
+            self._set_frame(values, gate.inputs[0], frame, want, changed)
+            return
+        if kind in ("xor", "xnor"):
+            unknown = [i for i, v in enumerate(ins) if v is None]
+            if len(unknown) == 1:
+                parity = sum(v for v in ins if v is not None) % 2
+                target = out if kind == "xor" else 1 - out
+                missing = (target - parity) % 2
+                self._set_frame(
+                    values, gate.inputs[unknown[0]], frame, missing, changed
+                )
+            return
+        cv = CONTROLLING_VALUE[kind]
+        if out == noncontrolled_output(kind):
+            # Every input must carry the non-controlling value.
+            for line in gate.inputs:
+                self._set_frame(values, line, frame, 1 - cv, changed)
+        elif out == controlled_output(kind):
+            unknown = [
+                i for i, v in enumerate(ins) if v is None
+            ]
+            if any(v == cv for v in ins):
+                return  # already justified
+            if len(unknown) == 1:
+                # The last unknown input must supply the controlling value.
+                self._set_frame(
+                    values, gate.inputs[unknown[0]], frame, cv, changed
+                )
+            elif not unknown:
+                raise Conflict(
+                    f"{gate.output}: controlled output with no "
+                    f"controlling input in frame {frame}"
+                )

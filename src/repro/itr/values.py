@@ -1,0 +1,106 @@
+"""The nine-valued two-frame logic of the paper's Section 5.1.
+
+Each line carries a pair (v1, v2) with v in {0, 1, x}: the settled values
+in the two time frames of a two-pattern test.  The nine values are
+{00, 01, 0x, 10, 11, 1x, x0, x1, xx}.  ``01`` specifies a rising
+transition; ``0x``, ``x1`` and ``xx`` specify *potential* rising
+transitions.
+
+The *state* of a transition tr on a line (paper's S_tr) is:
+
+* ``1``  — the line definitely has the transition;
+* ``0``  — the line potentially has the transition;
+* ``-1`` — the line definitely does not have the transition (its timing
+  fields are then meaningless and must not be read).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..sta.windows import DEFINITE, IMPOSSIBLE, POTENTIAL
+
+Trit = Optional[int]
+
+_CHAR = {0: "0", 1: "1", None: "x"}
+_VALUE = {"0": 0, "1": 1, "x": None}
+
+
+@dataclasses.dataclass(frozen=True)
+class TwoFrame:
+    """A two-frame logic value (v1, v2); ``None`` encodes x."""
+
+    v1: Trit
+    v2: Trit
+
+    def __post_init__(self) -> None:
+        for v in (self.v1, self.v2):
+            if v not in (0, 1, None):
+                raise ValueError(f"frame value must be 0, 1, or None; got {v}")
+
+    # ------------------------------------------------------------------
+    # Construction / display
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "TwoFrame":
+        """Parse a two-character string such as "01", "x1" or "xx"."""
+        if len(text) != 2 or text[0] not in _VALUE or text[1] not in _VALUE:
+            raise ValueError(f"invalid two-frame literal {text!r}")
+        return cls(_VALUE[text[0]], _VALUE[text[1]])
+
+    def __str__(self) -> str:
+        return _CHAR[self.v1] + _CHAR[self.v2]
+
+    # ------------------------------------------------------------------
+    # Lattice operations
+    # ------------------------------------------------------------------
+    def intersect(self, other: "TwoFrame") -> Optional["TwoFrame"]:
+        """The most specific value consistent with both (None on conflict)."""
+        frames = []
+        for a, b in ((self.v1, other.v1), (self.v2, other.v2)):
+            if a is None:
+                frames.append(b)
+            elif b is None or a == b:
+                frames.append(a)
+            else:
+                return None
+        return TwoFrame(frames[0], frames[1])
+
+    def refines(self, other: "TwoFrame") -> bool:
+        """Whether self is at least as specific as ``other``."""
+        for mine, theirs in ((self.v1, other.v1), (self.v2, other.v2)):
+            if theirs is not None and mine != theirs:
+                return False
+        return True
+
+    @property
+    def is_fully_specified(self) -> bool:
+        return self.v1 is not None and self.v2 is not None
+
+    # ------------------------------------------------------------------
+    # Transition states (paper Section 5.1)
+    # ------------------------------------------------------------------
+    def state(self, rising: bool) -> int:
+        """S_R (rising=True) or S_F of this value."""
+        start, end = (0, 1) if rising else (1, 0)
+        if self.v1 == start and self.v2 == end:
+            return DEFINITE
+        if (self.v1 is not None and self.v1 != start) or (
+            self.v2 is not None and self.v2 != end
+        ):
+            return IMPOSSIBLE
+        return POTENTIAL
+
+    def has_potential_transition(self, rising: bool) -> bool:
+        return self.state(rising) != IMPOSSIBLE
+
+
+#: The fully unspecified value.
+XX = TwoFrame(None, None)
+
+#: All nine values, keyed by their two-character names.
+NINE_VALUES: Dict[str, TwoFrame] = {
+    text: TwoFrame.parse(text)
+    for text in ("00", "01", "0x", "10", "11", "1x", "x0", "x1", "xx")
+}

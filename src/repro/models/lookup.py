@@ -1,0 +1,182 @@
+"""Table-lookup delay model (Chandramouli/Sakallah-style, paper ref [17]).
+
+Stores simulated gate delays on a (T_p, T_q, skew) grid and answers
+queries by trilinear interpolation.  Accurate inside the table, but — as
+the paper argues — table methods do not scale to the full variable space
+(input positions, k > 2 simultaneous transitions, loads): each extra
+variable multiplies the table size.  This implementation makes that
+limitation explicit by raising :class:`ModelCoverageError` for any query
+outside its tabulated pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..characterize.library import CellTiming
+from ..characterize.sweep import pair_skew_sweep
+from .base import DelayModel, InputEvent, ctrl_arc_delay, ctrl_arc_trans
+
+
+class ModelCoverageError(LookupError):
+    """Raised when a query falls outside the variables a table covers."""
+
+
+@dataclasses.dataclass
+class LookupTable:
+    """A dense (T_p, T_q, skew) -> (delay, trans) table for one input pair.
+
+    Attributes:
+        pins: The tabulated input pair (p, q); skew is ``A_q - A_p``.
+        t_p_grid / t_q_grid / skew_grid: Sorted grid axes, seconds.
+        delay / trans: Arrays of shape (len(t_p), len(t_q), len(skew)).
+    """
+
+    pins: Tuple[int, int]
+    t_p_grid: np.ndarray
+    t_q_grid: np.ndarray
+    skew_grid: np.ndarray
+    delay: np.ndarray
+    trans: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (
+            len(self.t_p_grid), len(self.t_q_grid), len(self.skew_grid)
+        )
+        if self.delay.shape != expected or self.trans.shape != expected:
+            raise ValueError("table shape does not match its grids")
+
+    def interpolate(
+        self, t_p: float, t_q: float, skew: float
+    ) -> Tuple[float, float]:
+        """Trilinear interpolation (clamped at the grid edges)."""
+        d = _trilinear(
+            self.delay, self.t_p_grid, self.t_q_grid, self.skew_grid,
+            t_p, t_q, skew,
+        )
+        t = _trilinear(
+            self.trans, self.t_p_grid, self.t_q_grid, self.skew_grid,
+            t_p, t_q, skew,
+        )
+        return d, t
+
+
+def _axis_weights(grid: np.ndarray, value: float) -> Tuple[int, int, float]:
+    """Bracketing indices and interpolation weight, clamped to the grid."""
+    value = float(min(max(value, grid[0]), grid[-1]))
+    hi = int(np.searchsorted(grid, value))
+    if hi == 0:
+        return 0, 0, 0.0
+    if hi >= len(grid):
+        last = len(grid) - 1
+        return last, last, 0.0
+    lo = hi - 1
+    span = grid[hi] - grid[lo]
+    w = 0.0 if span == 0 else (value - grid[lo]) / span
+    return lo, hi, float(w)
+
+
+def _trilinear(
+    table: np.ndarray,
+    ax0: np.ndarray,
+    ax1: np.ndarray,
+    ax2: np.ndarray,
+    v0: float,
+    v1: float,
+    v2: float,
+) -> float:
+    i0, i1, w_i = _axis_weights(ax0, v0)
+    j0, j1, w_j = _axis_weights(ax1, v1)
+    k0, k1, w_k = _axis_weights(ax2, v2)
+    total = 0.0
+    for i, wi in ((i0, 1 - w_i), (i1, w_i)):
+        for j, wj in ((j0, 1 - w_j), (j1, w_j)):
+            for k, wk in ((k0, 1 - w_k), (k1, w_k)):
+                weight = wi * wj * wk
+                if weight:
+                    total += weight * table[i, j, k]
+    return total
+
+
+def build_lookup_table(
+    cell,
+    t_grid: Sequence[float],
+    skew_grid: Sequence[float],
+    pins: Tuple[int, int] = (0, 1),
+    load_cap: Optional[float] = None,
+) -> LookupTable:
+    """Build a lookup table by simulating the transistor-level cell.
+
+    Args:
+        cell: A :class:`repro.spice.GateCell` (needs a controlling value).
+        t_grid: Transition-time axis for both inputs, seconds.
+        skew_grid: Skew axis, seconds.
+        pins: The input pair to tabulate.
+        load_cap: Output load (defaults to a minimum inverter).
+    """
+    t_grid = np.asarray(sorted(t_grid), dtype=float)
+    skew_grid = np.asarray(sorted(skew_grid), dtype=float)
+    shape = (len(t_grid), len(t_grid), len(skew_grid))
+    delay = np.zeros(shape)
+    trans = np.zeros(shape)
+    for i, t_p in enumerate(t_grid):
+        for j, t_q in enumerate(t_grid):
+            points = pair_skew_sweep(
+                cell, pins[0], pins[1], t_p, t_q, list(skew_grid),
+                load_cap=load_cap,
+            )
+            for k, point in enumerate(points):
+                delay[i, j, k] = point.delay
+                trans[i, j, k] = point.trans
+    return LookupTable(
+        pins=pins,
+        t_p_grid=t_grid,
+        t_q_grid=t_grid,
+        skew_grid=skew_grid,
+        delay=delay,
+        trans=trans,
+    )
+
+
+class LookupModel(DelayModel):
+    """Delay model backed by a :class:`LookupTable` for one input pair."""
+
+    name = "lookup"
+
+    def __init__(self, table: LookupTable) -> None:
+        self.table = table
+
+    def controlling_response(
+        self,
+        cell: CellTiming,
+        events: Sequence[InputEvent],
+        load: float,
+    ) -> Tuple[float, float]:
+        if len(events) == 1:
+            event = events[0]
+            return (
+                ctrl_arc_delay(cell, event.pin, event.trans, load),
+                ctrl_arc_trans(cell, event.pin, event.trans, load),
+            )
+        if len(events) > 2:
+            raise ModelCoverageError(
+                "lookup table covers only two simultaneous transitions"
+            )
+        by_pin = {e.pin: e for e in events}
+        p, q = self.table.pins
+        if set(by_pin) != {p, q}:
+            raise ModelCoverageError(
+                f"lookup table covers pins {self.table.pins}, "
+                f"got {sorted(by_pin)}"
+            )
+        ev_p, ev_q = by_pin[p], by_pin[q]
+        skew = ev_q.arrival - ev_p.arrival
+        delay, trans = self.table.interpolate(ev_p.trans, ev_q.trans, skew)
+        out_rising = cell.ctrl.out_rising if cell.ctrl else True
+        delay += cell.load_adjusted_delay(out_rising, load)
+        trans += cell.load_adjusted_trans(out_rising, load)
+        # The tabulated delay is referenced to the earlier arrival already.
+        return delay, trans

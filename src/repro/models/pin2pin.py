@@ -1,0 +1,39 @@
+"""The SDF-style pin-to-pin baseline delay model (paper Section 2).
+
+Each input-to-output path carries an independent delay; simultaneous
+switching is invisible.  For a to-controlling response the output switches
+on the fastest pin-to-pin path — which, as the paper's Figure 1 shows,
+overestimates the delay whenever two to-controlling transitions land with
+small skew.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..characterize.library import CellTiming
+from .base import DelayModel, InputEvent, ctrl_arc_delay, ctrl_arc_trans
+
+
+class PinToPinModel(DelayModel):
+    """Pin-to-pin (SDF) delay model."""
+
+    name = "pin2pin"
+
+    def controlling_response(
+        self,
+        cell: CellTiming,
+        events: Sequence[InputEvent],
+        load: float,
+    ) -> Tuple[float, float]:
+        best_arrival = None
+        best_trans = None
+        for event in events:
+            arrival = event.arrival + ctrl_arc_delay(
+                cell, event.pin, event.trans, load
+            )
+            if best_arrival is None or arrival < best_arrival:
+                best_arrival = arrival
+                best_trans = ctrl_arc_trans(cell, event.pin, event.trans, load)
+        earliest = min(e.arrival for e in events)
+        return best_arrival - earliest, best_trans

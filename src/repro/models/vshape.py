@@ -1,0 +1,275 @@
+"""The proposed simultaneous-switching delay model (paper Section 3).
+
+The to-controlling gate delay of a pair of switching inputs (p, q) is the
+piecewise-linear V of the paper's Figure 2, as a function of the skew
+``delta = A_q - A_p``:
+
+* vertex at ``(0, D0)`` — the characterized zero-skew delay;
+* right tail reaching the pin-to-pin delay ``DR_p(T_p)`` at skew
+  ``+S_pos(T_p, T_q)`` and staying flat beyond;
+* left tail reaching ``DR_q(T_q)`` at ``-S_neg(T_p, T_q)``.
+
+The output transition time uses an analogous V whose vertex may sit at a
+non-zero skew ``SK_t,min`` (paper Section 3.4).
+
+The extended model (Section 3.6) handles input positions (each pin has its
+own characterized DR arc and each pair a characterized D0 scale factor),
+more than two simultaneous transitions (characterized k-input scale
+factors applied when k inputs switch inside the saturation window), and
+load via linear slopes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+from ..characterize.library import CellTiming, pair_key
+from .base import DelayModel, InputEvent, ctrl_arc_delay, ctrl_arc_trans
+
+#: Numerical floor for saturation skews (avoids division by zero when the
+#: fitted quadratic dips near zero at extreme transition times).
+_S_FLOOR = 1e-12
+
+
+@dataclasses.dataclass(frozen=True)
+class VShape:
+    """The evaluated V-shape of one input pair at fixed transition times.
+
+    Attributes:
+        d0: Zero-skew delay (vertex value).
+        s_pos: Positive saturation skew (pin q lagging).
+        s_neg: Negative saturation skew magnitude (pin p lagging).
+        dr_p: Pin-to-pin delay from p (right tail level).
+        dr_q: Pin-to-pin delay from q (left tail level).
+    """
+
+    d0: float
+    s_pos: float
+    s_neg: float
+    dr_p: float
+    dr_q: float
+
+    def delay(self, skew: float) -> float:
+        """Gate delay (from the earliest arrival) at the given skew."""
+        if skew >= self.s_pos:
+            return self.dr_p
+        if skew <= -self.s_neg:
+            return self.dr_q
+        if skew >= 0.0:
+            return self.d0 + (self.dr_p - self.d0) * (skew / self.s_pos)
+        return self.d0 + (self.dr_q - self.d0) * (-skew / self.s_neg)
+
+    def min_delay(self) -> float:
+        """Claim 1: the minimum over all skews, attained at skew zero."""
+        return self.d0
+
+    def max_delay(self) -> float:
+        return max(self.dr_p, self.dr_q)
+
+
+@dataclasses.dataclass(frozen=True)
+class TransVShape:
+    """The output transition-time V of one input pair.
+
+    Unlike the delay V, the vertex may sit at non-zero skew
+    (``SK_t,min``; paper Figure 5(f)).
+    """
+
+    vertex_skew: float
+    vertex_value: float
+    s_pos: float
+    s_neg: float
+    t_p: float
+    t_q: float
+
+    def trans(self, skew: float) -> float:
+        """Output transition time at the given skew."""
+        if skew >= self.s_pos:
+            return self.t_p
+        if skew <= -self.s_neg:
+            return self.t_q
+        if skew >= self.vertex_skew:
+            span = self.s_pos - self.vertex_skew
+            if span <= 0.0:
+                return self.t_p
+            frac = (skew - self.vertex_skew) / span
+            return self.vertex_value + (self.t_p - self.vertex_value) * frac
+        span = self.vertex_skew + self.s_neg
+        if span <= 0.0:
+            return self.t_q
+        frac = (self.vertex_skew - skew) / span
+        return self.vertex_value + (self.t_q - self.vertex_value) * frac
+
+    def min_trans(self) -> float:
+        return self.vertex_value
+
+    def minimizing_skew(self) -> float:
+        """The paper's SK_t,min."""
+        return self.vertex_skew
+
+
+class VShapeModel(DelayModel):
+    """The paper's proposed delay model."""
+
+    name = "proposed"
+
+    # ------------------------------------------------------------------
+    # V-shape construction (also used by the STA corner identification)
+    # ------------------------------------------------------------------
+    def vshape(
+        self,
+        cell: CellTiming,
+        pin_p: int,
+        pin_q: int,
+        t_p: float,
+        t_q: float,
+        load: float,
+    ) -> VShape:
+        """Evaluate the delay V-shape anchors for the pair (p, q).
+
+        Pins are ordered: the skew argument of the resulting V is
+        ``A_q - A_p``.  Transition times are clamped to the characterized
+        range, and D0 is clamped to never exceed the pin-to-pin tails
+        (simultaneous to-controlling switching can only speed a gate up).
+        """
+        ctrl = cell.ctrl
+        if ctrl is None:
+            raise ValueError(f"cell {cell.name} has no simultaneous data")
+        arc_p = cell.ctrl_arc(pin_p)
+        arc_q = cell.ctrl_arc(pin_q)
+        t_p = arc_p.clamp(t_p)
+        t_q = arc_q.clamp(t_q)
+        dr_p = ctrl_arc_delay(cell, pin_p, t_p, load)
+        dr_q = ctrl_arc_delay(cell, pin_q, t_q, load)
+        # The D0 surface is characterized on the (0, 1) pair with the first
+        # argument belonging to the lower position; other pairs scale it.
+        lo, hi = sorted((pin_p, pin_q))
+        t_lo, t_hi = (t_p, t_q) if pin_p == lo else (t_q, t_p)
+        scale = ctrl.pair_scale.get(pair_key(pin_p, pin_q), 1.0)
+        load_adj = cell.load_adjusted_delay(ctrl.out_rising, load)
+        d0 = ctrl.d0(t_lo, t_hi) * scale + load_adj
+        d0 = min(d0, dr_p, dr_q)
+        if pin_p == lo:
+            s_pos = max(ctrl.s_pos(t_lo, t_hi), _S_FLOOR)
+            s_neg = max(ctrl.s_neg(t_lo, t_hi), _S_FLOOR)
+        else:
+            # Mirrored pair: the characterized "positive side" belongs to
+            # the lower-position pin leading.
+            s_pos = max(ctrl.s_neg(t_lo, t_hi), _S_FLOOR)
+            s_neg = max(ctrl.s_pos(t_lo, t_hi), _S_FLOOR)
+        return VShape(d0=d0, s_pos=s_pos, s_neg=s_neg, dr_p=dr_p, dr_q=dr_q)
+
+    def trans_vshape(
+        self,
+        cell: CellTiming,
+        pin_p: int,
+        pin_q: int,
+        t_p: float,
+        t_q: float,
+        load: float,
+    ) -> TransVShape:
+        """Evaluate the transition-time V for the pair (p, q)."""
+        ctrl = cell.ctrl
+        if ctrl is None:
+            raise ValueError(f"cell {cell.name} has no simultaneous data")
+        arc_p = cell.ctrl_arc(pin_p)
+        arc_q = cell.ctrl_arc(pin_q)
+        t_p = arc_p.clamp(t_p)
+        t_q = arc_q.clamp(t_q)
+        tail_p = ctrl_arc_trans(cell, pin_p, t_p, load)
+        tail_q = ctrl_arc_trans(cell, pin_q, t_q, load)
+        lo = min(pin_p, pin_q)
+        t_lo, t_hi = (t_p, t_q) if pin_p == lo else (t_q, t_p)
+        load_adj = cell.load_adjusted_trans(ctrl.out_rising, load)
+        vertex_value = ctrl.t_vertex(t_lo, t_hi) + load_adj
+        vertex_skew = ctrl.t_vertex_skew(t_lo, t_hi)
+        if pin_p != lo:
+            vertex_skew = -vertex_skew
+        if pin_p == lo:
+            s_pos = max(ctrl.s_pos(t_lo, t_hi), _S_FLOOR)
+            s_neg = max(ctrl.s_neg(t_lo, t_hi), _S_FLOOR)
+        else:
+            s_pos = max(ctrl.s_neg(t_lo, t_hi), _S_FLOOR)
+            s_neg = max(ctrl.s_pos(t_lo, t_hi), _S_FLOOR)
+        vertex_skew = min(max(vertex_skew, -s_neg), s_pos)
+        vertex_value = min(vertex_value, tail_p, tail_q)
+        return TransVShape(
+            vertex_skew=vertex_skew,
+            vertex_value=vertex_value,
+            s_pos=s_pos,
+            s_neg=s_neg,
+            t_p=tail_p,
+            t_q=tail_q,
+        )
+
+    # ------------------------------------------------------------------
+    # Multi-input merge (extended model, Section 3.6)
+    # ------------------------------------------------------------------
+    def controlling_response(
+        self,
+        cell: CellTiming,
+        events: Sequence[InputEvent],
+        load: float,
+    ) -> Tuple[float, float]:
+        events = sorted(events, key=lambda e: e.arrival)
+        earliest = events[0]
+        if len(events) == 1:
+            return (
+                ctrl_arc_delay(cell, earliest.pin, earliest.trans, load),
+                ctrl_arc_trans(cell, earliest.pin, earliest.trans, load),
+            )
+        # Pairwise V-shapes: the output switches on the fastest pair.
+        best_arrival = None
+        best_trans = None
+        best_pair = None
+        for i, ev_p in enumerate(events):
+            for ev_q in events[i + 1:]:
+                shape = self.vshape(
+                    cell, ev_p.pin, ev_q.pin, ev_p.trans, ev_q.trans, load
+                )
+                skew = ev_q.arrival - ev_p.arrival
+                arrival = min(ev_p.arrival, ev_q.arrival) + shape.delay(skew)
+                if best_arrival is None or arrival < best_arrival:
+                    best_arrival = arrival
+                    best_pair = (ev_p, ev_q)
+                    tshape = self.trans_vshape(
+                        cell, ev_p.pin, ev_q.pin, ev_p.trans, ev_q.trans, load
+                    )
+                    best_trans = tshape.trans(skew)
+        # k > 2 near-simultaneous correction: if more events fall inside
+        # the winning pair's interaction window, apply the characterized
+        # k-input speed-up ratio.
+        k_near = self._near_simultaneous_count(cell, events, load)
+        delay = best_arrival - earliest.arrival
+        trans = best_trans
+        if k_near > 2 and cell.ctrl is not None:
+            ratio = self._multi_ratio(cell.ctrl.multi_scale, k_near)
+            t_ratio = self._multi_ratio(cell.ctrl.trans_multi_scale, k_near)
+            floor = min(ev.arrival for ev in events)
+            pair_floor = min(best_pair[0].arrival, best_pair[1].arrival)
+            delay = (best_arrival - pair_floor) * ratio + (pair_floor - floor)
+            trans = best_trans * t_ratio
+        return delay, trans
+
+    def _near_simultaneous_count(
+        self, cell: CellTiming, events: Sequence[InputEvent], load: float
+    ) -> int:
+        """How many events interact with the earliest one."""
+        earliest = events[0]
+        count = 1
+        for ev in events[1:]:
+            shape = self.vshape(
+                cell, earliest.pin, ev.pin, earliest.trans, ev.trans, load
+            )
+            if ev.arrival - earliest.arrival < 0.5 * shape.s_pos:
+                count += 1
+        return count
+
+    @staticmethod
+    def _multi_ratio(scales: dict, k: int) -> float:
+        key = str(k)
+        if key in scales:
+            return scales[key]
+        available = sorted(int(x) for x in scales)
+        return scales[str(min(available[-1], max(available[0], k)))]

@@ -1,0 +1,42 @@
+"""Transistor-level transient simulation substrate (HSPICE substitute).
+
+The paper obtains all empirical delay data from HSPICE (SPICE LEVEL 3,
+0.5 um).  This package provides the equivalent in-tree substrate: a
+square-law MOSFET transient simulator with saturated-ramp stimuli and the
+paper's timing measurements (10-90 transition times, 0.5*Vdd arrivals).
+"""
+
+from .devices import Capacitor, Mosfet
+from .gates import (
+    CELL_KINDS,
+    GateCell,
+    GateSimResult,
+    OUT_NODE,
+    VDD_NODE,
+    input_node,
+    simulate_gate,
+)
+from .netlist import GND, SpiceCircuit
+from .solver import ConvergenceError, TransientResult, TransientSolver
+from .waveform import RampStimulus, Waveform, WaveformError, span_of_stimuli
+
+__all__ = [
+    "CELL_KINDS",
+    "Capacitor",
+    "ConvergenceError",
+    "GND",
+    "GateCell",
+    "GateSimResult",
+    "Mosfet",
+    "OUT_NODE",
+    "RampStimulus",
+    "SpiceCircuit",
+    "TransientResult",
+    "TransientSolver",
+    "VDD_NODE",
+    "Waveform",
+    "WaveformError",
+    "input_node",
+    "simulate_gate",
+    "span_of_stimuli",
+]

@@ -1,0 +1,134 @@
+"""Circuit elements for the transient simulator.
+
+Only what gate-delay characterization needs: square-law MOSFETs (SPICE
+LEVEL 1 with channel-length modulation), grounded capacitors, and ideal
+voltage sources driving named nodes.  Devices report their current and the
+analytic partial derivatives the Newton solver stamps into the Jacobian.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..tech import Technology
+
+#: Terminal conductance added in cutoff so the Jacobian never goes singular.
+_CUTOFF_G = 1e-12
+
+
+def _nmos_ids(
+    vgs: float, vds: float, kp_w_over_l: float, vt: float, lam: float
+) -> Tuple[float, float, float]:
+    """Drain current and partials for an NMOS-like device with vds >= 0.
+
+    Returns:
+        (ids, d ids/d vgs, d ids/d vds)
+    """
+    vov = vgs - vt
+    if vov <= 0.0:
+        return 0.0, 0.0, _CUTOFF_G
+    clm = 1.0 + lam * vds
+    if vds < vov:
+        # Triode region.
+        core = vov * vds - 0.5 * vds * vds
+        ids = kp_w_over_l * core * clm
+        d_vgs = kp_w_over_l * vds * clm
+        d_vds = kp_w_over_l * ((vov - vds) * clm + core * lam)
+        return ids, d_vgs, d_vds
+    # Saturation.
+    core = 0.5 * vov * vov
+    ids = kp_w_over_l * core * clm
+    d_vgs = kp_w_over_l * vov * clm
+    d_vds = kp_w_over_l * core * lam
+    return ids, d_vgs, d_vds
+
+
+@dataclasses.dataclass
+class Mosfet:
+    """A square-law MOSFET between three named nodes.
+
+    Args:
+        name: Instance name (used in error messages).
+        polarity: "n" or "p".
+        drain, gate, source: Node names.
+        width: Channel width, meters.
+        length: Channel length, meters.
+    """
+
+    name: str
+    polarity: str
+    drain: str
+    gate: str
+    source: str
+    width: float
+    length: float
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("n", "p"):
+            raise ValueError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+        if self.width <= 0 or self.length <= 0:
+            raise ValueError("transistor dimensions must be positive")
+
+    def evaluate(
+        self, vd: float, vg: float, vs: float, tech: Technology
+    ) -> Tuple[float, float, float, float]:
+        """Channel current leaving the drain node, with partial derivatives.
+
+        The sign convention is: a positive value means conventional current
+        flows out of the ``drain`` node, through the channel, into the
+        ``source`` node.  The device is treated symmetrically: if the
+        nominal drain is at the lower potential (for NMOS), drain and source
+        roles are swapped internally, exactly as SPICE does.
+
+        Returns:
+            (i_drain, d i/d vd, d i/d vg, d i/d vs)
+        """
+        w_over_l = self.width / self.length
+        if self.polarity == "n":
+            kp = tech.kpn * w_over_l
+            vt = tech.vtn
+            lam = tech.lambda_n
+            if vd >= vs:
+                ids, d_vgs, d_vds = _nmos_ids(vg - vs, vd - vs, kp, vt, lam)
+                # The channel current leaves the drain node.
+                return ids, d_vds, d_vgs, -(d_vgs + d_vds)
+            # Swapped: the nominal drain acts as the physical source, so the
+            # channel current f(vgd, vsd') *enters* the nominal drain node.
+            ids, d_vgs, d_vds = _nmos_ids(vg - vd, vs - vd, kp, vt, lam)
+            return -ids, (d_vgs + d_vds), -d_vgs, -d_vds
+        # PMOS: mirror all voltages.
+        kp = tech.kpp * w_over_l
+        vt = tech.vtp
+        lam = tech.lambda_p
+        if vd <= vs:
+            # Conducting orientation: source at the higher potential.  The
+            # channel current i_sd = f(vsg, vsd) flows source -> drain, so
+            # the current *leaving* the drain node is -i_sd.
+            ids, d_vgs, d_vds = _nmos_ids(vs - vg, vs - vd, kp, vt, lam)
+            return -ids, d_vds, d_vgs, -(d_vgs + d_vds)
+        # Swapped orientation: the nominal drain acts as the source, so the
+        # current f(vdg, vds') leaves the nominal drain node directly.
+        ids, d_vgs, d_vds = _nmos_ids(vd - vg, vd - vs, kp, vt, lam)
+        return ids, d_vgs + d_vds, -d_vgs, -d_vds
+
+    def gate_capacitance(self, tech: Technology) -> float:
+        """Lumped gate capacitance, farads."""
+        return tech.gate_cap(self.width)
+
+    def junction_capacitance(self, tech: Technology) -> float:
+        """Lumped per-terminal junction capacitance, farads."""
+        return tech.junction_cap(self.width)
+
+
+@dataclasses.dataclass
+class Capacitor:
+    """A linear capacitor from ``node`` to ground."""
+
+    name: str
+    node: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ValueError("capacitance must be non-negative")

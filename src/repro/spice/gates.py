@@ -1,0 +1,286 @@
+"""Transistor-level cell builders and the gate simulation wrapper.
+
+These reproduce the circuits of the paper's Figures 1 and 3: static CMOS
+NAND/NOR gates built from minimum-size transistors, with the series-stack
+*input position* convention that position 0 is the transistor closest to
+the output.  AND/OR cells are NAND/NOR followed by an inverter, BUF is two
+inverters, and XOR2 is the classic four-NAND network.
+
+:func:`simulate_gate` applies per-pin :class:`RampStimulus` inputs, runs
+the transient solver, and returns measured arrival/transition times using
+the paper's definitions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..tech import GENERIC_05UM, Technology
+from .netlist import GND, SpiceCircuit
+from .solver import TransientResult, TransientSolver
+from .waveform import RampStimulus, Waveform, span_of_stimuli
+
+VDD_NODE = "vdd"
+OUT_NODE = "out"
+
+#: Gate kinds with a transistor-level builder.
+CELL_KINDS = ("inv", "buf", "nand", "nor", "and", "or", "xor")
+
+
+def input_node(pin: int) -> str:
+    """Canonical name of gate input ``pin``."""
+    return f"in{pin}"
+
+
+@dataclasses.dataclass(frozen=True)
+class GateCell:
+    """A buildable transistor-level cell.
+
+    Args:
+        kind: One of :data:`CELL_KINDS`.
+        n_inputs: Fan-in (1 for inv/buf, 2 for xor, 2..8 otherwise).
+        tech: Technology used for sizing and parasitics.
+    """
+
+    kind: str
+    n_inputs: int
+    tech: Technology = GENERIC_05UM
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise ValueError(f"unknown cell kind {self.kind!r}")
+        expected_single = self.kind in ("inv", "buf")
+        if expected_single and self.n_inputs != 1:
+            raise ValueError(f"{self.kind} cells have exactly one input")
+        if self.kind == "xor" and self.n_inputs != 2:
+            raise ValueError("xor cells have exactly two inputs")
+        if not expected_single and not 2 <= self.n_inputs <= 8:
+            raise ValueError("multi-input cells support fan-in 2..8")
+
+    # ------------------------------------------------------------------
+    # Logical attributes used by characterization and the delay models
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        if self.kind in ("inv", "buf"):
+            return self.kind.upper()
+        return f"{self.kind.upper()}{self.n_inputs}"
+
+    @property
+    def controlling_value(self) -> Optional[int]:
+        """0 for AND-family, 1 for OR-family, None when undefined (inv/xor)."""
+        if self.kind in ("nand", "and"):
+            return 0
+        if self.kind in ("nor", "or"):
+            return 1
+        return None
+
+    @property
+    def inverting(self) -> Optional[bool]:
+        """Whether the output polarity is inverted (None for xor)."""
+        if self.kind in ("inv", "nand", "nor"):
+            return True
+        if self.kind in ("buf", "and", "or"):
+            return False
+        return None
+
+    def input_capacitance(self, pin: int) -> float:
+        """Capacitance presented at input ``pin``, farads."""
+        tech = self.tech
+        pair = tech.gate_cap(tech.w_n_min) + tech.gate_cap(tech.w_p_min)
+        if self.kind == "xor":
+            # Each XOR input drives two NAND2 input pairs.
+            return 2.0 * pair
+        return pair
+
+    # ------------------------------------------------------------------
+    # Netlist construction
+    # ------------------------------------------------------------------
+    def build(self, load_cap: float = 0.0) -> SpiceCircuit:
+        """Instantiate the transistor netlist with ``load_cap`` on the output.
+
+        Input sources must be attached afterwards with
+        :meth:`SpiceCircuit.set_source` (or use :func:`simulate_gate`).
+        """
+        circuit = SpiceCircuit(self.tech)
+        circuit.set_supply(VDD_NODE)
+        builder = {
+            "inv": self._build_inv,
+            "buf": self._build_buf,
+            "nand": self._build_nand,
+            "nor": self._build_nor,
+            "and": self._build_and,
+            "or": self._build_or,
+            "xor": self._build_xor,
+        }[self.kind]
+        builder(circuit)
+        if load_cap:
+            circuit.add_capacitance(OUT_NODE, load_cap)
+        return circuit
+
+    def _add_inverter(
+        self, circuit: SpiceCircuit, prefix: str, inp: str, out: str
+    ) -> None:
+        circuit.add_mosfet(f"{prefix}p", "p", out, inp, VDD_NODE)
+        circuit.add_mosfet(f"{prefix}n", "n", out, inp, GND)
+
+    def _add_nand(
+        self, circuit: SpiceCircuit, prefix: str, inputs: Sequence[str], out: str
+    ) -> None:
+        """NAND with position 0 (first input) closest to the output."""
+        for pin, node in enumerate(inputs):
+            circuit.add_mosfet(f"{prefix}p{pin}", "p", out, node, VDD_NODE)
+        chain = [out] + [
+            f"{prefix}m{i}" for i in range(1, len(inputs))
+        ] + [GND]
+        for pin, node in enumerate(inputs):
+            circuit.add_mosfet(
+                f"{prefix}n{pin}", "n", chain[pin], node, chain[pin + 1]
+            )
+
+    def _add_nor(
+        self, circuit: SpiceCircuit, prefix: str, inputs: Sequence[str], out: str
+    ) -> None:
+        """NOR with position 0 closest to the output (series PMOS stack)."""
+        for pin, node in enumerate(inputs):
+            circuit.add_mosfet(f"{prefix}n{pin}", "n", out, node, GND)
+        chain = [out] + [
+            f"{prefix}m{i}" for i in range(1, len(inputs))
+        ] + [VDD_NODE]
+        for pin, node in enumerate(inputs):
+            circuit.add_mosfet(
+                f"{prefix}p{pin}", "p", chain[pin], node, chain[pin + 1]
+            )
+
+    def _inputs(self) -> List[str]:
+        return [input_node(i) for i in range(self.n_inputs)]
+
+    def _build_inv(self, circuit: SpiceCircuit) -> None:
+        self._add_inverter(circuit, "x", input_node(0), OUT_NODE)
+
+    def _build_buf(self, circuit: SpiceCircuit) -> None:
+        self._add_inverter(circuit, "x0", input_node(0), "mid")
+        self._add_inverter(circuit, "x1", "mid", OUT_NODE)
+
+    def _build_nand(self, circuit: SpiceCircuit) -> None:
+        self._add_nand(circuit, "x", self._inputs(), OUT_NODE)
+
+    def _build_nor(self, circuit: SpiceCircuit) -> None:
+        self._add_nor(circuit, "x", self._inputs(), OUT_NODE)
+
+    def _build_and(self, circuit: SpiceCircuit) -> None:
+        self._add_nand(circuit, "x0", self._inputs(), "mid")
+        self._add_inverter(circuit, "x1", "mid", OUT_NODE)
+
+    def _build_or(self, circuit: SpiceCircuit) -> None:
+        self._add_nor(circuit, "x0", self._inputs(), "mid")
+        self._add_inverter(circuit, "x1", "mid", OUT_NODE)
+
+    def _build_xor(self, circuit: SpiceCircuit) -> None:
+        a, b = input_node(0), input_node(1)
+        self._add_nand(circuit, "x0", [a, b], "t0")
+        self._add_nand(circuit, "x1", [a, "t0"], "t1")
+        self._add_nand(circuit, "x2", [b, "t0"], "t2")
+        self._add_nand(circuit, "x3", ["t1", "t2"], OUT_NODE)
+
+
+@dataclasses.dataclass
+class GateSimResult:
+    """Measured quantities of one gate-level transient simulation."""
+
+    output: Waveform
+    result: TransientResult
+    stimuli: List[RampStimulus]
+    output_rising: bool
+    arrival: float
+    trans_time: float
+
+    def delay_from_earliest(self) -> float:
+        """Gate delay per the paper: A_out - min(input arrivals)."""
+        arrivals = [s.arrival for s in self.stimuli if s.is_transition]
+        if not arrivals:
+            raise ValueError("no input transition to measure delay against")
+        return self.arrival - min(arrivals)
+
+    def delay_from_latest(self) -> float:
+        """A_out - max(input arrivals) (to-non-controlling definition)."""
+        arrivals = [s.arrival for s in self.stimuli if s.is_transition]
+        if not arrivals:
+            raise ValueError("no input transition to measure delay against")
+        return self.arrival - max(arrivals)
+
+    def delay_from_pin(self, pin_arrival: float) -> float:
+        """Pin-to-pin delay relative to a specific input arrival time."""
+        return self.arrival - pin_arrival
+
+
+def _simulation_window(stimuli: Sequence[RampStimulus]) -> tuple:
+    first_start, last_end = span_of_stimuli(stimuli)
+    trans_times = [s.trans_time for s in stimuli if s.is_transition]
+    max_t = max(trans_times) if trans_times else 1e-9
+    t_start = first_start - 0.3e-9
+    active_end = last_end + max(1.2e-9, 2.0 * max_t)
+    t_stop = active_end + 3.0e-9
+    return t_start, t_stop, active_end
+
+
+def _choose_step(stimuli: Sequence[RampStimulus]) -> float:
+    trans_times = [s.trans_time for s in stimuli if s.is_transition]
+    if not trans_times:
+        return 2e-12
+    h = min(trans_times) / 40.0
+    return min(max(h, 0.5e-12), 4e-12)
+
+
+def simulate_gate(
+    cell: GateCell,
+    stimuli: Sequence[RampStimulus],
+    load_cap: Optional[float] = None,
+    h: Optional[float] = None,
+) -> GateSimResult:
+    """Simulate ``cell`` under the given per-pin stimuli and measure timing.
+
+    Args:
+        cell: The cell to build and simulate.
+        stimuli: One stimulus per input pin, in pin order.
+        load_cap: Output load, farads.  Defaults to a minimum-size
+            inverter's input capacitance (the paper's load convention).
+        h: Time step override, seconds.
+
+    Returns:
+        Measurements of the settled output transition.
+
+    Raises:
+        ValueError: If the stimulus count does not match the fan-in.
+    """
+    stimuli = list(stimuli)
+    if len(stimuli) != cell.n_inputs:
+        raise ValueError(
+            f"{cell.name} needs {cell.n_inputs} stimuli, got {len(stimuli)}"
+        )
+    if load_cap is None:
+        load_cap = cell.tech.min_inverter_input_cap()
+    circuit = cell.build(load_cap=load_cap)
+    for pin, stim in enumerate(stimuli):
+        circuit.set_source(input_node(pin), stim)
+    t_start, t_stop, active_end = _simulation_window(stimuli)
+    step = h if h is not None else _choose_step(stimuli)
+    solver = TransientSolver(circuit)
+    result = solver.run(
+        t_start,
+        t_stop,
+        step,
+        record=[OUT_NODE] + [input_node(i) for i in range(cell.n_inputs)],
+        coarsen_after=active_end,
+    )
+    out = result[OUT_NODE]
+    rising = out.final_transition_rising()
+    return GateSimResult(
+        output=out,
+        result=result,
+        stimuli=stimuli,
+        output_rising=rising,
+        arrival=out.arrival_time(rising=rising),
+        trans_time=out.transition_time(rising=rising),
+    )

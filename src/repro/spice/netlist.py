@@ -1,0 +1,112 @@
+"""Transistor-level circuit container for the transient simulator.
+
+A :class:`SpiceCircuit` is a flat netlist of MOSFETs and grounded
+capacitors over named nodes.  Three node roles exist:
+
+* ``gnd`` — the 0 V reference (always present);
+* *driven* nodes — held to a (possibly time-varying) source voltage, such
+  as the supply and the gate inputs;
+* *free* nodes — solved by the simulator (gate outputs and the internal
+  nodes of series transistor stacks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..tech import Technology
+from .devices import Capacitor, Mosfet
+from .waveform import RampStimulus
+
+GND = "gnd"
+
+
+class SpiceCircuit:
+    """A mutable transistor-level netlist.
+
+    Args:
+        tech: Technology providing device equations and parasitics.
+    """
+
+    def __init__(self, tech: Technology) -> None:
+        self.tech = tech
+        self.mosfets: List[Mosfet] = []
+        self.capacitors: List[Capacitor] = []
+        self.sources: Dict[str, RampStimulus] = {}
+        self._node_set = {GND}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_mosfet(
+        self,
+        name: str,
+        polarity: str,
+        drain: str,
+        gate: str,
+        source: str,
+        width: Optional[float] = None,
+        length: Optional[float] = None,
+    ) -> Mosfet:
+        """Add a transistor; width/length default to the technology minimum."""
+        if width is None:
+            width = self.tech.w_n_min if polarity == "n" else self.tech.w_p_min
+        if length is None:
+            length = self.tech.l_min
+        device = Mosfet(name, polarity, drain, gate, source, width, length)
+        self.mosfets.append(device)
+        self._node_set.update((drain, gate, source))
+        # Junction parasitics load the drain and source nodes; the gate
+        # parasitic only matters on free nodes but is lumped regardless.
+        cj = device.junction_capacitance(self.tech)
+        self.add_capacitance(drain, cj)
+        self.add_capacitance(source, cj)
+        return device
+
+    def add_capacitance(self, node: str, capacitance: float) -> None:
+        """Lump additional capacitance from ``node`` to ground."""
+        if capacitance == 0.0:
+            return
+        self.capacitors.append(
+            Capacitor(f"c{len(self.capacitors)}", node, capacitance)
+        )
+        self._node_set.add(node)
+
+    def set_source(self, node: str, stimulus: RampStimulus) -> None:
+        """Drive ``node`` with an ideal voltage source."""
+        self.sources[node] = stimulus
+        self._node_set.add(node)
+
+    def set_supply(self, node: str = "vdd") -> None:
+        """Drive ``node`` with the constant supply voltage."""
+        self.set_source(node, RampStimulus.steady(1, self.tech.vdd))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[str]:
+        """All node names, ground included."""
+        return sorted(self._node_set)
+
+    def free_nodes(self) -> List[str]:
+        """Nodes whose voltage the solver must find."""
+        driven = set(self.sources) | {GND}
+        return [n for n in self.nodes if n not in driven]
+
+    def node_capacitance(self, node: str) -> float:
+        """Total lumped capacitance at ``node``, farads."""
+        total = 0.0
+        for cap in self.capacitors:
+            if cap.node == node:
+                total += cap.capacitance
+        for dev in self.mosfets:
+            if dev.gate == node:
+                total += dev.gate_capacitance(self.tech)
+        return total
+
+    def source_voltage(self, node: str, time: float) -> float:
+        """Voltage of a driven node at ``time`` (ground is 0 V)."""
+        if node == GND:
+            return 0.0
+        return self.sources[node].voltage(time)

@@ -1,0 +1,271 @@
+"""Transient nonlinear solver (backward Euler + Newton-Raphson).
+
+This is the numerical core of the HSPICE substitute.  It solves the nodal
+equations of a :class:`~repro.spice.netlist.SpiceCircuit`:
+
+    C_i * dV_i/dt + sum(channel currents leaving node i) + gmin*V_i = 0
+
+for every free node ``i``, using backward-Euler time discretization and a
+damped Newton iteration with the analytic device Jacobian.  Circuits here
+are tiny (a gate has at most ~20 transistors and ~8 nodes), so dense numpy
+linear algebra is ample.
+
+The solver applies two practical refinements borrowed from production
+simulators:
+
+* an initial *settle phase* that relaxes the circuit to its DC state before
+  the stimulus window (robust replacement for a DC operating-point solve);
+* automatic step halving when Newton fails to converge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .netlist import GND, SpiceCircuit
+from .waveform import Waveform
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when Newton iteration cannot converge even after step halving."""
+
+
+@dataclasses.dataclass
+class TransientResult:
+    """Sampled waveforms of every circuit node."""
+
+    waveforms: Dict[str, Waveform]
+
+    def __getitem__(self, node: str) -> Waveform:
+        return self.waveforms[node]
+
+
+#: Minimum lumped capacitance assumed at a free node, farads.  Every real
+#: node carries junction parasitics, but this guards degenerate netlists.
+_C_FLOOR = 1e-17
+
+#: Newton voltage-update convergence tolerance, volts.
+_NEWTON_TOL = 1e-6
+
+_MAX_NEWTON_ITER = 80
+_MAX_STEP_HALVINGS = 8
+_DAMP_LIMIT = 1.0  # volts per Newton update
+
+
+class TransientSolver:
+    """Backward-Euler transient simulation of a transistor netlist.
+
+    Args:
+        circuit: The netlist to simulate.  It must not be mutated while the
+            solver is alive.
+    """
+
+    def __init__(self, circuit: SpiceCircuit) -> None:
+        self.circuit = circuit
+        self.free = circuit.free_nodes()
+        self._index = {node: i for i, node in enumerate(self.free)}
+        self._caps = np.array(
+            [max(circuit.node_capacitance(n), _C_FLOOR) for n in self.free]
+        )
+        # Pre-resolve device terminal indices: -1 marks a driven node.
+        self._devices = []
+        for dev in circuit.mosfets:
+            self._devices.append(
+                (
+                    dev,
+                    self._index.get(dev.drain, -1),
+                    self._index.get(dev.gate, -1),
+                    self._index.get(dev.source, -1),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Newton step
+    # ------------------------------------------------------------------
+    def _driven_voltages(self, time: float) -> Dict[str, float]:
+        c = self.circuit
+        voltages = {GND: 0.0}
+        for node in c.sources:
+            voltages[node] = c.source_voltage(node, time)
+        return voltages
+
+    def _newton_solve(
+        self, x_prev: np.ndarray, time: float, h: float
+    ) -> Optional[np.ndarray]:
+        """One backward-Euler step; returns None if Newton diverges."""
+        circuit = self.circuit
+        tech = circuit.tech
+        gmin = tech.gmin
+        driven = self._driven_voltages(time)
+        x = x_prev.copy()
+        c_over_h = self._caps / h
+        for _ in range(_MAX_NEWTON_ITER):
+            residual = gmin * x + c_over_h * (x - x_prev)
+            jacobian = np.diag(c_over_h + gmin)
+            for dev, i_d, i_g, i_s in self._devices:
+                vd = x[i_d] if i_d >= 0 else driven[dev.drain]
+                vg = x[i_g] if i_g >= 0 else driven[dev.gate]
+                vs = x[i_s] if i_s >= 0 else driven[dev.source]
+                i_drain, d_vd, d_vg, d_vs = dev.evaluate(vd, vg, vs, tech)
+                if i_d >= 0:
+                    residual[i_d] += i_drain
+                    jacobian[i_d, i_d] += d_vd
+                    if i_g >= 0:
+                        jacobian[i_d, i_g] += d_vg
+                    if i_s >= 0:
+                        jacobian[i_d, i_s] += d_vs
+                if i_s >= 0:
+                    residual[i_s] -= i_drain
+                    if i_d >= 0:
+                        jacobian[i_s, i_d] -= d_vd
+                    if i_g >= 0:
+                        jacobian[i_s, i_g] -= d_vg
+                    jacobian[i_s, i_s] -= d_vs
+            try:
+                dx = np.linalg.solve(jacobian, -residual)
+            except np.linalg.LinAlgError:
+                return None
+            dx = np.clip(dx, -_DAMP_LIMIT, _DAMP_LIMIT)
+            x = x + dx
+            if float(np.max(np.abs(dx))) < _NEWTON_TOL:
+                # Keep voltages physically plausible (rail +/- 1 V slack).
+                np.clip(x, -1.0, tech.vdd + 1.0, out=x)
+                return x
+        return None
+
+    def _advance(self, x: np.ndarray, t_from: float, t_to: float) -> np.ndarray:
+        """Advance the state from ``t_from`` to ``t_to``, halving on failure."""
+        h = t_to - t_from
+        attempt = self._newton_solve(x, t_to, h)
+        if attempt is not None:
+            return attempt
+        halvings = 0
+        t = t_from
+        state = x
+        sub_h = h / 2.0
+        while t < t_to - 1e-18:
+            step_to = min(t + sub_h, t_to)
+            attempt = self._newton_solve(state, step_to, step_to - t)
+            if attempt is None:
+                halvings += 1
+                if halvings > _MAX_STEP_HALVINGS:
+                    raise ConvergenceError(
+                        f"Newton failed near t={t:.3e}s even at h={sub_h:.1e}s"
+                    )
+                sub_h /= 2.0
+                continue
+            state = attempt
+            t = step_to
+        return state
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def settle(
+        self, time: float, initial: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Relax the circuit to its quiescent state with sources frozen.
+
+        Args:
+            time: Source evaluation time for the settle phase.
+            initial: Starting guess for the free-node voltages.
+
+        Returns:
+            The settled free-node voltage vector.
+        """
+        vdd = self.circuit.tech.vdd
+        x = (
+            initial.copy()
+            if initial is not None
+            else np.full(len(self.free), 0.5 * vdd)
+        )
+        if len(self.free) == 0:
+            return x
+        # Exponentially growing pseudo-transient: equivalent to a damped
+        # DC solve, immune to cutoff-region singularities.
+        h = 1e-12
+        for _ in range(48):
+            advanced = self._newton_solve(x, time, h)
+            if advanced is None:
+                h *= 0.5
+                continue
+            x = advanced
+            h *= 1.6
+        return x
+
+    def run(
+        self,
+        t_start: float,
+        t_stop: float,
+        h: float,
+        record: Optional[List[str]] = None,
+        settle_first: bool = True,
+        coarsen_after: Optional[float] = None,
+        coarse_factor: float = 5.0,
+    ) -> TransientResult:
+        """Simulate from ``t_start`` to ``t_stop`` with fixed step ``h``.
+
+        Args:
+            t_start: First simulated instant (sources are assumed quiescent
+                before it when ``settle_first`` is set).
+            t_stop: Last simulated instant.
+            h: Time step during the active window, seconds.
+            record: Node names to record (default: every node).
+            settle_first: Relax to DC at ``t_start`` before stepping.
+            coarsen_after: Once past this time, multiply the step by
+                ``coarse_factor`` (the stimulus is over; only the settling
+                tail remains).
+            coarse_factor: Step multiplier for the tail phase.
+
+        Returns:
+            A :class:`TransientResult` with one waveform per recorded node.
+        """
+        if t_stop <= t_start:
+            raise ValueError("t_stop must exceed t_start")
+        if h <= 0:
+            raise ValueError("step size must be positive")
+        circuit = self.circuit
+        record = list(record) if record is not None else circuit.nodes
+        x = self.settle(t_start) if settle_first else np.full(
+            len(self.free), 0.5 * circuit.tech.vdd
+        )
+
+        times = [t_start]
+        traces: Dict[str, List[float]] = {node: [] for node in record}
+        self._record(traces, record, x, t_start)
+
+        t = t_start
+        while t < t_stop - 1e-18:
+            step = h
+            if coarsen_after is not None and t >= coarsen_after:
+                step = h * coarse_factor
+            t_next = min(t + step, t_stop)
+            x = self._advance(x, t, t_next)
+            t = t_next
+            times.append(t)
+            self._record(traces, record, x, t)
+
+        vdd = circuit.tech.vdd
+        t_arr = np.array(times)
+        waveforms = {
+            node: Waveform(t_arr, np.array(vals), vdd)
+            for node, vals in traces.items()
+        }
+        return TransientResult(waveforms)
+
+    def _record(
+        self,
+        traces: Dict[str, List[float]],
+        record: List[str],
+        x: np.ndarray,
+        time: float,
+    ) -> None:
+        driven = self._driven_voltages(time)
+        for node in record:
+            if node in self._index:
+                traces[node].append(float(x[self._index[node]]))
+            else:
+                traces[node].append(driven.get(node, 0.0))

@@ -1,0 +1,230 @@
+"""Waveforms: sampled voltage traces and the measurements made on them.
+
+The paper's timing definitions (Section 3) are reproduced exactly:
+
+* The *transition time* ``T`` of a transition is the time for a rising
+  transition to go from 0.1*Vdd to 0.9*Vdd (and 0.9 -> 0.1 for falling).
+* The *arrival time* ``A`` of a transition is the instant the voltage
+  crosses 0.5*Vdd.
+* The *skew* between transitions on two lines is the difference of their
+  arrival times.
+
+:class:`Waveform` is a sampled trace with crossing-time interpolation;
+:class:`RampStimulus` describes the saturated-ramp input sources used
+during characterization (parameterized directly by arrival time and
+10-90 transition time, like the paper's sweeps).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+#: Fraction of the full swing covered by the 10%-90% transition time.
+_TEN_NINETY_SPAN = 0.8
+
+
+class WaveformError(ValueError):
+    """Raised when a requested measurement does not exist on a trace."""
+
+
+@dataclasses.dataclass
+class Waveform:
+    """A sampled voltage waveform ``v(t)`` with timing measurements.
+
+    Args:
+        times: Monotonically increasing sample times, seconds.
+        values: Voltage samples, volts (same length as ``times``).
+        vdd: Supply voltage the relative thresholds refer to.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    vdd: float
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.shape != self.values.shape:
+            raise ValueError("times and values must have the same shape")
+        if self.times.size < 2:
+            raise ValueError("a waveform needs at least two samples")
+
+    # ------------------------------------------------------------------
+    # Crossing search
+    # ------------------------------------------------------------------
+    def crossings(self, level: float, rising: Optional[bool] = None) -> List[float]:
+        """All times where the trace crosses ``level``, interpolated linearly.
+
+        Args:
+            level: Absolute voltage level, volts.
+            rising: If given, keep only upward (True) or downward (False)
+                crossings.
+
+        Returns:
+            Sorted list of crossing times (may be empty).
+        """
+        v = self.values
+        t = self.times
+        below = v < level
+        result: List[float] = []
+        for i in range(len(v) - 1):
+            if below[i] == below[i + 1]:
+                continue
+            goes_up = below[i] and not below[i + 1]
+            if rising is True and not goes_up:
+                continue
+            if rising is False and goes_up:
+                continue
+            dv = v[i + 1] - v[i]
+            frac = 0.5 if dv == 0 else (level - v[i]) / dv
+            result.append(float(t[i] + frac * (t[i + 1] - t[i])))
+        return result
+
+    def cross_time(
+        self, level: float, rising: Optional[bool] = None, which: str = "first"
+    ) -> float:
+        """The first or last crossing of ``level`` (raises if none exists)."""
+        found = self.crossings(level, rising=rising)
+        if not found:
+            direction = {True: "rising ", False: "falling ", None: ""}[rising]
+            raise WaveformError(
+                f"no {direction}crossing of {level:.3f} V found in waveform"
+            )
+        return found[0] if which == "first" else found[-1]
+
+    # ------------------------------------------------------------------
+    # Paper measurements
+    # ------------------------------------------------------------------
+    def final_transition_rising(self) -> bool:
+        """Whether the last observed full transition is rising."""
+        half = 0.5 * self.vdd
+        ups = self.crossings(half, rising=True)
+        downs = self.crossings(half, rising=False)
+        if not ups and not downs:
+            raise WaveformError("waveform never crosses 0.5*Vdd")
+        last_up = ups[-1] if ups else -math.inf
+        last_down = downs[-1] if downs else -math.inf
+        return bool(last_up > last_down)
+
+    def arrival_time(self, rising: Optional[bool] = None) -> float:
+        """Arrival time: last 0.5*Vdd crossing in the given direction.
+
+        The *last* crossing is used so that a glitching node still reports
+        the arrival of its settled transition.
+        """
+        if rising is None:
+            rising = self.final_transition_rising()
+        return self.cross_time(0.5 * self.vdd, rising=rising, which="last")
+
+    def transition_time(self, rising: Optional[bool] = None) -> float:
+        """10%-90% transition time of the settled output transition."""
+        if rising is None:
+            rising = self.final_transition_rising()
+        arrival = self.arrival_time(rising=rising)
+        low = 0.1 * self.vdd
+        high = 0.9 * self.vdd
+        if rising:
+            starts = [c for c in self.crossings(low, rising=True) if c <= arrival]
+            ends = [c for c in self.crossings(high, rising=True) if c >= arrival]
+        else:
+            starts = [c for c in self.crossings(high, rising=False) if c <= arrival]
+            ends = [c for c in self.crossings(low, rising=False) if c >= arrival]
+        if not starts or not ends:
+            raise WaveformError("transition does not span the 10%-90% window")
+        return ends[0] - starts[-1]
+
+    def value_at(self, time: float) -> float:
+        """Linearly interpolated voltage at ``time``."""
+        return float(np.interp(time, self.times, self.values))
+
+
+@dataclasses.dataclass(frozen=True)
+class RampStimulus:
+    """A saturated-ramp voltage source for one gate input.
+
+    Two flavours exist:
+
+    * steady: the input holds ``v_initial`` forever (``trans_time`` is None);
+    * transition: the input ramps between the rails with the requested
+      arrival time (50% crossing) and 10-90 transition time.
+
+    Args:
+        v_initial: Voltage before the transition, volts.
+        v_final: Voltage after the transition, volts.
+        arrival: 50%-crossing time of the ramp, seconds.
+        trans_time: 10-90 transition time, seconds (None => steady input).
+    """
+
+    v_initial: float
+    v_final: float
+    arrival: float = 0.0
+    trans_time: Optional[float] = None
+
+    @property
+    def is_transition(self) -> bool:
+        return self.trans_time is not None and self.v_initial != self.v_final
+
+    @property
+    def rising(self) -> bool:
+        return self.v_final > self.v_initial
+
+    def ramp_duration(self) -> float:
+        """Full 0%-100% ramp duration implied by the 10-90 time."""
+        if not self.is_transition:
+            return 0.0
+        assert self.trans_time is not None
+        return self.trans_time / _TEN_NINETY_SPAN
+
+    def start_time(self) -> float:
+        """Time the ramp leaves ``v_initial``."""
+        return self.arrival - 0.5 * self.ramp_duration()
+
+    def end_time(self) -> float:
+        """Time the ramp reaches ``v_final``."""
+        return self.arrival + 0.5 * self.ramp_duration()
+
+    def voltage(self, time: float) -> float:
+        """Source voltage at ``time``."""
+        if not self.is_transition:
+            return self.v_initial
+        t0 = self.start_time()
+        t1 = self.end_time()
+        if time <= t0:
+            return self.v_initial
+        if time >= t1:
+            return self.v_final
+        frac = (time - t0) / (t1 - t0)
+        return self.v_initial + frac * (self.v_final - self.v_initial)
+
+    @staticmethod
+    def steady(value: int, vdd: float) -> "RampStimulus":
+        """A constant logic-0 or logic-1 input."""
+        level = vdd if value else 0.0
+        return RampStimulus(v_initial=level, v_final=level)
+
+    @staticmethod
+    def transition(
+        rising: bool, arrival: float, trans_time: float, vdd: float
+    ) -> "RampStimulus":
+        """A full-swing ramp in the given direction."""
+        if trans_time <= 0:
+            raise ValueError("transition time must be positive")
+        if rising:
+            return RampStimulus(0.0, vdd, arrival=arrival, trans_time=trans_time)
+        return RampStimulus(vdd, 0.0, arrival=arrival, trans_time=trans_time)
+
+
+def span_of_stimuli(stimuli: Sequence[RampStimulus]) -> tuple:
+    """(earliest ramp start, latest ramp end) over the transitioning inputs.
+
+    Returns (0.0, 0.0) when no input transitions.
+    """
+    starts = [s.start_time() for s in stimuli if s.is_transition]
+    ends = [s.end_time() for s in stimuli if s.is_transition]
+    if not starts:
+        return 0.0, 0.0
+    return min(starts), max(ends)

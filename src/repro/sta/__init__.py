@@ -1,0 +1,53 @@
+"""Static timing analysis, corner identification and timing simulation."""
+
+from .analysis import (
+    StaConfig,
+    StaResult,
+    TimingAnalyzer,
+    Violation,
+)
+from .corners import (
+    CtrlInput,
+    arc_fanin_window,
+    ctrl_response_window,
+    nonctrl_response_window,
+    pin_delay_bounds,
+    pin_trans_bounds,
+)
+from .report import PathStage, TimingPath, TimingReporter
+from .simulate import PiStimulus, SimulationResult, TimingSimulator
+from .windows import (
+    DEFINITE,
+    DirWindow,
+    IMPOSSIBLE,
+    LineRequired,
+    LineTiming,
+    POTENTIAL,
+    RequiredWindow,
+)
+
+__all__ = [
+    "CtrlInput",
+    "DEFINITE",
+    "DirWindow",
+    "IMPOSSIBLE",
+    "LineRequired",
+    "LineTiming",
+    "POTENTIAL",
+    "PathStage",
+    "PiStimulus",
+    "RequiredWindow",
+    "SimulationResult",
+    "StaConfig",
+    "StaResult",
+    "TimingAnalyzer",
+    "TimingPath",
+    "TimingReporter",
+    "TimingSimulator",
+    "Violation",
+    "arc_fanin_window",
+    "ctrl_response_window",
+    "nonctrl_response_window",
+    "pin_delay_bounds",
+    "pin_trans_bounds",
+]

@@ -1,0 +1,373 @@
+"""Static timing analysis (paper Section 4).
+
+Forward traversal computes per-line arrival/transition windows using the
+corner identification of :mod:`repro.sta.corners`; backward traversal
+computes required-time windows; the two together flag potential delay
+errors (arrival range outside the required range).
+
+The analyzer is model-parametric: with :class:`~repro.models.VShapeModel`
+it exploits simultaneous to-controlling switching (smaller, more accurate
+min-delays); with :class:`~repro.models.PinToPinModel` it reproduces the
+conventional SDF-based STA the paper's Table 2 compares against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..characterize.library import CellLibrary, CellTiming
+from ..circuit.netlist import Circuit, Gate
+from ..models.base import DelayModel
+from ..models.vshape import VShapeModel
+from .corners import (
+    CtrlInput,
+    arc_fanin_window,
+    ctrl_response_window,
+    nonctrl_response_window,
+    pin_delay_bounds,
+)
+from .windows import (
+    DirWindow,
+    LineRequired,
+    LineTiming,
+    RequiredWindow,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class StaConfig:
+    """Boundary conditions of an STA run.
+
+    Args:
+        pi_arrival: (earliest, latest) arrival window applied to every
+            primary input, both directions, seconds.
+        pi_trans: (shortest, longest) transition-time window at the
+            primary inputs, seconds.
+        po_load: Capacitive load on each primary output, farads.
+        dangling_load: Load assumed on gate outputs that drive nothing.
+    """
+
+    pi_arrival: Tuple[float, float] = (0.0, 0.0)
+    pi_trans: Tuple[float, float] = (0.2e-9, 0.2e-9)
+    po_load: float = 7e-15
+    dangling_load: float = 7e-15
+
+
+@dataclasses.dataclass
+class StaResult:
+    """Per-line timing windows produced by :meth:`TimingAnalyzer.analyze`."""
+
+    circuit: Circuit
+    timings: Dict[str, LineTiming]
+
+    def line(self, name: str) -> LineTiming:
+        return self.timings[name]
+
+    def output_min_arrival(self) -> float:
+        """Min over primary outputs of the earliest arrival time.
+
+        This is the paper's Table 2 quantity: the min-delay of the union
+        of the primary outputs' timing ranges (the hold-check bound).
+        """
+        earliest = [
+            self.timings[po].earliest_arrival() for po in self.circuit.outputs
+        ]
+        earliest = [e for e in earliest if e is not None]
+        if not earliest:
+            raise ValueError("no active output transitions")
+        return min(earliest)
+
+    def output_max_arrival(self) -> float:
+        """Max over primary outputs of the latest arrival time."""
+        latest = [
+            self.timings[po].latest_arrival() for po in self.circuit.outputs
+        ]
+        latest = [v for v in latest if v is not None]
+        if not latest:
+            raise ValueError("no active output transitions")
+        return max(latest)
+
+
+@dataclasses.dataclass
+class Violation:
+    """A potential timing violation found by comparing A and Q windows."""
+
+    line: str
+    rising: bool
+    kind: str  # "setup" or "hold"
+    slack: float
+
+
+class TimingAnalyzer:
+    """Model-parametric static timing analyzer.
+
+    Args:
+        circuit: Gate-level circuit under analysis.
+        library: Characterized cell library.
+        model: Delay model (defaults to the proposed V-shape model).
+        config: Boundary conditions.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: CellLibrary,
+        model: Optional[DelayModel] = None,
+        config: Optional[StaConfig] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.library = library
+        self.model = model if model is not None else VShapeModel()
+        self.config = config or StaConfig()
+        self._loads = self._compute_loads()
+        self._cells: Dict[str, CellTiming] = {}
+        for gate in circuit.gates.values():
+            name = gate.cell_name()
+            if name not in self._cells:
+                self._cells[name] = library.cell(name)
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    def _compute_loads(self) -> Dict[str, float]:
+        loads: Dict[str, float] = {}
+        outputs = set(self.circuit.outputs)
+        for line in self.circuit.lines:
+            total = 0.0
+            for sink in self.circuit.fanouts(line):
+                cell = self.library.cell(sink.cell_name())
+                for pin, inp in enumerate(sink.inputs):
+                    if inp == line:
+                        total += cell.input_caps[pin]
+            if line in outputs:
+                total += self.config.po_load
+            elif not self.circuit.fanouts(line):
+                total += self.config.dangling_load
+            loads[line] = total
+        return loads
+
+    def load(self, line: str) -> float:
+        """Capacitive load on ``line``, farads."""
+        return self._loads[line]
+
+    def cell_of(self, gate: Gate) -> CellTiming:
+        return self._cells[gate.cell_name()]
+
+    # ------------------------------------------------------------------
+    # Forward propagation
+    # ------------------------------------------------------------------
+    def pi_timing(self) -> LineTiming:
+        """The timing window applied to every primary input."""
+        a_s, a_l = self.config.pi_arrival
+        t_s, t_l = self.config.pi_trans
+        return LineTiming(
+            rise=DirWindow(a_s, a_l, t_s, t_l),
+            fall=DirWindow(a_s, a_l, t_s, t_l),
+        )
+
+    def propagate_gate(
+        self, gate: Gate, timings: Dict[str, LineTiming]
+    ) -> LineTiming:
+        """Compute the output windows of one gate from its input windows."""
+        cell = self.cell_of(gate)
+        load = self.load(gate.output)
+        if cell.controlling_value is not None and cell.n_inputs >= 2:
+            ctrl_in_rising = cell.controlling_value == 1
+            ctrl_ins = [
+                CtrlInput(pin, timings[line].window(ctrl_in_rising))
+                for pin, line in enumerate(gate.inputs)
+            ]
+            nonctrl_ins = [
+                CtrlInput(pin, timings[line].window(not ctrl_in_rising))
+                for pin, line in enumerate(gate.inputs)
+            ]
+            ctrl_window = ctrl_response_window(cell, self.model, ctrl_ins, load)
+            nonctrl_window = nonctrl_response_window(
+                cell, nonctrl_ins, load, model=self.model
+            )
+            result = LineTiming()
+            result.set_window(cell.ctrl.out_rising, ctrl_window)
+            result.set_window(not cell.ctrl.out_rising, nonctrl_window)
+            return result
+        # inv / buf / xor: per-arc propagation.
+        result = LineTiming()
+        for out_rising in (True, False):
+            arcs = []
+            for pin, line in enumerate(gate.inputs):
+                for in_rising in (True, False):
+                    if cell.has_arc(pin, in_rising, out_rising):
+                        arcs.append(
+                            (pin, in_rising, timings[line].window(in_rising))
+                        )
+            result.set_window(
+                out_rising, arc_fanin_window(cell, arcs, out_rising, load)
+            )
+        return result
+
+    def analyze(
+        self, pi_overrides: Optional[Dict[str, LineTiming]] = None
+    ) -> StaResult:
+        """Run the forward traversal.
+
+        Args:
+            pi_overrides: Optional per-PI timing windows replacing the
+                default boundary condition.
+
+        Returns:
+            Windows for every line in the circuit.
+        """
+        timings: Dict[str, LineTiming] = {}
+        default = self.pi_timing()
+        for pi in self.circuit.inputs:
+            if pi_overrides and pi in pi_overrides:
+                timings[pi] = pi_overrides[pi]
+            else:
+                timings[pi] = LineTiming(
+                    rise=dataclasses.replace(default.rise),
+                    fall=dataclasses.replace(default.fall),
+                )
+        for out in self.circuit.topological_order():
+            timings[out] = self.propagate_gate(self.circuit.gates[out], timings)
+        return StaResult(self.circuit, timings)
+
+    # ------------------------------------------------------------------
+    # Backward propagation (required times)
+    # ------------------------------------------------------------------
+    def _arc_pairs(self, cell: CellTiming) -> List[Tuple[int, bool, bool]]:
+        """(pin, in_rising, out_rising) for every arc of the cell."""
+        return [
+            (arc.pin, arc.in_rising, arc.out_rising)
+            for arc in cell.arcs.values()
+        ]
+
+    def _ctrl_min_delay(
+        self, cell: CellTiming, pin: int, t_s: float, t_l: float, load: float
+    ) -> float:
+        """Smallest possible delay through ``pin`` for the ctrl response.
+
+        With the V-shape model a perfectly aligned partner reduces the
+        delay to the (scaled) zero-skew value; the backward traversal must
+        use this to keep hold-check required times safe.
+        """
+        in_rising = cell.controlling_value == 1
+        out_rising = cell.ctrl.out_rising
+        d_min, _ = pin_delay_bounds(
+            cell, pin, in_rising, out_rising, t_s, t_l, load
+        )
+        if not isinstance(self.model, VShapeModel) or cell.ctrl is None:
+            return d_min
+        best = d_min
+        for partner in range(cell.n_inputs):
+            if partner == pin:
+                continue
+            arc = cell.ctrl_arc(partner)
+            for t_self in (t_s, t_l):
+                for t_other in (arc.t_lo, arc.t_hi):
+                    shape = self.model.vshape(
+                        cell, pin, partner, t_self, t_other, load
+                    )
+                    best = min(best, shape.d0)
+        ratios = [float(v) for v in cell.ctrl.multi_scale.values()]
+        return best * min(ratios) if ratios else best
+
+    def compute_required(
+        self,
+        result: StaResult,
+        po_required: Optional[Dict[str, LineRequired]] = None,
+        setup_time: Optional[float] = None,
+        hold_time: Optional[float] = None,
+    ) -> Dict[str, LineRequired]:
+        """Backward traversal of required-time windows.
+
+        Args:
+            result: Forward STA result (supplies transition-time windows).
+            po_required: Explicit requirement per primary output; if
+                omitted, every output gets [hold_time, setup_time].
+            setup_time: Default Q_L at the outputs (defaults to the
+                circuit's max arrival — zero setup slack).
+            hold_time: Default Q_S at the outputs (defaults to -inf).
+
+        Returns:
+            Required windows for every line.
+        """
+        if po_required is None:
+            q_l = (
+                setup_time
+                if setup_time is not None
+                else result.output_max_arrival()
+            )
+            q_s = hold_time if hold_time is not None else -math.inf
+            po_required = {
+                po: LineRequired(
+                    rise=RequiredWindow(q_s, q_l),
+                    fall=RequiredWindow(q_s, q_l),
+                )
+                for po in self.circuit.outputs
+            }
+        required: Dict[str, LineRequired] = {
+            line: LineRequired() for line in self.circuit.lines
+        }
+        for po, req in po_required.items():
+            required[po] = LineRequired(
+                rise=required[po].rise.tighten(req.rise),
+                fall=required[po].fall.tighten(req.fall),
+            )
+        for out in reversed(self.circuit.topological_order()):
+            gate = self.circuit.gates[out]
+            cell = self.cell_of(gate)
+            load = self.load(out)
+            out_req = required[out]
+            for pin, in_rising, out_rising in self._arc_pairs(cell):
+                line = gate.inputs[pin]
+                in_window = result.line(line).window(in_rising)
+                if not in_window.is_active:
+                    continue
+                d_min, d_max = pin_delay_bounds(
+                    cell, pin, in_rising, out_rising,
+                    in_window.t_s, in_window.t_l, load,
+                )
+                is_ctrl_arc = (
+                    cell.controlling_value is not None
+                    and cell.ctrl is not None
+                    and in_rising == (cell.controlling_value == 1)
+                    and out_rising == cell.ctrl.out_rising
+                )
+                if is_ctrl_arc:
+                    d_min = self._ctrl_min_delay(
+                        cell, pin, in_window.t_s, in_window.t_l, load
+                    )
+                target = out_req.window(out_rising)
+                current = required[line].window(in_rising)
+                tightened = current.tighten(
+                    RequiredWindow(target.q_s - d_min, target.q_l - d_max)
+                )
+                required[line].set_window(in_rising, tightened)
+        return required
+
+    # ------------------------------------------------------------------
+    # Violation checks
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        result: StaResult,
+        required: Dict[str, LineRequired],
+    ) -> List[Violation]:
+        """Flag every line whose arrival window escapes its required window."""
+        violations: List[Violation] = []
+        for line in self.circuit.lines:
+            timing = result.line(line)
+            req = required[line]
+            for rising in (True, False):
+                window = timing.window(rising)
+                if not window.is_active:
+                    continue
+                rw = req.window(rising)
+                setup = rw.setup_slack(window)
+                hold = rw.hold_slack(window)
+                if setup < 0:
+                    violations.append(Violation(line, rising, "setup", setup))
+                if hold < 0:
+                    violations.append(Violation(line, rising, "hold", hold))
+        return violations

@@ -1,0 +1,392 @@
+"""Worst-case corner identification (paper Sections 4.2 and 3.3).
+
+STA must find the extreme values of arrival and transition times over
+rectangular input windows.  The paper's sufficient condition — every
+timing function monotonic or bi-tonic in each variable — makes the
+extremes attainable on a finite candidate set:
+
+* transition-time corners: the window endpoints T_S / T_L plus the
+  interior peak T* of the bi-tonic pin-to-pin quadratic (Figure 9);
+* skew corners: the feasible-skew interval endpoints, zero skew, the
+  saturation skews +-S, and the kink of the earliest-pair-arrival
+  function (all functions involved are piecewise linear in skew).
+
+This module enumerates exactly those candidates, which makes the window
+propagation *exact* for the model (a property the test suite checks
+against exhaustive timing simulation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+from ..characterize.library import CellTiming
+from ..models.vshape import VShapeModel
+from .windows import DEFINITE, DirWindow, POTENTIAL
+
+
+@dataclasses.dataclass(frozen=True)
+class CtrlInput:
+    """One gate input participating in a (possible) to-controlling switch."""
+
+    pin: int
+    window: DirWindow
+
+
+def _clamped_interval(arc, t_s: float, t_l: float) -> Tuple[float, float]:
+    lo = min(max(t_s, arc.t_lo), arc.t_hi)
+    hi = min(max(t_l, arc.t_lo), arc.t_hi)
+    if hi < lo:
+        hi = lo
+    return lo, hi
+
+
+def pin_delay_bounds(
+    cell: CellTiming,
+    pin: int,
+    in_rising: bool,
+    out_rising: bool,
+    t_s: float,
+    t_l: float,
+    load: float,
+) -> Tuple[float, float]:
+    """(min, max) pin-to-pin delay over a transition-time window.
+
+    Implements the T* selection of the paper's Figure 9: the maximum of
+    the bi-tonic quadratic lies at an endpoint or at its interior peak.
+    """
+    arc = cell.arc(pin, in_rising, out_rising)
+    lo, hi = _clamped_interval(arc, t_s, t_l)
+    _, d_min = arc.delay.min_over(lo, hi)
+    _, d_max = arc.delay.max_over(lo, hi)
+    adjust = cell.load_adjusted_delay(out_rising, load)
+    return d_min + adjust, d_max + adjust
+
+
+def pin_trans_bounds(
+    cell: CellTiming,
+    pin: int,
+    in_rising: bool,
+    out_rising: bool,
+    t_s: float,
+    t_l: float,
+    load: float,
+) -> Tuple[float, float]:
+    """(min, max) output transition time over a transition-time window."""
+    arc = cell.arc(pin, in_rising, out_rising)
+    lo, hi = _clamped_interval(arc, t_s, t_l)
+    _, t_min = arc.trans.min_over(lo, hi)
+    _, t_max = arc.trans.max_over(lo, hi)
+    adjust = cell.load_adjusted_trans(out_rising, load)
+    return t_min + adjust, t_max + adjust
+
+
+def _pair_min_arrival(
+    cell: CellTiming,
+    model: VShapeModel,
+    first: CtrlInput,
+    second: CtrlInput,
+    load: float,
+) -> float:
+    """Smallest achievable output arrival from a switching input pair.
+
+    Minimizes ``earliest_arrival(delta) + d_V(delta)`` over the feasible
+    skew interval.  Both terms are piecewise linear in the skew, so the
+    minimum is attained at a breakpoint.
+    """
+    wi, wj = first.window, second.window
+    lo = wj.a_s - wi.a_l
+    hi = wj.a_l - wi.a_s
+    best = None
+    for t_i in (wi.t_s, wi.t_l):
+        for t_j in (wj.t_s, wj.t_l):
+            shape = model.vshape(cell, first.pin, second.pin, t_i, t_j, load)
+            breakpoints = {lo, hi, wj.a_s - wi.a_s}
+            for bp in (0.0, shape.s_pos, -shape.s_neg):
+                if lo <= bp <= hi:
+                    breakpoints.add(bp)
+            for delta in breakpoints:
+                if not lo <= delta <= hi:
+                    continue
+                # Earliest possible min(A_i, A_j) subject to the skew.
+                a_i = max(wi.a_s, wj.a_s - delta)
+                floor = a_i + min(0.0, delta)
+                candidate = floor + shape.delay(delta)
+                if best is None or candidate < best:
+                    best = candidate
+    return best
+
+
+def _overlap_count(inputs: Sequence[CtrlInput]) -> int:
+    """Maximum number of arrival windows sharing a common instant."""
+    events = []
+    for item in inputs:
+        events.append((item.window.a_s, 1))
+        events.append((item.window.a_l, -1))
+    events.sort(key=lambda e: (e[0], -e[1]))
+    depth = best = 0
+    for _, delta in events:
+        depth += delta
+        best = max(best, depth)
+    return best
+
+
+def _multi_ratio(scales: dict, k: int) -> float:
+    key = str(k)
+    if key in scales:
+        return scales[key]
+    known = sorted(int(x) for x in scales)
+    return scales[str(min(known[-1], max(known[0], k)))]
+
+
+def ctrl_response_window(
+    cell: CellTiming,
+    model,
+    inputs: Sequence[CtrlInput],
+    load: float,
+) -> DirWindow:
+    """Output window of the to-controlling response (paper Section 4.2).
+
+    Args:
+        cell: Characterized cell with a controlling value.
+        model: The delay model; pair merging is used when the model
+            exposes V-shapes (the proposed model), otherwise the
+            pin-to-pin rules apply (the baseline STA).
+        inputs: Active to-controlling input windows (state != -1).
+        load: Output load, farads.
+    """
+    ctrl = cell.ctrl
+    if ctrl is None:
+        raise ValueError(f"cell {cell.name} has no controlling value")
+    active = [i for i in inputs if i.window.is_active]
+    if not active:
+        return DirWindow.impossible()
+    out_rising = ctrl.out_rising
+    in_rising = cell.controlling_value == 1
+    uses_vshape = isinstance(model, VShapeModel) or hasattr(model, "vshape")
+
+    # ---- latest arrival (paper's A_Z_R,L with the T* peak rule) ----
+    definite = [i for i in active if i.window.is_definite]
+    single_bounds_max = {}
+    for item in active:
+        w = item.window
+        _, d_max = pin_delay_bounds(
+            cell, item.pin, in_rising, out_rising, w.t_s, w.t_l, load
+        )
+        single_bounds_max[item.pin] = w.a_l + d_max
+    if definite:
+        # A definite switcher alone guarantees the output by its own path;
+        # extra simultaneous transitions can only speed the output up.
+        a_l = min(single_bounds_max[i.pin] for i in definite)
+    else:
+        a_l = max(single_bounds_max[i.pin] for i in active)
+
+    # ---- earliest arrival ----
+    candidates = []
+    for item in active:
+        w = item.window
+        d_min, _ = pin_delay_bounds(
+            cell, item.pin, in_rising, out_rising, w.t_s, w.t_l, load
+        )
+        candidates.append(w.a_s + d_min)
+    if uses_vshape and len(active) >= 2:
+        overlap = _overlap_count(active)
+        ratio = _multi_ratio(ctrl.multi_scale, overlap) if overlap > 2 else 1.0
+        for idx, first in enumerate(active):
+            for second in active[idx + 1:]:
+                pair_best = _pair_min_arrival(cell, model, first, second, load)
+                candidates.append(pair_best)
+                if ratio < 1.0:
+                    # k>2 inputs can align: scale the zero-skew delay.
+                    floor = max(first.window.a_s, second.window.a_s)
+                    shape = model.vshape(
+                        cell, first.pin, second.pin,
+                        first.window.t_s, second.window.t_s, load,
+                    )
+                    if first.window.overlaps_arrivals(second.window):
+                        candidates.append(floor + shape.d0 * ratio)
+    a_s = min(candidates)
+    a_s = min(a_s, a_l)
+
+    # ---- transition-time window ----
+    t_highs = []
+    t_lows = []
+    for item in active:
+        w = item.window
+        t_min, t_max = pin_trans_bounds(
+            cell, item.pin, in_rising, out_rising, w.t_s, w.t_l, load
+        )
+        t_lows.append(t_min)
+        t_highs.append(t_max)
+    # Even with a definite switcher bounding the arrival, a slower
+    # potential switcher may arrive first and set the output slope, so the
+    # transition-time upper bound ranges over every active input.
+    t_l = max(t_highs)
+    t_s = min(t_lows)
+    if uses_vshape and len(active) >= 2:
+        overlap = _overlap_count(active)
+        t_ratio = (
+            _multi_ratio(ctrl.trans_multi_scale, overlap)
+            if overlap > 2 else 1.0
+        )
+        for idx, first in enumerate(active):
+            for second in active[idx + 1:]:
+                wi, wj = first.window, second.window
+                lo = wj.a_s - wi.a_l
+                hi = wj.a_l - wi.a_s
+                for t_i in (wi.t_s, wi.t_l):
+                    for t_j in (wj.t_s, wj.t_l):
+                        shape = model.trans_vshape(
+                            cell, first.pin, second.pin, t_i, t_j, load
+                        )
+                        # SK_t,min if achievable, else the closest feasible
+                        # skew (paper Section 4.2, T_Z_R,S rule); the V is
+                        # unimodal so this is its interval minimum.
+                        delta = min(max(shape.vertex_skew, lo), hi)
+                        value = shape.trans(delta)
+                        if t_ratio < 1.0 and wi.overlaps_arrivals(wj):
+                            value = min(value, shape.min_trans() * t_ratio)
+                        t_s = min(t_s, value)
+    t_s = min(t_s, t_l)
+
+    state = DEFINITE if definite else POTENTIAL
+    return DirWindow(a_s=a_s, a_l=a_l, t_s=t_s, t_l=t_l, state=state)
+
+
+def _pair_max_arrival_peak(
+    cell: CellTiming,
+    model,
+    first: CtrlInput,
+    second: CtrlInput,
+    load: float,
+) -> float:
+    """Largest achievable output arrival under the Λ-shape extension.
+
+    Maximizes ``latest_arrival(delta) + peak_delay(delta)`` over the
+    feasible skew interval; both terms are piecewise linear in the skew.
+    """
+    wi, wj = first.window, second.window
+    lo = wj.a_s - wi.a_l
+    hi = wj.a_l - wi.a_s
+    best = None
+    for t_i in (wi.t_s, wi.t_l):
+        for t_j in (wj.t_s, wj.t_l):
+            shape = model.nonctrl_shape(
+                cell, first.pin, second.pin, t_i, t_j, load
+            )
+            breakpoints = {lo, hi, wj.a_l - wi.a_l}
+            for bp in (0.0, shape.s_pos, -shape.s_neg):
+                if lo <= bp <= hi:
+                    breakpoints.add(bp)
+            for delta in breakpoints:
+                if not lo <= delta <= hi:
+                    continue
+                # Latest possible max(A_i, A_j) subject to the skew.
+                a_i = min(wi.a_l, wj.a_l - delta)
+                ceiling = a_i + max(0.0, delta)
+                candidate = ceiling + shape.delay(delta)
+                if best is None or candidate > best:
+                    best = candidate
+    return best
+
+
+def nonctrl_response_window(
+    cell: CellTiming,
+    inputs: Sequence[CtrlInput],
+    load: float,
+    model=None,
+) -> DirWindow:
+    """Output window of the to-non-controlling response.
+
+    The output settles only after *every* input has left the controlling
+    value, so definite switchers raise the earliest bound (max of their
+    fastest paths) while the latest bound is the max over all possible
+    switchers.  The base rule is pin-to-pin (SDF), exactly as the paper
+    uses; when the model carries the Λ-shape extension data
+    (:class:`repro.models.NonCtrlAwareModel` with characterized cells),
+    the latest bound additionally covers the simultaneous slow-down peak.
+    """
+    active = [i for i in inputs if i.window.is_active]
+    if not active:
+        return DirWindow.impossible()
+    ctrl = cell.ctrl
+    if ctrl is None:
+        raise ValueError(f"cell {cell.name} has no controlling value")
+    out_rising = not ctrl.out_rising
+    in_rising = cell.controlling_value == 0
+
+    lows = {}
+    highs = {}
+    t_lows = []
+    t_highs = []
+    for item in active:
+        w = item.window
+        d_min, d_max = pin_delay_bounds(
+            cell, item.pin, in_rising, out_rising, w.t_s, w.t_l, load
+        )
+        lows[item.pin] = w.a_s + d_min
+        highs[item.pin] = w.a_l + d_max
+        t_min, t_max = pin_trans_bounds(
+            cell, item.pin, in_rising, out_rising, w.t_s, w.t_l, load
+        )
+        t_lows.append(t_min)
+        t_highs.append(t_max)
+    definite = [i for i in active if i.window.is_definite]
+    if definite:
+        a_s = max(lows[i.pin] for i in definite)
+    else:
+        a_s = min(lows.values())
+    a_l = max(highs.values())
+    uses_peak = (
+        model is not None
+        and hasattr(model, "nonctrl_shape")
+        and getattr(cell, "nonctrl", None) is not None
+    )
+    if uses_peak and len(active) >= 2:
+        for idx, first in enumerate(active):
+            for second in active[idx + 1:]:
+                a_l = max(
+                    a_l,
+                    _pair_max_arrival_peak(cell, model, first, second, load),
+                )
+    a_s = min(a_s, a_l)
+    state = DEFINITE if definite else POTENTIAL
+    return DirWindow(
+        a_s=a_s, a_l=a_l, t_s=min(t_lows), t_l=max(t_highs), state=state
+    )
+
+
+def arc_fanin_window(
+    cell: CellTiming,
+    arcs: Sequence[Tuple[int, bool, DirWindow]],
+    out_rising: bool,
+    load: float,
+) -> DirWindow:
+    """Output window for cells without a controlling value (inv/buf/xor).
+
+    Args:
+        arcs: (pin, input direction, input window) triples whose arc can
+            produce the requested output direction.
+    """
+    active = [(p, d, w) for (p, d, w) in arcs if w.is_active]
+    if not active:
+        return DirWindow.impossible()
+    a_s = a_l = None
+    t_s = t_l = None
+    any_definite = False
+    for pin, in_rising, w in active:
+        d_min, d_max = pin_delay_bounds(
+            cell, pin, in_rising, out_rising, w.t_s, w.t_l, load
+        )
+        tr_min, tr_max = pin_trans_bounds(
+            cell, pin, in_rising, out_rising, w.t_s, w.t_l, load
+        )
+        lo, hi = w.a_s + d_min, w.a_l + d_max
+        a_s = lo if a_s is None else min(a_s, lo)
+        a_l = hi if a_l is None else max(a_l, hi)
+        t_s = tr_min if t_s is None else min(t_s, tr_min)
+        t_l = tr_max if t_l is None else max(t_l, tr_max)
+        any_definite = any_definite or w.is_definite
+    state = DEFINITE if any_definite and len(active) == 1 else POTENTIAL
+    return DirWindow(a_s=a_s, a_l=a_l, t_s=t_s, t_l=t_l, state=state)

@@ -1,0 +1,78 @@
+"""Technology parameters for the transistor-level substrate.
+
+The paper characterizes its delay model against HSPICE with SPICE LEVEL 3
+models for a 0.5 um technology.  We do not have that foundry deck, so this
+module defines a self-contained "generic 0.5 um-like" technology used by the
+:mod:`repro.spice` simulator: a square-law (SPICE LEVEL 1) MOSFET with
+channel-length modulation, lumped gate and junction capacitances, and a
+3.3 V supply.  The delay *phenomena* the paper models (parallel charge paths
+on simultaneous to-controlling transitions, series-stack position effects,
+bi-tonic pin-to-pin curves for slow inputs) are structural consequences of
+the gate topology and therefore survive this substitution; see DESIGN.md.
+
+All values are in SI units (volts, amps, farads, meters, seconds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """A complete set of device parameters for the simulator.
+
+    Attributes:
+        name: Human-readable identifier, recorded in characterized libraries.
+        vdd: Supply voltage in volts.
+        vtn: NMOS threshold voltage (positive), volts.
+        vtp: PMOS threshold voltage magnitude (positive), volts.
+        kpn: NMOS transconductance parameter (mu_n * Cox), A/V^2.
+        kpp: PMOS transconductance parameter (mu_p * Cox), A/V^2.
+        lambda_n: NMOS channel-length modulation, 1/V.
+        lambda_p: PMOS channel-length modulation, 1/V.
+        l_min: Drawn channel length, meters.
+        w_n_min: Minimum-size NMOS width, meters.
+        w_p_min: Minimum-size PMOS width, meters.
+        c_gate_per_width: Gate capacitance per meter of width, F/m.
+        c_junction_per_width: Drain/source junction capacitance per meter
+            of transistor width, F/m.  Lumped onto circuit nodes; this is
+            what produces the input-position effect of the paper's Fig. 3.
+        gmin: Small conductance to ground added at every node for Newton
+            robustness (standard SPICE trick), siemens.
+    """
+
+    name: str = "generic-0.5um"
+    vdd: float = 3.3
+    vtn: float = 0.7
+    vtp: float = 0.8
+    kpn: float = 120e-6
+    kpp: float = 42e-6
+    lambda_n: float = 0.05
+    lambda_p: float = 0.07
+    l_min: float = 0.5e-6
+    w_n_min: float = 1.5e-6
+    w_p_min: float = 2.0e-6
+    c_gate_per_width: float = 2.0e-9   # 2 fF per um of width
+    c_junction_per_width: float = 1.6e-9
+    gmin: float = 1e-9
+
+    def gate_cap(self, width: float) -> float:
+        """Gate capacitance of a transistor of the given width, farads."""
+        return self.c_gate_per_width * width
+
+    def junction_cap(self, width: float) -> float:
+        """Drain/source junction capacitance of a transistor, farads."""
+        return self.c_junction_per_width * width
+
+    def min_inverter_input_cap(self) -> float:
+        """Input capacitance of a minimum-size inverter, farads.
+
+        The paper loads every characterized gate with a minimum-size
+        inverter; this is the capacitance that load presents.
+        """
+        return self.gate_cap(self.w_n_min) + self.gate_cap(self.w_p_min)
+
+
+#: Default technology instance used throughout the library.
+GENERIC_05UM = Technology()

@@ -1,0 +1,22 @@
+"""Shared fixtures: the packaged characterized library and benchmark circuits."""
+
+import pytest
+
+from repro.characterize import CellLibrary
+from repro.circuit import load_packaged_bench
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The characterized cell library shipped with the package."""
+    return CellLibrary.load_default()
+
+
+@pytest.fixture(scope="session")
+def c17():
+    return load_packaged_bench("c17")
+
+
+@pytest.fixture(scope="session")
+def c880s():
+    return load_packaged_bench("c880s")

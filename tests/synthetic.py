@@ -1,0 +1,168 @@
+"""Hand-built synthetic CellTiming objects for fast, deterministic tests.
+
+These bypass the characterization flow entirely: arcs are simple known
+polynomials, so model arithmetic can be checked exactly.
+"""
+
+from repro.characterize.formulas import (
+    CubeRootSurface,
+    LinForm2,
+    QuadForm2,
+    QuadPoly1,
+)
+from repro.characterize.library import (
+    CellTiming,
+    SimultaneousTiming,
+    TimingArc,
+    arc_key,
+)
+
+NS = 1e-9
+REF_LOAD = 7e-15
+
+
+def linear_poly(base, slope):
+    """delay(T) = base + slope*T as a QuadPoly1."""
+    return QuadPoly1(0.0, slope, base)
+
+
+def make_arc(pin, in_rising, out_rising, base, slope=0.1,
+             trans_base=0.15 * NS, trans_slope=0.5):
+    return TimingArc(
+        pin=pin,
+        in_rising=in_rising,
+        out_rising=out_rising,
+        delay=linear_poly(base, slope),
+        trans=linear_poly(trans_base, trans_slope),
+        t_lo=0.05 * NS,
+        t_hi=2.0 * NS,
+    )
+
+
+def make_nand(n_inputs=2, d0=0.06 * NS, s_sat=0.3 * NS,
+              pin_delay_step=0.02 * NS):
+    """A synthetic NANDn with per-position pin delays.
+
+    Pin p's to-controlling delay is ``0.10ns + p*step + 0.1*T``; the
+    zero-skew simultaneous delay is the constant ``d0`` and both
+    saturation skews are the constant ``s_sat``.
+    """
+    arcs = {}
+    for pin in range(n_inputs):
+        base = 0.10 * NS + pin * pin_delay_step
+        ctrl = make_arc(pin, False, True, base)          # fall in -> rise out
+        nonctrl = make_arc(pin, True, False, base * 0.8)  # rise in -> fall out
+        arcs[ctrl.key] = ctrl
+        arcs[nonctrl.key] = nonctrl
+    pair_scale = {}
+    for p in range(n_inputs):
+        for q in range(p + 1, n_inputs):
+            pair_scale[f"{p}-{q}"] = 1.0 + 0.05 * (p + q - 1)
+    ctrl = SimultaneousTiming(
+        out_rising=True,
+        d0=CubeRootSurface(0.0, 0.0, 0.0, d0),
+        s_pos=QuadForm2(0, 0, 0, 0, 0, s_sat),
+        s_neg=QuadForm2(0, 0, 0, 0, 0, s_sat * 1.2),
+        t_vertex=CubeRootSurface(0.0, 0.0, 0.0, 0.10 * NS),
+        t_vertex_skew=LinForm2(0.0, 0.0, 0.0),
+        pair_scale=pair_scale,
+        multi_scale={"2": 1.0, "3": 0.8, "4": 0.7, "5": 0.65}
+        if n_inputs >= 3 else {"2": 1.0},
+        trans_multi_scale={"2": 1.0, "3": 0.9, "4": 0.85, "5": 0.8}
+        if n_inputs >= 3 else {"2": 1.0},
+    )
+    return CellTiming(
+        name=f"NAND{n_inputs}",
+        kind="nand",
+        n_inputs=n_inputs,
+        controlling_value=0,
+        inverting=True,
+        input_caps=[3e-15] * n_inputs,
+        ref_load=REF_LOAD,
+        arcs=arcs,
+        ctrl=ctrl,
+        load_delay_slope={"R": 4e3, "F": 4e3},
+        load_trans_slope={"R": 8e3, "F": 8e3},
+    )
+
+
+def make_inv():
+    arcs = {}
+    rise_in = make_arc(0, True, False, 0.05 * NS)
+    fall_in = make_arc(0, False, True, 0.06 * NS)
+    arcs[rise_in.key] = rise_in
+    arcs[fall_in.key] = fall_in
+    return CellTiming(
+        name="INV",
+        kind="inv",
+        n_inputs=1,
+        controlling_value=None,
+        inverting=True,
+        input_caps=[3e-15],
+        ref_load=REF_LOAD,
+        arcs=arcs,
+        ctrl=None,
+        load_delay_slope={"R": 4e3, "F": 4e3},
+        load_trans_slope={"R": 8e3, "F": 8e3},
+    )
+
+
+def make_xor():
+    arcs = {}
+    for pin in range(2):
+        for in_rising in (True, False):
+            for out_rising in (True, False):
+                arc = make_arc(pin, in_rising, out_rising, 0.12 * NS)
+                arcs[arc.key] = arc
+    return CellTiming(
+        name="XOR2",
+        kind="xor",
+        n_inputs=2,
+        controlling_value=None,
+        inverting=None,
+        input_caps=[6e-15, 6e-15],
+        ref_load=REF_LOAD,
+        arcs=arcs,
+        ctrl=None,
+        load_delay_slope={"R": 4e3, "F": 4e3},
+        load_trans_slope={"R": 8e3, "F": 8e3},
+    )
+
+
+def make_nor(n_inputs=2, d0=0.05 * NS, s_sat=0.25 * NS):
+    """Synthetic NORn: rising inputs are to-controlling, output falls."""
+    arcs = {}
+    for pin in range(n_inputs):
+        base = 0.09 * NS + pin * 0.015 * NS
+        ctrl = make_arc(pin, True, False, base)           # rise in -> fall out
+        nonctrl = make_arc(pin, False, True, base * 0.9)  # fall in -> rise out
+        arcs[ctrl.key] = ctrl
+        arcs[nonctrl.key] = nonctrl
+    pair_scale = {
+        f"{p}-{q}": 1.0
+        for p in range(n_inputs) for q in range(p + 1, n_inputs)
+    }
+    ctrl = SimultaneousTiming(
+        out_rising=False,
+        d0=CubeRootSurface(0.0, 0.0, 0.0, d0),
+        s_pos=QuadForm2(0, 0, 0, 0, 0, s_sat),
+        s_neg=QuadForm2(0, 0, 0, 0, 0, s_sat),
+        t_vertex=CubeRootSurface(0.0, 0.0, 0.0, 0.09 * NS),
+        t_vertex_skew=LinForm2(0.0, 0.0, 0.0),
+        pair_scale=pair_scale,
+        multi_scale={"2": 1.0},
+        trans_multi_scale={"2": 1.0},
+    )
+    return CellTiming(
+        name=f"NOR{n_inputs}",
+        kind="nor",
+        n_inputs=n_inputs,
+        controlling_value=1,
+        inverting=True,
+        input_caps=[3e-15] * n_inputs,
+        ref_load=REF_LOAD,
+        arcs=arcs,
+        ctrl=ctrl,
+        load_delay_slope={"R": 4e3, "F": 4e3},
+        load_trans_slope={"R": 8e3, "F": 8e3},
+    )

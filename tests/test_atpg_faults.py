@@ -1,0 +1,140 @@
+"""Tests for the crosstalk fault model and fault injection."""
+
+import pytest
+
+from repro.atpg import CrosstalkFault, FaultySimulator, generate_fault_list
+from repro.models import OutputEvent, VShapeModel
+from repro.sta import PiStimulus, TimingSimulator
+
+NS = 1e-9
+
+
+def fault(**overrides):
+    base = dict(
+        aggressor="G10",
+        victim="G16",
+        aggressor_rising=True,
+        victim_rising=False,
+        delta=0.2 * NS,
+        window=0.3 * NS,
+    )
+    base.update(overrides)
+    return CrosstalkFault(**base)
+
+
+class TestCrosstalkFault:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fault(victim="G10")
+        with pytest.raises(ValueError):
+            fault(delta=0.0)
+        with pytest.raises(ValueError):
+            fault(window=-1.0)
+
+    def test_describe_mentions_lines(self):
+        text = fault().describe()
+        assert "G10" in text and "G16" in text
+
+    def test_excited_by_alignment(self):
+        f = fault()
+        agg = OutputEvent(1 * NS, 0.1 * NS, True)
+        vic_near = OutputEvent(1.2 * NS, 0.1 * NS, False)
+        vic_far = OutputEvent(2 * NS, 0.1 * NS, False)
+        assert f.excited_by(agg, vic_near)
+        assert not f.excited_by(agg, vic_far)
+
+    def test_excited_by_requires_directions(self):
+        f = fault()
+        agg_wrong = OutputEvent(1 * NS, 0.1 * NS, False)
+        vic = OutputEvent(1.1 * NS, 0.1 * NS, False)
+        assert not f.excited_by(agg_wrong, vic)
+        assert not f.excited_by(None, vic)
+        assert not f.excited_by(OutputEvent(1 * NS, 0.1 * NS, True), None)
+
+
+class TestFaultListGeneration:
+    def test_deterministic(self, c880s):
+        a = generate_fault_list(c880s, 20, seed=3)
+        b = generate_fault_list(c880s, 20, seed=3)
+        assert a == b
+
+    def test_distinct_seeds_differ(self, c880s):
+        a = generate_fault_list(c880s, 20, seed=3)
+        b = generate_fault_list(c880s, 20, seed=4)
+        assert a != b
+
+    def test_level_gap_respected(self, c880s):
+        levels = c880s.levelize()
+        for f in generate_fault_list(c880s, 30, seed=1, max_level_gap=2):
+            assert abs(levels[f.aggressor] - levels[f.victim]) <= 2
+
+    def test_aggressor_precedes_victim_topologically(self, c880s):
+        order = {l: i for i, l in enumerate(c880s.topological_order())}
+        for f in generate_fault_list(c880s, 30, seed=1):
+            assert order[f.aggressor] < order[f.victim]
+
+    def test_too_small_circuit_rejected(self):
+        from repro.circuit import Circuit, Gate
+
+        tiny = Circuit("t", ["a", "b"], ["z"], [Gate("z", "and", ["a", "b"])])
+        with pytest.raises(ValueError):
+            generate_fault_list(tiny, 5)
+
+
+class TestFaultySimulator:
+    def _sims(self, c17, library, f):
+        clean = TimingSimulator(c17, library, VShapeModel())
+        faulty = FaultySimulator(c17, library, VShapeModel(), fault=f)
+        return clean, faulty
+
+    def test_injection_when_aligned(self, c17, library):
+        # G1 falls -> G10 rises; G3 falls -> G11 rises -> aligned-ish
+        # transitions; make G10 the aggressor and G16 the victim.
+        stimuli = {pi: PiStimulus.steady(1) for pi in c17.inputs}
+        stimuli["G1"] = PiStimulus.transition(False)
+        stimuli["G2"] = PiStimulus.steady(1)
+        stimuli["G3"] = PiStimulus.transition(False)
+        # G11 rises => G16 falls (victim falling).
+        f = CrosstalkFault(
+            aggressor="G10", victim="G16",
+            aggressor_rising=True, victim_rising=False,
+            delta=0.2 * NS, window=1.0 * NS,
+        )
+        clean, faulty = self._sims(c17, library, f)
+        r_clean = clean.run(stimuli)
+        r_faulty = faulty.run(stimuli)
+        assert r_clean.events["G16"] is not None
+        assert r_faulty.arrival("G16") == pytest.approx(
+            r_clean.arrival("G16") + f.delta
+        )
+        # The extra delay propagates downstream (G23 = NAND(G16, G19)).
+        assert r_faulty.arrival("G23") > r_clean.arrival("G23")
+
+    def test_no_injection_when_direction_mismatch(self, c17, library):
+        stimuli = {pi: PiStimulus.steady(1) for pi in c17.inputs}
+        stimuli["G1"] = PiStimulus.transition(False)
+        stimuli["G3"] = PiStimulus.transition(False)
+        f = CrosstalkFault(
+            aggressor="G10", victim="G16",
+            aggressor_rising=False,  # actual transition is rising
+            victim_rising=False,
+            delta=0.2 * NS, window=1.0 * NS,
+        )
+        clean, faulty = self._sims(c17, library, f)
+        assert faulty.run(stimuli).arrival("G16") == pytest.approx(
+            clean.run(stimuli).arrival("G16")
+        )
+
+    def test_no_injection_when_window_missed(self, c17, library):
+        stimuli = {pi: PiStimulus.steady(1) for pi in c17.inputs}
+        stimuli["G1"] = PiStimulus.transition(False, arrival=0.0)
+        stimuli["G3"] = PiStimulus.transition(False, arrival=3 * NS)
+        f = CrosstalkFault(
+            aggressor="G10", victim="G16",
+            aggressor_rising=True, victim_rising=False,
+            delta=0.2 * NS, window=0.1 * NS,
+        )
+        clean, faulty = self._sims(c17, library, f)
+        assert faulty.run(stimuli).arrival("G16") == pytest.approx(
+            clean.run(stimuli).arrival("G16")
+        )

@@ -1,0 +1,148 @@
+"""Unit tests for ATPG search internals (paths, backtrace, fill order)."""
+
+import pytest
+
+from repro.atpg import AtpgConfig, CrosstalkAtpg, CrosstalkFault
+from repro.atpg.search import CrosstalkAtpg as _Atpg
+from repro.itr import TwoFrame
+
+NS = 1e-9
+
+
+@pytest.fixture(scope="module")
+def atpg(c17, library):
+    return CrosstalkAtpg(c17, library, config=AtpgConfig(backtrack_limit=8))
+
+
+def fault(aggressor="G10", victim="G16", a_rise=True, v_rise=False):
+    return CrosstalkFault(
+        aggressor=aggressor, victim=victim,
+        aggressor_rising=a_rise, victim_rising=v_rise,
+        delta=0.2 * NS, window=0.5 * NS,
+    )
+
+
+class TestPoDepths:
+    def test_outputs_have_zero_depth(self, atpg, c17):
+        depths = atpg._po_depths()
+        for po in c17.outputs:
+            assert depths[po] == 0
+
+    def test_depths_decrease_toward_outputs(self, atpg):
+        depths = atpg._po_depths()
+        # G10 feeds G22 (a PO): depth(G10) = 1.
+        assert depths["G10"] == 1
+        # G11 feeds G16/G19 which feed POs: depth 2.
+        assert depths["G11"] == 2
+
+    def test_memoized(self, atpg):
+        assert atpg._po_depths() is atpg._po_depths()
+
+
+class TestCandidatePaths:
+    def test_paths_end_at_outputs(self, atpg, c17):
+        for path in atpg._candidate_paths(fault()):
+            assert path[0] == "G16"
+            assert path[-1] in c17.outputs
+
+    def test_paths_follow_fanout_edges(self, atpg, c17):
+        for path in atpg._candidate_paths(fault()):
+            for a, b in zip(path, path[1:]):
+                assert a in c17.gates[b].inputs
+
+    def test_deepest_first(self, atpg):
+        paths = atpg._candidate_paths(fault(victim="G11"))
+        lengths = [len(p) for p in paths]
+        assert lengths[0] == max(lengths)
+
+    def test_limit_respected(self, atpg):
+        assert len(atpg._candidate_paths(fault(), limit=1)) == 1
+
+
+class TestPathConstraints:
+    def test_strict_constraints_are_steady(self, atpg):
+        path = atpg._candidate_paths(fault())[0]
+        for _, literal in atpg._path_constraints(path, strict=True):
+            assert literal.v1 == literal.v2
+            assert literal.v1 is not None
+
+    def test_relaxed_constraints_only_second_frame(self, atpg):
+        path = atpg._candidate_paths(fault())[0]
+        for _, literal in atpg._path_constraints(path, strict=False):
+            assert literal.v1 is None
+            assert literal.v2 is not None
+
+    def test_nand_side_inputs_want_ones(self, atpg, c17):
+        # Every c17 gate is a NAND: side values must be 1.
+        path = atpg._candidate_paths(fault())[0]
+        for _, literal in atpg._path_constraints(path, strict=True):
+            assert literal == TwoFrame.parse("11")
+
+
+class TestBacktrace:
+    def test_reaches_primary_input(self, atpg, c17):
+        values = atpg.engine.initial_values()
+        decision = atpg._backtrace(values, "G22", 1, 0)
+        assert decision is not None
+        pi, frame, bit = decision
+        assert c17.is_primary_input(pi)
+        assert frame == 1
+        assert bit in (0, 1)
+
+    def test_objective_on_pi_returns_it(self, atpg):
+        values = atpg.engine.initial_values()
+        assert atpg._backtrace(values, "G1", 2, 1) == ("G1", 2, 1)
+
+    def test_inverter_flips_objective(self, library):
+        from repro.circuit import Circuit, Gate
+
+        circuit = Circuit(
+            "inv2", ["a"], ["z"],
+            [Gate("y", "inv", ["a"]), Gate("z", "inv", ["y"])],
+        )
+        atpg = _Atpg(circuit, library, config=AtpgConfig())
+        values = atpg.engine.initial_values()
+        assert atpg._backtrace(values, "z", 1, 0) == ("a", 1, 0)
+        assert atpg._backtrace(values, "y", 1, 0) == ("a", 1, 1)
+
+    def test_fully_implied_line_returns_none(self, atpg):
+        values = atpg.engine.assign(
+            atpg.engine.initial_values(), "G1", TwoFrame.parse("00")
+        )
+        values = atpg.engine.assign(values, "G3", TwoFrame.parse("00"))
+        # G10 = NAND(G1, G3) is fully implied to 11: nothing to justify.
+        assert atpg._backtrace(values, "G10", 1, 0) is None
+
+
+class TestFillPreference:
+    def test_deterministic_across_calls(self, atpg):
+        f = fault()
+        a = [atpg._preferred_bit(f, pi, 1) for pi in ("G1", "G2", "G3")]
+        b = [atpg._preferred_bit(f, pi, 1) for pi in ("G1", "G2", "G3")]
+        assert a == b
+
+    def test_varies_across_inputs_or_faults(self, atpg):
+        f1, f2 = fault(), fault(victim="G19")
+        bits = {
+            atpg._preferred_bit(f, pi, frame)
+            for f in (f1, f2)
+            for pi in ("G1", "G2", "G3", "G6", "G7")
+            for frame in (1, 2)
+        }
+        assert bits == {0, 1}  # not constant
+
+
+class TestVectorBuilding:
+    def test_vector_covers_all_inputs(self, atpg, c17):
+        values = atpg.engine.initial_values()
+        vector = atpg._vector_from(values)
+        assert set(vector) == set(c17.inputs)
+        for stim in vector.values():
+            assert stim.v1 in (0, 1) and stim.v2 in (0, 1)
+
+    def test_vector_respects_assigned_values(self, atpg):
+        values = atpg.engine.assign(
+            atpg.engine.initial_values(), "G1", TwoFrame.parse("10")
+        )
+        vector = atpg._vector_from(values)
+        assert vector["G1"].v1 == 1 and vector["G1"].v2 == 0

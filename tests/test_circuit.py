@@ -1,0 +1,235 @@
+"""Tests for the gate-level netlist, bench I/O and the generator."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    BenchParseError,
+    C17_BENCH,
+    Circuit,
+    CircuitError,
+    Gate,
+    GeneratorConfig,
+    ISCAS_PROFILES,
+    generate_circuit,
+    generate_iscas_like,
+    load_packaged_bench,
+    parse_bench,
+    write_bench,
+)
+
+
+def c17():
+    return parse_bench(C17_BENCH, name="c17")
+
+
+class TestGate:
+    def test_cell_name(self):
+        assert Gate("z", "nand", ["a", "b", "c"]).cell_name() == "NAND3"
+        assert Gate("z", "inv", ["a"]).cell_name() == "INV"
+
+    def test_bad_kind(self):
+        with pytest.raises(CircuitError):
+            Gate("z", "latch", ["a"])
+
+    def test_bad_arity(self):
+        with pytest.raises(CircuitError):
+            Gate("z", "inv", ["a", "b"])
+        with pytest.raises(CircuitError):
+            Gate("z", "nand", ["a"])
+
+
+class TestCircuitStructure:
+    def test_c17_parses(self):
+        circuit = c17()
+        assert circuit.stats() == {
+            "inputs": 5, "outputs": 2, "gates": 6, "depth": 3,
+        }
+
+    def test_duplicate_driver_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(
+                "bad", ["a", "b"], ["z"],
+                [Gate("z", "nand", ["a", "b"]), Gate("z", "inv", ["a"])],
+            )
+
+    def test_input_driven_by_gate_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("bad", ["a", "b"], ["a"], [Gate("a", "inv", ["b"])])
+
+    def test_undriven_line_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("bad", ["a"], ["z"], [Gate("z", "inv", ["ghost"])])
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("bad", ["a"], ["ghost"], [Gate("z", "inv", ["a"])])
+
+    def test_cycle_detected(self):
+        with pytest.raises(CircuitError, match="cycle"):
+            Circuit(
+                "bad", ["a"], ["x"],
+                [Gate("x", "nand", ["a", "y"]), Gate("y", "inv", ["x"])],
+            ).topological_order()
+
+    def test_topological_order_respects_dependencies(self):
+        circuit = c17()
+        order = circuit.topological_order()
+        position = {line: i for i, line in enumerate(order)}
+        for gate in circuit.gates.values():
+            for inp in gate.inputs:
+                if inp in position:
+                    assert position[inp] < position[gate.output]
+
+    def test_fanouts(self):
+        circuit = c17()
+        fanout_names = sorted(g.output for g in circuit.fanouts("G11"))
+        assert fanout_names == ["G16", "G19"]
+        assert circuit.fanouts("G22") == []
+
+    def test_is_primary_input(self):
+        circuit = c17()
+        assert circuit.is_primary_input("G1")
+        assert not circuit.is_primary_input("G22")
+
+    def test_levelize(self):
+        levels = c17().levelize()
+        assert levels["G1"] == 0
+        assert levels["G10"] == 1
+        assert levels["G16"] == 2
+        assert levels["G22"] == 3
+
+
+class TestFunctionalSimulation:
+    def test_c17_exhaustive_against_reference(self):
+        circuit = c17()
+
+        def reference(g1, g2, g3, g6, g7):
+            g10 = 1 - (g1 & g3)
+            g11 = 1 - (g3 & g6)
+            g16 = 1 - (g2 & g11)
+            g19 = 1 - (g11 & g7)
+            g22 = 1 - (g10 & g16)
+            g23 = 1 - (g16 & g19)
+            return g22, g23
+
+        for vals in itertools.product((0, 1), repeat=5):
+            assignment = dict(zip(["G1", "G2", "G3", "G6", "G7"], vals))
+            result = circuit.evaluate(assignment)
+            assert (result["G22"], result["G23"]) == reference(*vals)
+
+    def test_x_propagation(self):
+        circuit = c17()
+        result = circuit.evaluate(
+            {"G1": None, "G2": None, "G3": 0, "G6": None, "G7": None}
+        )
+        # G3=0 controls G10 and G11: G10=G11=1; everything else depends on X.
+        assert result["G10"] == 1
+        assert result["G11"] == 1
+        assert result["G16"] is None
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(CircuitError):
+            c17().evaluate({"G1": 0})
+
+
+class TestBenchIO:
+    def test_round_trip(self):
+        original = c17()
+        text = write_bench(original)
+        again = parse_bench(text, name="c17")
+        assert again.inputs == original.inputs
+        assert again.outputs == original.outputs
+        assert set(again.gates) == set(original.gates)
+        for vals in itertools.product((0, 1), repeat=5):
+            assignment = dict(zip(original.inputs, vals))
+            assert original.evaluate(assignment) == again.evaluate(assignment)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# hello\n\nINPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b) # tail\n"
+        circuit = parse_bench(text)
+        assert circuit.evaluate({"a": 1, "b": 1})["z"] == 1
+
+    def test_not_and_buff_keywords(self):
+        text = "INPUT(a)\nOUTPUT(z)\ny = NOT(a)\nz = BUFF(y)\n"
+        circuit = parse_bench(text)
+        assert circuit.evaluate({"a": 0})["z"] == 1
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(z)\nz = MAJ(a, a, a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nwat\n")
+
+    def test_packaged_c17(self):
+        circuit = load_packaged_bench("c17")
+        assert circuit.stats()["gates"] == 6
+
+    def test_packaged_missing_raises(self):
+        with pytest.raises(FileNotFoundError):
+            load_packaged_bench("c9999")
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        cfg = GeneratorConfig(n_inputs=10, n_outputs=4, n_gates=50, seed=7)
+        a = generate_circuit("t", cfg)
+        b = generate_circuit("t", cfg)
+        assert write_bench(a) == write_bench(b)
+
+    def test_different_seed_differs(self):
+        a = generate_circuit(
+            "t", GeneratorConfig(n_inputs=10, n_outputs=4, n_gates=50, seed=1)
+        )
+        b = generate_circuit(
+            "t", GeneratorConfig(n_inputs=10, n_outputs=4, n_gates=50, seed=2)
+        )
+        assert write_bench(a) != write_bench(b)
+
+    def test_profile_interface_sizes(self):
+        circuit = generate_iscas_like("c880s")
+        stats = circuit.stats()
+        assert stats["inputs"] == ISCAS_PROFILES["c880s"]["inputs"]
+        assert stats["outputs"] == ISCAS_PROFILES["c880s"]["outputs"]
+        assert stats["gates"] == ISCAS_PROFILES["c880s"]["gates"]
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            generate_iscas_like("c9999")
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_inputs=1, n_outputs=1, n_gates=1)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_gates=st.integers(min_value=5, max_value=120),
+        n_inputs=st.integers(min_value=3, max_value=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_generated_circuits_are_valid_and_acyclic(
+        self, seed, n_gates, n_inputs
+    ):
+        cfg = GeneratorConfig(
+            n_inputs=n_inputs, n_outputs=2, n_gates=n_gates, seed=seed
+        )
+        circuit = generate_circuit("prop", cfg)
+        order = circuit.topological_order()  # raises on cycles
+        assert len(order) == n_gates
+        # Functional simulation over a couple of random-ish vectors works.
+        for pattern in (0, 1):
+            assignment = {pi: pattern for pi in circuit.inputs}
+            values = circuit.evaluate(assignment)
+            assert all(v in (0, 1) for v in values.values())
+
+    def test_fanin_respects_library_limits(self):
+        circuit = generate_iscas_like("c1908s")
+        limits = {"nand": 5, "nor": 5, "and": 4, "or": 4, "xor": 2,
+                  "inv": 1, "buf": 1}
+        for gate in circuit.gates.values():
+            assert gate.n_inputs <= limits[gate.kind]

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sta_defaults(self):
+        args = build_parser().parse_args(["sta", "c17"])
+        assert args.circuit == "c17"
+        assert args.max_outputs == 8
+
+    def test_atpg_flags(self):
+        args = build_parser().parse_args(
+            ["atpg", "c432s", "--no-itr", "--faults", "5"]
+        )
+        assert args.itr is False
+        assert args.faults == 5
+
+
+class TestCommands:
+    def test_bench_lists_circuits(self, capsys):
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "c17" in out
+        assert "c7552s" in out
+
+    def test_sta_on_c17(self, capsys):
+        assert main(["sta", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "min-delay proposed" in out
+        assert "ratio" in out
+
+    def test_sta_on_bench_file(self, capsys, tmp_path):
+        path = tmp_path / "tiny.bench"
+        path.write_text(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n"
+        )
+        assert main(["sta", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "z" in out
+
+    def test_sim_prints_events(self, capsys):
+        assert main(["sim", "c17", "11111", "01111"]) == 0
+        out = capsys.readouterr().out
+        assert "(static)" in out
+        assert "G22" in out
+
+    def test_sim_rejects_wrong_vector_length(self, capsys):
+        assert main(["sim", "c17", "111", "000"]) == 2
+        err = capsys.readouterr().err
+        assert "5 bits" in err
+
+    def test_atpg_compare_runs(self, capsys):
+        code = main([
+            "atpg", "c17", "--faults", "2", "--compare",
+            "--backtrack-limit", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "with ITR" in out
+        assert "no ITR" in out
+        assert "efficiency" in out

@@ -1,0 +1,163 @@
+"""Unit tests for the MOSFET device model (currents, regions, derivatives)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.devices import Capacitor, Mosfet
+from repro.tech import GENERIC_05UM as TECH
+
+VDD = TECH.vdd
+
+
+def nmos():
+    return Mosfet("mn", "n", "d", "g", "s", TECH.w_n_min, TECH.l_min)
+
+
+def pmos():
+    return Mosfet("mp", "p", "d", "g", "s", TECH.w_p_min, TECH.l_min)
+
+
+class TestConstruction:
+    def test_bad_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            Mosfet("m", "x", "d", "g", "s", 1e-6, 1e-6)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Mosfet("m", "n", "d", "g", "s", 0.0, 1e-6)
+        with pytest.raises(ValueError):
+            Mosfet("m", "n", "d", "g", "s", 1e-6, -1e-6)
+
+    def test_capacitor_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Capacitor("c", "n1", -1e-15)
+
+
+class TestNmosRegions:
+    def test_cutoff_zero_current(self):
+        i, *_ = nmos().evaluate(VDD, 0.0, 0.0, TECH)
+        assert i == 0.0
+
+    def test_saturation_positive_current(self):
+        i, *_ = nmos().evaluate(VDD, VDD, 0.0, TECH)
+        # Saturated minimum NMOS should carry on the order of a milliamp.
+        assert 1e-4 < i < 1e-2
+
+    def test_triode_less_than_saturation(self):
+        i_sat, *_ = nmos().evaluate(VDD, VDD, 0.0, TECH)
+        i_tri, *_ = nmos().evaluate(0.2, VDD, 0.0, TECH)
+        assert 0 < i_tri < i_sat
+
+    def test_region_boundary_is_continuous(self):
+        vov = VDD - TECH.vtn
+        below, *_ = nmos().evaluate(vov - 1e-9, VDD, 0.0, TECH)
+        above, *_ = nmos().evaluate(vov + 1e-9, VDD, 0.0, TECH)
+        assert below == pytest.approx(above, rel=1e-5)
+
+    def test_symmetry_swap(self):
+        """Swapping drain and source negates the current."""
+        fwd, *_ = nmos().evaluate(2.0, VDD, 0.5, TECH)
+        rev, *_ = nmos().evaluate(0.5, VDD, 2.0, TECH)
+        assert fwd == pytest.approx(-rev, rel=1e-12)
+
+    def test_current_increases_with_vgs(self):
+        i1, *_ = nmos().evaluate(VDD, 1.5, 0.0, TECH)
+        i2, *_ = nmos().evaluate(VDD, 2.5, 0.0, TECH)
+        assert i2 > i1
+
+
+class TestPmosRegions:
+    def test_cutoff(self):
+        i, *_ = pmos().evaluate(0.0, VDD, VDD, TECH)
+        assert i == 0.0
+
+    def test_conducting_pulls_up(self):
+        """PMOS with gate low delivers current INTO its drain node."""
+        i, *_ = pmos().evaluate(0.0, 0.0, VDD, TECH)
+        # Current leaving the drain is negative == current delivered to node.
+        assert i < -1e-5
+
+    def test_symmetry_swap(self):
+        fwd, *_ = pmos().evaluate(1.0, 0.0, VDD, TECH)
+        rev, *_ = pmos().evaluate(VDD, 0.0, 1.0, TECH)
+        assert fwd == pytest.approx(-rev, rel=1e-12)
+
+
+def finite_difference_check(device, vd, vg, vs):
+    """Compare analytic partials with central differences."""
+    eps = 1e-6
+    i0, d_vd, d_vg, d_vs = device.evaluate(vd, vg, vs, TECH)
+    for idx, (analytic, args) in enumerate(
+        [
+            (d_vd, (vd + eps, vg, vs)),
+            (d_vg, (vd, vg + eps, vs)),
+            (d_vs, (vd, vg, vs + eps)),
+        ]
+    ):
+        plus, *_ = device.evaluate(*args, TECH)
+        args_minus = list((vd, vg, vs))
+        args_minus[idx] -= eps
+        minus, *_ = device.evaluate(*args_minus, TECH)
+        numeric = (plus - minus) / (2 * eps)
+        assert analytic == pytest.approx(numeric, rel=1e-3, abs=1e-9)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize(
+        "vd,vg,vs",
+        [
+            (3.0, 3.3, 0.0),   # saturation
+            (0.3, 3.3, 0.0),   # triode
+            (1.2, 2.0, 0.4),   # stacked-transistor bias
+            (0.2, 3.3, 1.5),   # swapped orientation
+        ],
+    )
+    def test_nmos_partials_match_finite_difference(self, vd, vg, vs):
+        finite_difference_check(nmos(), vd, vg, vs)
+
+    @pytest.mark.parametrize(
+        "vd,vg,vs",
+        [
+            (0.5, 0.0, 3.3),   # saturation
+            (3.0, 0.0, 3.3),   # triode
+            (2.1, 1.2, 2.9),   # stacked bias
+            (3.1, 0.0, 1.0),   # swapped orientation
+        ],
+    )
+    def test_pmos_partials_match_finite_difference(self, vd, vg, vs):
+        finite_difference_check(pmos(), vd, vg, vs)
+
+    @given(
+        vd=st.floats(min_value=0.0, max_value=VDD),
+        vg=st.floats(min_value=0.0, max_value=VDD),
+        vs=st.floats(min_value=0.0, max_value=VDD),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nmos_current_sign_follows_drain_source_order(self, vd, vg, vs):
+        i, *_ = nmos().evaluate(vd, vg, vs, TECH)
+        if vd > vs:
+            assert i >= 0.0
+        elif vd < vs:
+            assert i <= 0.0
+
+    @given(
+        vg=st.floats(min_value=0.0, max_value=VDD),
+        vd=st.floats(min_value=0.0, max_value=VDD),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nmos_monotone_in_gate_voltage(self, vg, vd):
+        i1, *_ = nmos().evaluate(vd, vg, 0.0, TECH)
+        i2, *_ = nmos().evaluate(vd, min(vg + 0.3, VDD + 0.3), 0.0, TECH)
+        assert i2 >= i1 - 1e-15
+
+
+class TestCapacitances:
+    def test_gate_cap_scales_with_width(self):
+        small = nmos().gate_capacitance(TECH)
+        wide = Mosfet("m", "n", "d", "g", "s", 2 * TECH.w_n_min, TECH.l_min)
+        assert wide.gate_capacitance(TECH) == pytest.approx(2 * small)
+
+    def test_junction_cap_positive(self):
+        assert nmos().junction_capacitance(TECH) > 0

@@ -1,0 +1,52 @@
+"""Smoke tests: every shipped example must run and produce its report."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, args=(), timeout=600):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "V-shape anchors" in proc.stdout
+        assert "pin-to-pin" in proc.stdout
+
+    def test_itr_refinement(self):
+        proc = run_example("itr_refinement.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "plain STA" in proc.stdout
+        assert "Windows only ever narrow" in proc.stdout
+
+    def test_sta_min_delay_single_circuit(self):
+        proc = run_example("sta_min_delay.py", ["c17"])
+        assert proc.returncode == 0, proc.stderr
+        assert "c17" in proc.stdout
+        assert "ratio" in proc.stdout
+
+    @pytest.mark.slow
+    def test_atpg_crosstalk_small(self):
+        proc = run_example("atpg_crosstalk.py", ["c17", "4"])
+        assert proc.returncode == 0, proc.stderr
+        assert "with ITR" in proc.stdout
+        assert "efficiency" in proc.stdout
+
+    @pytest.mark.slow
+    def test_model_accuracy(self):
+        proc = run_example("model_accuracy.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "figure-10" in proc.stdout
+        assert "figure-12" in proc.stdout

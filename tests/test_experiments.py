@@ -1,0 +1,82 @@
+"""Smoke tests for the experiment modules (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, fig01, fig02, table2
+from repro.experiments.common import (
+    ExperimentResult,
+    max_abs_error,
+    rms_error,
+)
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment="demo",
+            title="Demo experiment",
+            headers=["name", "value"],
+            rows=[["alpha", 1.23456], ["beta", 2]],
+            findings={"winner": "alpha", "margin": 0.5},
+            paper_reference="paper says alpha wins",
+        )
+
+    def test_format_table_aligns_columns(self):
+        table = self.make().format_table()
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.2346" in table
+        assert len({len(line) for line in lines[:2]}) == 1
+
+    def test_format_report_includes_findings_and_reference(self):
+        report = self.make().format_report()
+        assert "demo" in report
+        assert "winner: alpha" in report
+        assert "paper says alpha wins" in report
+
+    def test_empty_rows_table(self):
+        result = ExperimentResult("e", "t", ["a"], [])
+        assert "a" in result.format_table()
+
+
+class TestErrorHelpers:
+    def test_max_abs_error(self):
+        assert max_abs_error([1.0, 2.0], [1.5, 1.0]) == 1.0
+
+    def test_rms_error(self):
+        assert rms_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            (25.0 / 2) ** 0.5
+        )
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "figure-1", "figure-2", "figure-5", "figure-10", "figure-11",
+            "figure-12", "table-2", "section-7", "claims-3.5", "ablations",
+            "extension-nonctrl",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_each_module_has_run(self):
+        for module in ALL_EXPERIMENTS.values():
+            assert callable(module.run)
+
+
+class TestFastRuns:
+    """Cheap parameterizations keep these in the regular test suite."""
+
+    def test_fig01_runs_and_names_match(self):
+        result = fig01.run(trans_time=0.3e-9)
+        assert result.experiment == "figure-1"
+        assert result.findings["speedup_ratio"] > 1.0
+
+    def test_fig02_small(self):
+        result = fig02.run(n_skews=5)
+        assert result.findings["min_delay_at_zero_skew"]
+        assert len(result.rows) == 5
+
+    def test_table2_single_circuit(self):
+        result = table2.run(circuits=["c17"])
+        assert result.rows[0][0] == "c17"
+        assert result.rows[0][-1] > 1.0

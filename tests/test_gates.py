@@ -1,0 +1,216 @@
+"""Tests for the transistor-level cells: logic function and delay phenomena."""
+
+import itertools
+
+import pytest
+
+from repro.spice import GateCell, RampStimulus, simulate_gate
+from repro.spice.gates import OUT_NODE, input_node
+from repro.spice.solver import TransientSolver
+from repro.tech import GENERIC_05UM as TECH
+
+VDD = TECH.vdd
+
+
+def static_output(cell, values):
+    """DC-settle the cell with constant inputs; return output voltage."""
+    circuit = cell.build(load_cap=TECH.min_inverter_input_cap())
+    for pin, val in enumerate(values):
+        circuit.set_source(input_node(pin), RampStimulus.steady(val, VDD))
+    solver = TransientSolver(circuit)
+    x = solver.settle(0.0)
+    return x[solver.free.index(OUT_NODE)]
+
+
+def logic_level(voltage):
+    if voltage > 0.8 * VDD:
+        return 1
+    if voltage < 0.2 * VDD:
+        return 0
+    raise AssertionError(f"ambiguous logic level {voltage:.3f} V")
+
+
+EXPECTED = {
+    "inv": lambda vals: 1 - vals[0],
+    "buf": lambda vals: vals[0],
+    "nand": lambda vals: 1 - min(vals),
+    "nor": lambda vals: 1 - max(vals),
+    "and": lambda vals: min(vals),
+    "or": lambda vals: max(vals),
+    "xor": lambda vals: vals[0] ^ vals[1],
+}
+
+
+class TestCellValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            GateCell("mux", 2, TECH)
+
+    def test_inv_must_have_one_input(self):
+        with pytest.raises(ValueError):
+            GateCell("inv", 2, TECH)
+
+    def test_xor_must_have_two_inputs(self):
+        with pytest.raises(ValueError):
+            GateCell("xor", 3, TECH)
+
+    def test_fanin_bounds(self):
+        with pytest.raises(ValueError):
+            GateCell("nand", 1, TECH)
+        with pytest.raises(ValueError):
+            GateCell("nand", 9, TECH)
+
+    def test_names(self):
+        assert GateCell("inv", 1, TECH).name == "INV"
+        assert GateCell("nand", 3, TECH).name == "NAND3"
+
+    def test_controlling_values(self):
+        assert GateCell("nand", 2, TECH).controlling_value == 0
+        assert GateCell("and", 2, TECH).controlling_value == 0
+        assert GateCell("nor", 2, TECH).controlling_value == 1
+        assert GateCell("or", 2, TECH).controlling_value == 1
+        assert GateCell("inv", 1, TECH).controlling_value is None
+        assert GateCell("xor", 2, TECH).controlling_value is None
+
+    def test_inverting_flags(self):
+        assert GateCell("nand", 2, TECH).inverting is True
+        assert GateCell("or", 2, TECH).inverting is False
+        assert GateCell("xor", 2, TECH).inverting is None
+
+    def test_input_capacitance_positive(self):
+        cell = GateCell("nand", 3, TECH)
+        assert cell.input_capacitance(0) > 0
+        assert GateCell("xor", 2, TECH).input_capacitance(0) > cell.input_capacitance(0)
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("kind", ["inv", "buf"])
+    def test_single_input_cells(self, kind):
+        cell = GateCell(kind, 1, TECH)
+        for val in (0, 1):
+            assert logic_level(static_output(cell, [val])) == EXPECTED[kind]([val])
+
+    @pytest.mark.parametrize("kind", ["nand", "nor", "and", "or", "xor"])
+    def test_two_input_cells(self, kind):
+        cell = GateCell(kind, 2, TECH)
+        for vals in itertools.product((0, 1), repeat=2):
+            got = logic_level(static_output(cell, list(vals)))
+            assert got == EXPECTED[kind](list(vals)), f"{kind}{vals}"
+
+    @pytest.mark.parametrize("kind", ["nand", "nor"])
+    def test_three_input_cells(self, kind):
+        cell = GateCell(kind, 3, TECH)
+        for vals in itertools.product((0, 1), repeat=3):
+            got = logic_level(static_output(cell, list(vals)))
+            assert got == EXPECTED[kind](list(vals)), f"{kind}{vals}"
+
+
+def falling(arrival, ttime=0.5e-9):
+    return RampStimulus.transition(False, arrival, ttime, VDD)
+
+
+def rising(arrival, ttime=0.5e-9):
+    return RampStimulus.transition(True, arrival, ttime, VDD)
+
+
+def steady(value):
+    return RampStimulus.steady(value, VDD)
+
+
+class TestSimultaneousSwitchingPhenomena:
+    """The paper's Figure 1 / Figure 2 / Figure 3 phenomena."""
+
+    def test_simultaneous_to_controlling_is_faster(self):
+        nand = GateCell("nand", 2, TECH)
+        single = simulate_gate(nand, [falling(2e-9), steady(1)])
+        both = simulate_gate(nand, [falling(2e-9), falling(2e-9)])
+        assert both.output_rising and single.output_rising
+        assert both.delay_from_earliest() < 0.8 * single.delay_from_earliest()
+
+    def test_nor_simultaneous_to_controlling_is_faster(self):
+        nor = GateCell("nor", 2, TECH)
+        single = simulate_gate(nor, [rising(2e-9), steady(0)])
+        both = simulate_gate(nor, [rising(2e-9), rising(2e-9)])
+        assert not both.output_rising and not single.output_rising
+        assert both.delay_from_earliest() < 0.8 * single.delay_from_earliest()
+
+    def test_large_skew_recovers_pin_to_pin(self):
+        nand = GateCell("nand", 2, TECH)
+        single = simulate_gate(nand, [falling(2e-9), steady(1)])
+        skewed = simulate_gate(nand, [falling(2e-9), falling(2e-9 + 1.5e-9)])
+        assert skewed.delay_from_earliest() == pytest.approx(
+            single.delay_from_earliest(), rel=0.03
+        )
+
+    def test_minimum_delay_at_zero_skew(self):
+        """Claim 1 of the paper (spot check)."""
+        nand = GateCell("nand", 2, TECH)
+        delays = {}
+        for skew in (-0.2e-9, -0.1e-9, 0.0, 0.1e-9, 0.2e-9):
+            r = simulate_gate(nand, [falling(2e-9), falling(2e-9 + skew)])
+            delays[skew] = r.delay_from_earliest()
+        assert min(delays, key=delays.get) == 0.0
+
+    def test_input_position_increases_delay(self):
+        """Figure 3: farther from the output means a slower pin-to-pin."""
+        nand5 = GateCell("nand", 5, TECH)
+        delays = []
+        for pos in (0, 2, 4):
+            stimuli = [steady(1)] * 5
+            stimuli[pos] = falling(2e-9)
+            r = simulate_gate(nand5, stimuli)
+            delays.append(r.delay_from_pin(2e-9))
+        assert delays[0] < delays[1] < delays[2]
+        # The paper reports up to ~50% for its technology; ours must at
+        # least show a clearly measurable effect.
+        assert delays[2] > 1.15 * delays[0]
+
+    def test_and_cell_inherits_speedup(self):
+        and2 = GateCell("and", 2, TECH)
+        single = simulate_gate(and2, [falling(2e-9), steady(1)])
+        both = simulate_gate(and2, [falling(2e-9), falling(2e-9)])
+        assert not single.output_rising
+        assert both.delay_from_earliest() < single.delay_from_earliest()
+
+    def test_output_transition_time_grows_with_input_transition_time(self):
+        nand = GateCell("nand", 2, TECH)
+        fast = simulate_gate(nand, [falling(2e-9, 0.2e-9), steady(1)])
+        slow = simulate_gate(nand, [falling(2e-9, 1.2e-9), steady(1)])
+        assert slow.trans_time > fast.trans_time
+
+    def test_bitonic_direction_exists(self):
+        """NOR2 fall delay decreases (even below zero) for very slow inputs."""
+        nor = GateCell("nor", 2, TECH)
+        mid = simulate_gate(nor, [rising(4e-9, 1.0e-9), steady(0)])
+        slow = simulate_gate(nor, [rising(4e-9, 5.0e-9), steady(0)])
+        assert slow.delay_from_earliest() < mid.delay_from_earliest()
+        assert slow.delay_from_earliest() < 0.0
+
+
+class TestSimulateGateInterface:
+    def test_wrong_stimulus_count_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_gate(GateCell("nand", 2, TECH), [steady(1)])
+
+    def test_no_transition_delay_raises(self):
+        result = simulate_gate(
+            GateCell("nand", 2, TECH), [falling(2e-9), steady(1)]
+        )
+        result.stimuli = [steady(1), steady(1)]
+        with pytest.raises(ValueError):
+            result.delay_from_earliest()
+        with pytest.raises(ValueError):
+            result.delay_from_latest()
+
+    def test_delay_from_latest_for_noncontrolling(self):
+        nand = GateCell("nand", 2, TECH)
+        r = simulate_gate(nand, [rising(2e-9), rising(2.3e-9)])
+        assert not r.output_rising
+        assert r.delay_from_latest() == r.arrival - 2.3e-9
+
+    def test_xor_both_directions(self):
+        xor = GateCell("xor", 2, TECH)
+        r1 = simulate_gate(xor, [rising(2e-9), steady(0)])
+        assert r1.output_rising
+        r2 = simulate_gate(xor, [rising(2e-9), steady(1)])
+        assert not r2.output_rising

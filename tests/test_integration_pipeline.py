@@ -1,0 +1,149 @@
+"""End-to-end pipeline test: the workflow a downstream user would run.
+
+Generate a circuit, analyze it under both delay models, trace its
+critical path, simulate vectors against the windows, refine under ITR,
+and close with a one-fault ATPG run — asserting cross-stage consistency
+at every step.  This is the integration test that fails if any two
+layers drift apart.
+"""
+
+import random
+
+import pytest
+
+from repro.atpg import AtpgConfig, CrosstalkAtpg, generate_fault_list
+from repro.circuit import GeneratorConfig, generate_circuit
+from repro.itr import ItrEngine, TwoFrame
+from repro.models import PinToPinModel, VShapeModel
+from repro.sta import (
+    PiStimulus,
+    TimingAnalyzer,
+    TimingReporter,
+    TimingSimulator,
+)
+
+NS = 1e-9
+
+
+@pytest.fixture(scope="module")
+def pipeline(library):
+    circuit = generate_circuit(
+        "pipeline",
+        GeneratorConfig(n_inputs=8, n_outputs=4, n_gates=60, seed=4242),
+    )
+    analyzer = TimingAnalyzer(circuit, library, VShapeModel())
+    result = analyzer.analyze()
+    return circuit, analyzer, result
+
+
+class TestPipeline:
+    def test_models_agree_on_max_and_order_on_min(self, pipeline, library):
+        circuit, _, ours = pipeline
+        base = TimingAnalyzer(circuit, library, PinToPinModel()).analyze()
+        assert ours.output_max_arrival() == pytest.approx(
+            base.output_max_arrival(), rel=1e-4
+        )
+        assert ours.output_min_arrival() <= base.output_min_arrival() + 1e-15
+
+    def test_critical_path_is_simulatable(self, pipeline, library):
+        """Drive the traced critical path's startpoint and watch the
+        endpoint respond inside its STA window."""
+        circuit, analyzer, result = pipeline
+        reporter = TimingReporter(analyzer, result)
+        path = reporter.critical_path()
+        sim = TimingSimulator(circuit, library, VShapeModel())
+        rng = random.Random(1)
+        start, start_rising = path.stages[0].line, path.stages[0].rising
+        for _ in range(40):
+            stimuli = {
+                pi: PiStimulus(rng.randint(0, 1), rng.randint(0, 1))
+                for pi in circuit.inputs
+            }
+            stimuli[start] = PiStimulus.transition(start_rising)
+            run = sim.run(stimuli)
+            event = run.events[path.endpoint]
+            if event is None:
+                continue
+            window = result.line(path.endpoint).window(event.rising)
+            assert window.contains_event(event.arrival, event.trans, tol=1e-12)
+            assert event.arrival <= path.arrival + 1e-12
+
+    def test_itr_consistency_with_sta(self, pipeline, library):
+        circuit, _, result = pipeline
+        engine = ItrEngine(circuit, library, VShapeModel())
+        refined = engine.refine(engine.initial_values())
+        for line in circuit.lines:
+            for rising in (True, False):
+                a = result.line(line).window(rising)
+                b = refined.line(line).window(rising)
+                assert a.a_s == pytest.approx(b.a_s)
+                assert a.a_l == pytest.approx(b.a_l)
+
+    def test_itr_incremental_chain_stays_sound(self, pipeline, library):
+        circuit, _, _ = pipeline
+        engine = ItrEngine(circuit, library, VShapeModel())
+        rng = random.Random(7)
+        state = engine.refine(engine.initial_values())
+        sim = TimingSimulator(circuit, library, VShapeModel())
+        for _ in range(4):
+            pi = rng.choice(circuit.inputs)
+            literal = TwoFrame.parse(rng.choice(["01", "10", "11", "00"]))
+            try:
+                state = engine.refine_assign(state, pi, literal)
+            except Exception:
+                continue
+        # Simulate vectors consistent with the final assignment.
+        for _ in range(30):
+            stimuli = {}
+            for pi in circuit.inputs:
+                v = state.values[pi]
+                v1 = v.v1 if v.v1 is not None else rng.randint(0, 1)
+                v2 = v.v2 if v.v2 is not None else rng.randint(0, 1)
+                stimuli[pi] = PiStimulus(v1, v2)
+            run = sim.run(stimuli)
+            consistent = all(
+                state.values[line].intersect(
+                    TwoFrame(run.values1[line], run.values2[line])
+                )
+                is not None
+                for line in circuit.lines
+            )
+            if not consistent:
+                continue
+            for line in circuit.lines:
+                event = run.events[line]
+                if event is None:
+                    continue
+                window = state.line(line).window(event.rising)
+                assert window.is_active
+                assert window.contains_event(
+                    event.arrival, event.trans, tol=1e-12
+                )
+
+    def test_atpg_round_trip_on_generated_circuit(self, pipeline, library):
+        circuit, _, _ = pipeline
+        faults = generate_fault_list(
+            circuit, 4, seed=3, delta=0.4 * NS, window=0.4 * NS
+        )
+        atpg = CrosstalkAtpg(
+            circuit, library,
+            config=AtpgConfig(use_itr=True, backtrack_limit=16),
+        )
+        summary = atpg.run_all(faults)
+        assert len(summary.results) == 4
+        for res in summary.results:
+            assert res.status in ("detected", "untestable", "aborted")
+            if res.status == "detected":
+                assert res.vector is not None
+                assert atpg._detects(res.fault, res.vector)
+
+    def test_required_times_consistent_with_report(self, pipeline):
+        circuit, analyzer, result = pipeline
+        required = analyzer.compute_required(result)
+        reporter = TimingReporter(analyzer, result)
+        table = reporter.slack_table(required, worst=1)
+        # At default requirements the most critical endpoint has exactly
+        # zero slack and is the critical path's endpoint.
+        line, _, a_l, q_l, slack = table[0]
+        assert slack == pytest.approx(0.0, abs=1e-15)
+        assert line == reporter.critical_path().endpoint

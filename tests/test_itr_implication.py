@@ -1,0 +1,162 @@
+"""Tests for the two-frame implication engine."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import Circuit, Gate, parse_bench
+from repro.circuit.generate import C17_BENCH
+from repro.itr import (
+    Conflict,
+    TwoFrame,
+    TwoFrameImplicator,
+    XX,
+    initial_assignment,
+)
+
+V = TwoFrame.parse
+
+
+def c17():
+    return parse_bench(C17_BENCH, name="c17")
+
+
+def single_gate(kind, n=2):
+    inputs = [f"i{k}" for k in range(n)]
+    return Circuit("g", inputs, ["z"], [Gate("z", kind, inputs)])
+
+
+class TestForwardImplication:
+    def test_nand_controlled(self):
+        circuit = single_gate("nand")
+        engine = TwoFrameImplicator(circuit)
+        values = engine.assign(initial_assignment(circuit), "i0", V("00"))
+        assert values["z"] == V("11")
+
+    def test_two_frames_independent(self):
+        circuit = single_gate("and")
+        engine = TwoFrameImplicator(circuit)
+        values = initial_assignment(circuit)
+        values = engine.assign(values, "i0", V("01"))
+        values = engine.assign(values, "i1", V("11"))
+        assert values["z"] == V("01")
+
+    def test_xor_forward(self):
+        circuit = single_gate("xor")
+        engine = TwoFrameImplicator(circuit)
+        values = initial_assignment(circuit)
+        values = engine.assign(values, "i0", V("01"))
+        values = engine.assign(values, "i1", V("00"))
+        assert values["z"] == V("01")
+
+    def test_partial_knowledge_keeps_x(self):
+        circuit = single_gate("nand")
+        engine = TwoFrameImplicator(circuit)
+        values = engine.assign(initial_assignment(circuit), "i0", V("11"))
+        assert values["z"] == XX  # depends on the unknown i1
+
+
+class TestBackwardImplication:
+    def test_noncontrolled_output_forces_inputs(self):
+        circuit = single_gate("nand", 3)
+        engine = TwoFrameImplicator(circuit)
+        values = engine.assign(initial_assignment(circuit), "z", V("0x"))
+        for line in ("i0", "i1", "i2"):
+            assert values[line].v1 == 1
+
+    def test_controlled_output_last_unknown(self):
+        circuit = single_gate("nand")
+        engine = TwoFrameImplicator(circuit)
+        values = initial_assignment(circuit)
+        values = engine.assign(values, "z", V("1x"))
+        values = engine.assign(values, "i0", V("1x"))
+        # z=1 with i0=1 forces i1=0 in frame 1.
+        assert values["i1"].v1 == 0
+
+    def test_inverter_bidirectional(self):
+        circuit = Circuit("inv", ["a"], ["z"], [Gate("z", "inv", ["a"])])
+        engine = TwoFrameImplicator(circuit)
+        values = engine.assign(initial_assignment(circuit), "z", V("01"))
+        assert values["a"] == V("10")
+
+    def test_buffer_bidirectional(self):
+        circuit = Circuit("buf", ["a"], ["z"], [Gate("z", "buf", ["a"])])
+        engine = TwoFrameImplicator(circuit)
+        values = engine.assign(initial_assignment(circuit), "z", V("x0"))
+        assert values["a"].v2 == 0
+
+    def test_xor_backward_completion(self):
+        circuit = single_gate("xor")
+        engine = TwoFrameImplicator(circuit)
+        values = initial_assignment(circuit)
+        values = engine.assign(values, "z", V("11"))
+        values = engine.assign(values, "i0", V("01"))
+        assert values["i1"] == V("10")
+
+    def test_implications_cascade_through_circuit(self):
+        circuit = c17()
+        engine = TwoFrameImplicator(circuit)
+        values = initial_assignment(circuit)
+        # Force G22 = 0 in frame 1: both G10 and G16 must be 1... not
+        # immediately; but G22=0 requires G10=1 and G16=1.
+        values = engine.assign(values, "G22", V("0x"))
+        assert values["G10"].v1 == 1
+        assert values["G16"].v1 == 1
+
+
+class TestConflicts:
+    def test_direct_conflict(self):
+        circuit = single_gate("nand")
+        engine = TwoFrameImplicator(circuit)
+        values = engine.assign(initial_assignment(circuit), "i0", V("00"))
+        with pytest.raises(Conflict):
+            engine.assign(values, "z", V("0x"))  # NAND with a 0 input is 1
+
+    def test_controlled_output_without_support(self):
+        circuit = single_gate("and")
+        engine = TwoFrameImplicator(circuit)
+        values = initial_assignment(circuit)
+        values = engine.assign(values, "i0", V("1x"))
+        values = engine.assign(values, "i1", V("1x"))
+        with pytest.raises(Conflict):
+            engine.assign(values, "z", V("0x"))
+
+    def test_assign_does_not_mutate_input(self):
+        circuit = single_gate("nand")
+        engine = TwoFrameImplicator(circuit)
+        values = initial_assignment(circuit)
+        engine.assign(values, "i0", V("00"))
+        assert values["i0"] == XX
+
+
+class TestSoundnessProperty:
+    def test_implications_agree_with_exhaustive_simulation(self):
+        """Any implied definite frame value must hold in every completion."""
+        circuit = c17()
+        engine = TwoFrameImplicator(circuit)
+        values = initial_assignment(circuit)
+        values = engine.assign(values, "G23", V("01"))
+        values = engine.assign(values, "G1", V("11"))
+        # Enumerate all PI completions consistent with the assignment and
+        # check the implied values are never contradicted.
+        pis = circuit.inputs
+        for frame in (1, 2):
+            def framed(v):
+                return v.v1 if frame == 1 else v.v2
+
+            consistent = []
+            for bits in itertools.product((0, 1), repeat=len(pis)):
+                assignment = dict(zip(pis, bits))
+                ok = all(
+                    framed(values[pi]) in (None, assignment[pi]) for pi in pis
+                )
+                if not ok:
+                    continue
+                evaluated = circuit.evaluate(assignment)
+                if all(
+                    framed(values[line]) in (None, evaluated[line])
+                    for line in circuit.lines
+                ):
+                    consistent.append(assignment)
+            # The assignment must remain satisfiable in both frames.
+            assert consistent

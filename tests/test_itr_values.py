@@ -1,0 +1,102 @@
+"""Tests for the nine-valued two-frame logic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.itr.values import NINE_VALUES, TwoFrame, XX
+from repro.sta.windows import DEFINITE, IMPOSSIBLE, POTENTIAL
+
+two_frames = st.sampled_from(sorted(NINE_VALUES)).map(NINE_VALUES.get)
+
+
+class TestConstruction:
+    def test_nine_values_enumerated(self):
+        assert len(NINE_VALUES) == 9
+        assert str(NINE_VALUES["0x"]) == "0x"
+
+    def test_parse_round_trip(self):
+        for name, value in NINE_VALUES.items():
+            assert TwoFrame.parse(name) == value
+            assert str(value) == name
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("012", "2x", "", "ab"):
+            with pytest.raises(ValueError):
+                TwoFrame.parse(bad)
+
+    def test_bad_frame_value_rejected(self):
+        with pytest.raises(ValueError):
+            TwoFrame(2, 0)
+
+
+class TestStates:
+    def test_paper_table_for_rising(self):
+        """01 -> definite; 0x, x1, xx -> potential; others -> impossible."""
+        expected = {
+            "01": DEFINITE,
+            "0x": POTENTIAL, "x1": POTENTIAL, "xx": POTENTIAL,
+            "00": IMPOSSIBLE, "10": IMPOSSIBLE, "11": IMPOSSIBLE,
+            "1x": IMPOSSIBLE, "x0": IMPOSSIBLE,
+        }
+        for name, state in expected.items():
+            assert NINE_VALUES[name].state(True) == state, name
+
+    def test_falling_states_symmetric(self):
+        expected = {
+            "10": DEFINITE,
+            "1x": POTENTIAL, "x0": POTENTIAL, "xx": POTENTIAL,
+            "00": IMPOSSIBLE, "01": IMPOSSIBLE, "11": IMPOSSIBLE,
+            "0x": IMPOSSIBLE, "x1": IMPOSSIBLE,
+        }
+        for name, state in expected.items():
+            assert NINE_VALUES[name].state(False) == state, name
+
+    @given(value=two_frames)
+    @settings(max_examples=20, deadline=None)
+    def test_rise_and_fall_never_both_definite(self, value):
+        assert not (
+            value.state(True) == DEFINITE and value.state(False) == DEFINITE
+        )
+
+    def test_has_potential_transition(self):
+        assert NINE_VALUES["xx"].has_potential_transition(True)
+        assert not NINE_VALUES["11"].has_potential_transition(True)
+
+
+class TestIntersect:
+    def test_x_absorbs(self):
+        assert XX.intersect(NINE_VALUES["01"]) == NINE_VALUES["01"]
+        assert NINE_VALUES["0x"].intersect(NINE_VALUES["x1"]) == NINE_VALUES["01"]
+
+    def test_conflict_returns_none(self):
+        assert NINE_VALUES["01"].intersect(NINE_VALUES["10"]) is None
+        assert NINE_VALUES["0x"].intersect(NINE_VALUES["1x"]) is None
+
+    def test_idempotent(self):
+        for value in NINE_VALUES.values():
+            assert value.intersect(value) == value
+
+    @given(a=two_frames, b=two_frames)
+    @settings(max_examples=81, deadline=None)
+    def test_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(a=two_frames, b=two_frames)
+    @settings(max_examples=81, deadline=None)
+    def test_result_refines_both(self, a, b):
+        result = a.intersect(b)
+        if result is not None:
+            assert result.refines(a)
+            assert result.refines(b)
+
+
+class TestRefines:
+    def test_specific_refines_general(self):
+        assert NINE_VALUES["01"].refines(NINE_VALUES["0x"])
+        assert NINE_VALUES["01"].refines(XX)
+        assert not NINE_VALUES["0x"].refines(NINE_VALUES["01"])
+
+    def test_fully_specified(self):
+        assert NINE_VALUES["10"].is_fully_specified
+        assert not NINE_VALUES["1x"].is_fully_specified

@@ -1,0 +1,128 @@
+"""Tests for CellLibrary containers and JSON round-tripping."""
+
+import pytest
+
+from repro.characterize.library import (
+    CellLibrary,
+    arc_key,
+    pair_key,
+)
+from tests.synthetic import make_inv, make_nand, make_xor
+
+NS = 1e-9
+
+
+class TestKeys:
+    def test_arc_key_format(self):
+        assert arc_key(0, True, False) == "0:RF"
+        assert arc_key(3, False, True) == "3:FR"
+
+    def test_pair_key_is_unordered(self):
+        assert pair_key(2, 0) == "0-2"
+        assert pair_key(0, 2) == "0-2"
+
+
+class TestCellTiming:
+    def test_arc_lookup(self):
+        cell = make_nand(2)
+        arc = cell.arc(0, False, True)
+        assert arc.pin == 0 and not arc.in_rising and arc.out_rising
+
+    def test_missing_arc_raises(self):
+        cell = make_nand(2)
+        with pytest.raises(KeyError):
+            cell.arc(0, False, False)
+
+    def test_has_arc(self):
+        cell = make_nand(2)
+        assert cell.has_arc(1, True, False)
+        assert not cell.has_arc(1, True, True)
+
+    def test_ctrl_arc_direction(self):
+        nand = make_nand(2)
+        arc = nand.ctrl_arc(0)
+        assert arc.in_rising is False and arc.out_rising is True
+
+    def test_ctrl_arc_without_cv_raises(self):
+        inv = make_inv()
+        with pytest.raises(ValueError):
+            inv.ctrl_arc(0)
+
+    def test_ctrl_input_rising(self):
+        assert make_nand(2).ctrl_input_rising is False
+        assert make_inv().ctrl_input_rising is None
+
+    def test_load_adjustment_sign(self):
+        cell = make_nand(2)
+        heavier = cell.load_adjusted_delay(True, cell.ref_load + 5e-15)
+        lighter = cell.load_adjusted_delay(True, cell.ref_load - 2e-15)
+        assert heavier > 0 > lighter
+        assert cell.load_adjusted_delay(True, cell.ref_load) == 0.0
+
+    def test_arc_clamp(self):
+        arc = make_nand(2).arc(0, False, True)
+        assert arc.clamp(1e-12) == arc.t_lo
+        assert arc.clamp(9 * NS) == arc.t_hi
+        assert arc.clamp(0.5 * NS) == 0.5 * NS
+
+
+class TestLibrarySerialization:
+    def make_library(self):
+        return CellLibrary(
+            tech_name="generic-0.5um",
+            vdd=3.3,
+            cells={
+                "NAND2": make_nand(2),
+                "NAND3": make_nand(3),
+                "INV": make_inv(),
+                "XOR2": make_xor(),
+            },
+            meta={"note": "synthetic"},
+        )
+
+    def test_round_trip_preserves_evaluation(self, tmp_path):
+        lib = self.make_library()
+        path = tmp_path / "lib.json"
+        lib.save(path)
+        loaded = CellLibrary.load(path)
+        assert set(loaded.cells) == set(lib.cells)
+        for name in lib.cells:
+            a = lib.cells[name]
+            b = loaded.cells[name]
+            assert a.n_inputs == b.n_inputs
+            assert a.controlling_value == b.controlling_value
+            for key in a.arcs:
+                t = 0.37 * NS
+                assert a.arcs[key].delay(t) == pytest.approx(
+                    b.arcs[key].delay(t), rel=1e-12
+                )
+        nand_a = lib.cells["NAND3"].ctrl
+        nand_b = loaded.cells["NAND3"].ctrl
+        assert nand_a.d0(0.4e-9, 0.5e-9) == pytest.approx(
+            nand_b.d0(0.4e-9, 0.5e-9), rel=1e-12
+        )
+        assert nand_a.multi_scale == nand_b.multi_scale
+        assert loaded.meta["note"] == "synthetic"
+
+    def test_cell_lookup_error_names_candidates(self):
+        lib = self.make_library()
+        with pytest.raises(KeyError, match="NAND2"):
+            lib.cell("NAND99")
+
+    def test_contains(self):
+        lib = self.make_library()
+        assert "INV" in lib
+        assert "NOR2" not in lib
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            CellLibrary.load(path)
+
+    def test_inv_has_no_ctrl_block(self, tmp_path):
+        lib = self.make_library()
+        path = tmp_path / "lib.json"
+        lib.save(path)
+        loaded = CellLibrary.load(path)
+        assert loaded.cells["INV"].ctrl is None

@@ -1,0 +1,100 @@
+"""Tests for three-valued gate evaluation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.logic import (
+    CONTROLLING_VALUE,
+    controlled_output,
+    evaluate_gate,
+    noncontrolled_output,
+)
+
+BINARY_TRUTH = {
+    "and": lambda vals: int(all(vals)),
+    "nand": lambda vals: int(not all(vals)),
+    "or": lambda vals: int(any(vals)),
+    "nor": lambda vals: int(not any(vals)),
+    "xor": lambda vals: sum(vals) % 2,
+    "xnor": lambda vals: 1 - sum(vals) % 2,
+}
+
+
+class TestBinaryEvaluation:
+    @pytest.mark.parametrize("kind", sorted(BINARY_TRUTH))
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_matches_truth_table(self, kind, n):
+        for vals in itertools.product((0, 1), repeat=n):
+            assert evaluate_gate(kind, list(vals)) == BINARY_TRUTH[kind](vals)
+
+    def test_inv_and_buf(self):
+        assert evaluate_gate("inv", [0]) == 1
+        assert evaluate_gate("inv", [1]) == 0
+        assert evaluate_gate("buf", [0]) == 0
+        assert evaluate_gate("buf", [1]) == 1
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            evaluate_gate("mux", [0, 1])
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError):
+            evaluate_gate("inv", [0, 1])
+        with pytest.raises(ValueError):
+            evaluate_gate("nand", [0])
+
+
+class TestUnknownPropagation:
+    def test_controlling_value_dominates_x(self):
+        assert evaluate_gate("nand", [0, None]) == 1
+        assert evaluate_gate("and", [0, None]) == 0
+        assert evaluate_gate("nor", [1, None]) == 0
+        assert evaluate_gate("or", [1, None]) == 1
+
+    def test_noncontrolling_with_x_stays_unknown(self):
+        assert evaluate_gate("nand", [1, None]) is None
+        assert evaluate_gate("or", [0, None]) is None
+
+    def test_xor_with_x_is_unknown(self):
+        assert evaluate_gate("xor", [1, None]) is None
+        assert evaluate_gate("xnor", [None, None]) is None
+
+    def test_inv_of_x(self):
+        assert evaluate_gate("inv", [None]) is None
+
+    @given(
+        kind=st.sampled_from(sorted(BINARY_TRUTH)),
+        vals=st.lists(st.sampled_from([0, 1, None]), min_size=2, max_size=5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_x_result_is_consistent_with_completions(self, kind, vals):
+        """If evaluation returns a definite value, every completion of the
+        X inputs must produce that value."""
+        result = evaluate_gate(kind, vals)
+        if result is None:
+            return
+        unknown_positions = [i for i, v in enumerate(vals) if v is None]
+        for combo in itertools.product((0, 1), repeat=len(unknown_positions)):
+            completed = list(vals)
+            for pos, val in zip(unknown_positions, combo):
+                completed[pos] = val
+            assert evaluate_gate(kind, completed) == result
+
+
+class TestControlledOutputs:
+    def test_controlled_output_values(self):
+        assert controlled_output("nand") == 1
+        assert controlled_output("and") == 0
+        assert controlled_output("nor") == 0
+        assert controlled_output("or") == 1
+        assert controlled_output("xor") is None
+
+    def test_noncontrolled_is_complement(self):
+        for kind, cv in CONTROLLING_VALUE.items():
+            if cv is None:
+                assert noncontrolled_output(kind) is None
+            else:
+                assert noncontrolled_output(kind) == 1 - controlled_output(kind)

@@ -1,0 +1,138 @@
+"""Unit tests for the table-lookup baseline model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (
+    InputEvent,
+    LookupModel,
+    LookupTable,
+    ModelCoverageError,
+)
+from tests.synthetic import REF_LOAD, make_nand
+
+NS = 1e-9
+
+
+def make_table():
+    """A hand-built table: delay = 0.1ns + |skew| * 0.1, trans = 0.2ns."""
+    t_grid = np.array([0.2 * NS, 0.6 * NS, 1.0 * NS])
+    skew_grid = np.array([-0.4 * NS, 0.0, 0.4 * NS])
+    shape = (3, 3, 3)
+    delay = np.zeros(shape)
+    trans = np.full(shape, 0.2 * NS)
+    for k, skew in enumerate(skew_grid):
+        delay[:, :, k] = 0.1 * NS + abs(skew) * 0.1
+    return LookupTable(
+        pins=(0, 1),
+        t_p_grid=t_grid,
+        t_q_grid=t_grid,
+        skew_grid=skew_grid,
+        delay=delay,
+        trans=trans,
+    )
+
+
+class TestLookupTable:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LookupTable(
+                pins=(0, 1),
+                t_p_grid=np.array([1.0, 2.0]),
+                t_q_grid=np.array([1.0, 2.0]),
+                skew_grid=np.array([0.0]),
+                delay=np.zeros((2, 2, 2)),  # wrong skew axis
+                trans=np.zeros((2, 2, 1)),
+            )
+
+    def test_exact_grid_points(self):
+        table = make_table()
+        d, t = table.interpolate(0.2 * NS, 0.2 * NS, 0.0)
+        assert d == pytest.approx(0.1 * NS)
+        assert t == pytest.approx(0.2 * NS)
+
+    def test_interpolation_between_points(self):
+        table = make_table()
+        d, _ = table.interpolate(0.4 * NS, 0.6 * NS, 0.2 * NS)
+        assert d == pytest.approx(0.1 * NS + 0.02 * NS)
+
+    def test_clamping_at_edges(self):
+        table = make_table()
+        inside, _ = table.interpolate(0.2 * NS, 0.2 * NS, -0.4 * NS)
+        outside, _ = table.interpolate(0.05 * NS, 0.2 * NS, -5 * NS)
+        assert outside == pytest.approx(inside)
+
+    @given(
+        t_p=st.floats(min_value=0.1e-9, max_value=1.2e-9),
+        t_q=st.floats(min_value=0.1e-9, max_value=1.2e-9),
+        skew=st.floats(min_value=-0.6e-9, max_value=0.6e-9),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_interpolation_bounded_by_table(self, t_p, t_q, skew):
+        table = make_table()
+        d, t = table.interpolate(t_p, t_q, skew)
+        assert table.delay.min() - 1e-18 <= d <= table.delay.max() + 1e-18
+        assert table.trans.min() - 1e-18 <= t <= table.trans.max() + 1e-18
+
+
+class TestLookupModel:
+    def events(self, skew=0.0):
+        return [
+            InputEvent(0, 1 * NS, 0.4 * NS, False),
+            InputEvent(1, 1 * NS + skew, 0.4 * NS, False),
+        ]
+
+    def test_pair_query(self):
+        model = LookupModel(make_table())
+        cell = make_nand(2)
+        delay, trans = model.controlling_response(
+            cell, self.events(), REF_LOAD
+        )
+        assert delay == pytest.approx(0.1 * NS)
+        assert trans == pytest.approx(0.2 * NS)
+
+    def test_skew_sign_convention(self):
+        model = LookupModel(make_table())
+        cell = make_nand(2)
+        d_pos, _ = model.controlling_response(
+            cell, self.events(skew=0.4 * NS), REF_LOAD
+        )
+        assert d_pos == pytest.approx(0.1 * NS + 0.04 * NS)
+
+    def test_single_event_uses_arcs(self):
+        model = LookupModel(make_table())
+        cell = make_nand(2)
+        delay, _ = model.controlling_response(
+            cell, [InputEvent(0, 1 * NS, 0.5 * NS, False)], REF_LOAD
+        )
+        assert delay == pytest.approx(0.15 * NS)  # synthetic arc value
+
+    def test_three_events_uncovered(self):
+        model = LookupModel(make_table())
+        cell = make_nand(3)
+        events = [
+            InputEvent(p, 1 * NS, 0.4 * NS, False) for p in range(3)
+        ]
+        with pytest.raises(ModelCoverageError):
+            model.controlling_response(cell, events, REF_LOAD)
+
+    def test_wrong_pins_uncovered(self):
+        model = LookupModel(make_table())
+        cell = make_nand(3)
+        events = [
+            InputEvent(1, 1 * NS, 0.4 * NS, False),
+            InputEvent(2, 1 * NS, 0.4 * NS, False),
+        ]
+        with pytest.raises(ModelCoverageError):
+            model.controlling_response(cell, events, REF_LOAD)
+
+    def test_load_adjustment_applied(self):
+        model = LookupModel(make_table())
+        cell = make_nand(2)
+        light, _ = model.controlling_response(cell, self.events(), REF_LOAD)
+        heavy, _ = model.controlling_response(
+            cell, self.events(), REF_LOAD + 10e-15
+        )
+        assert heavy > light

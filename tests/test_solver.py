@@ -1,0 +1,136 @@
+"""Tests for the transient solver on small hand-checkable circuits."""
+
+import numpy as np
+import pytest
+
+from repro.spice.gates import GateCell, OUT_NODE, input_node
+from repro.spice.netlist import GND, SpiceCircuit
+from repro.spice.solver import TransientSolver
+from repro.spice.waveform import RampStimulus
+from repro.tech import GENERIC_05UM as TECH
+
+VDD = TECH.vdd
+
+
+def inverter_circuit(stim, load=5e-15):
+    cell = GateCell("inv", 1, TECH)
+    circuit = cell.build(load_cap=load)
+    circuit.set_source(input_node(0), stim)
+    return circuit
+
+
+class TestSettle:
+    def test_inverter_dc_high(self):
+        circuit = inverter_circuit(RampStimulus.steady(0, VDD))
+        solver = TransientSolver(circuit)
+        x = solver.settle(0.0)
+        out = x[solver.free.index(OUT_NODE)]
+        assert out == pytest.approx(VDD, abs=0.05)
+
+    def test_inverter_dc_low(self):
+        circuit = inverter_circuit(RampStimulus.steady(1, VDD))
+        solver = TransientSolver(circuit)
+        x = solver.settle(0.0)
+        out = x[solver.free.index(OUT_NODE)]
+        assert out == pytest.approx(0.0, abs=0.05)
+
+    def test_nand_internal_node_discharged_when_path_on(self):
+        cell = GateCell("nand", 2, TECH)
+        circuit = cell.build()
+        circuit.set_source(input_node(0), RampStimulus.steady(1, VDD))
+        circuit.set_source(input_node(1), RampStimulus.steady(1, VDD))
+        solver = TransientSolver(circuit)
+        x = solver.settle(0.0)
+        internal = x[solver.free.index("xm1")]
+        assert internal == pytest.approx(0.0, abs=0.05)
+
+
+class TestTransient:
+    def test_inverter_switches(self):
+        stim = RampStimulus.transition(True, 1e-9, 0.3e-9, VDD)
+        circuit = inverter_circuit(stim)
+        solver = TransientSolver(circuit)
+        res = solver.run(0.0, 4e-9, 2e-12)
+        out = res[OUT_NODE]
+        assert out.values[0] == pytest.approx(VDD, abs=0.05)
+        assert out.values[-1] == pytest.approx(0.0, abs=0.05)
+        assert out.final_transition_rising() is False
+
+    def test_output_delay_positive_for_fast_input(self):
+        stim = RampStimulus.transition(True, 1e-9, 0.2e-9, VDD)
+        circuit = inverter_circuit(stim)
+        res = TransientSolver(circuit).run(0.0, 4e-9, 2e-12)
+        assert res[OUT_NODE].arrival_time() > 1e-9
+
+    def test_larger_load_slows_output(self):
+        stim = RampStimulus.transition(True, 1e-9, 0.3e-9, VDD)
+        fast = TransientSolver(inverter_circuit(stim, load=2e-15)).run(
+            0.0, 5e-9, 2e-12
+        )
+        slow = TransientSolver(inverter_circuit(stim, load=30e-15)).run(
+            0.0, 5e-9, 2e-12
+        )
+        assert (
+            slow[OUT_NODE].arrival_time() > fast[OUT_NODE].arrival_time()
+        )
+        assert (
+            slow[OUT_NODE].transition_time()
+            > fast[OUT_NODE].transition_time()
+        )
+
+    def test_driven_nodes_recorded_exactly(self):
+        stim = RampStimulus.transition(True, 1e-9, 0.4e-9, VDD)
+        circuit = inverter_circuit(stim)
+        res = TransientSolver(circuit).run(0.0, 3e-9, 2e-12)
+        inp = res[input_node(0)]
+        assert inp.arrival_time() == pytest.approx(1e-9, rel=1e-3)
+        assert inp.transition_time() == pytest.approx(0.4e-9, rel=1e-2)
+
+    def test_invalid_run_arguments(self):
+        circuit = inverter_circuit(RampStimulus.steady(0, VDD))
+        solver = TransientSolver(circuit)
+        with pytest.raises(ValueError):
+            solver.run(1e-9, 0.0, 1e-12)
+        with pytest.raises(ValueError):
+            solver.run(0.0, 1e-9, 0.0)
+
+    def test_coarsening_reduces_sample_count(self):
+        stim = RampStimulus.transition(True, 1e-9, 0.3e-9, VDD)
+        dense = TransientSolver(inverter_circuit(stim)).run(0.0, 6e-9, 2e-12)
+        sparse = TransientSolver(inverter_circuit(stim)).run(
+            0.0, 6e-9, 2e-12, coarsen_after=2e-9
+        )
+        assert len(sparse[OUT_NODE].times) < len(dense[OUT_NODE].times)
+
+    def test_energy_conservation_sanity(self):
+        """Output never exceeds the rails by more than solver slack."""
+        stim = RampStimulus.transition(False, 1e-9, 0.5e-9, VDD)
+        circuit = inverter_circuit(stim)
+        res = TransientSolver(circuit).run(0.0, 5e-9, 2e-12)
+        out = res[OUT_NODE].values
+        assert np.all(out > -0.2)
+        assert np.all(out < VDD + 0.2)
+
+
+class TestChargeSharing:
+    def test_nand_internal_node_charge_redistribution(self):
+        """A floating internal stack node moves when the gate above opens.
+
+        This is the mechanism behind the paper's input-position effect, so
+        the simulator must capture it.
+        """
+        cell = GateCell("nand", 2, TECH)
+        circuit = cell.build()
+        # X (position 0) opens while Y (position 1) stays off: the internal
+        # node between them gets pulled toward the output level.
+        circuit.set_source(
+            input_node(0), RampStimulus.transition(True, 1e-9, 0.3e-9, VDD)
+        )
+        circuit.set_source(input_node(1), RampStimulus.steady(0, VDD))
+        solver = TransientSolver(circuit)
+        res = solver.run(0.0, 6e-9, 2e-12, record=[OUT_NODE, "xm1"])
+        internal = res["xm1"]
+        # Output must stay high (Y holds the pull-up on, pull-down is cut),
+        # while the internal node charges up through the open X transistor.
+        assert res[OUT_NODE].values[-1] > 0.9 * VDD
+        assert internal.values[-1] > internal.values[0] + 0.5

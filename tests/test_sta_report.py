@@ -1,0 +1,95 @@
+"""Tests for timing-path tracing and slack reports."""
+
+import pytest
+
+from repro.models import VShapeModel
+from repro.sta import TimingAnalyzer, TimingReporter
+
+NS = 1e-9
+
+
+@pytest.fixture(scope="module")
+def reporter(c17, library):
+    analyzer = TimingAnalyzer(c17, library, VShapeModel())
+    result = analyzer.analyze()
+    return TimingReporter(analyzer, result), analyzer, result
+
+
+class TestPathTracing:
+    def test_critical_path_structure(self, reporter, c17):
+        rep, _, result = reporter
+        path = rep.critical_path()
+        assert path.kind == "max"
+        # Starts at a primary input, ends at a primary output.
+        assert c17.is_primary_input(path.startpoint)
+        assert path.endpoint in c17.outputs
+        assert path.arrival == pytest.approx(result.output_max_arrival())
+
+    def test_arrivals_monotone_along_path(self, reporter):
+        rep, _, _ = reporter
+        path = rep.critical_path()
+        arrivals = [stage.arrival for stage in path.stages]
+        assert arrivals == sorted(arrivals)
+
+    def test_stages_are_connected(self, reporter, c17):
+        rep, _, _ = reporter
+        path = rep.critical_path()
+        for upstream, downstream in zip(path.stages, path.stages[1:]):
+            gate = c17.driver(downstream.line)
+            assert gate is not None
+            assert upstream.line in gate.inputs
+
+    def test_shortest_path(self, reporter, c17, library):
+        rep, _, result = reporter
+        path = rep.shortest_path()
+        assert path.kind == "min"
+        assert path.arrival == pytest.approx(result.output_min_arrival())
+        assert c17.is_primary_input(path.startpoint)
+
+    def test_trace_impossible_direction_raises(self, c17, library):
+        from repro.itr import ItrEngine, TwoFrame
+
+        engine = ItrEngine(c17, library, VShapeModel())
+        values = engine.assign(engine.initial_values(), "G1", TwoFrame.parse("11"))
+        refined = engine.refine(values)
+        rep = TimingReporter(engine.analyzer, refined.sta)
+        with pytest.raises(ValueError):
+            rep.trace("G1", True, kind="max")
+
+    def test_format_mentions_cells(self, reporter):
+        rep, _, _ = reporter
+        text = rep.critical_path().format()
+        assert "NAND2" in text
+        assert "primary input" in text
+        assert "ns" in text
+
+
+class TestSlackTable:
+    def test_sorted_by_slack(self, reporter):
+        rep, analyzer, result = reporter
+        required = analyzer.compute_required(result)
+        table = rep.slack_table(required)
+        slacks = [row[-1] for row in table]
+        assert slacks == sorted(slacks)
+
+    def test_zero_worst_slack_at_default_requirements(self, reporter):
+        rep, analyzer, result = reporter
+        required = analyzer.compute_required(result)
+        table = rep.slack_table(required, worst=1)
+        assert table[0][-1] == pytest.approx(0.0, abs=1e-15)
+
+    def test_worst_limits_rows(self, reporter):
+        rep, analyzer, result = reporter
+        required = analyzer.compute_required(result)
+        assert len(rep.slack_table(required, worst=2)) == 2
+
+
+class TestReportCli:
+    def test_report_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "c17", "--worst", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "latest path" in out
+        assert "earliest path" in out
+        assert "slack" in out

@@ -1,0 +1,138 @@
+"""Tests for timing windows and required-time windows."""
+
+import math
+
+import pytest
+
+from repro.sta.windows import (
+    DEFINITE,
+    DirWindow,
+    IMPOSSIBLE,
+    LineRequired,
+    LineTiming,
+    POTENTIAL,
+    RequiredWindow,
+)
+
+NS = 1e-9
+
+
+class TestDirWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DirWindow(a_s=2 * NS, a_l=1 * NS)
+        with pytest.raises(ValueError):
+            DirWindow(t_s=2 * NS, t_l=1 * NS)
+        with pytest.raises(ValueError):
+            DirWindow(state=5)
+
+    def test_impossible_window(self):
+        w = DirWindow.impossible()
+        assert not w.is_active
+        assert not w.contains_event(0.0, 0.0)
+        assert w.arrival_width() == 0.0
+
+    def test_point_window(self):
+        w = DirWindow.point(1 * NS, 0.2 * NS)
+        assert w.a_s == w.a_l == 1 * NS
+        assert w.is_definite
+        assert w.contains_event(1 * NS, 0.2 * NS)
+
+    def test_contains_event_with_tolerance(self):
+        w = DirWindow(1 * NS, 2 * NS, 0.1 * NS, 0.3 * NS)
+        assert w.contains_event(1 * NS, 0.1 * NS)
+        assert w.contains_event(2 * NS + 5e-14, 0.3 * NS)
+        assert not w.contains_event(2.1 * NS, 0.2 * NS)
+        assert not w.contains_event(1.5 * NS, 0.4 * NS)
+
+    def test_contains_window(self):
+        outer = DirWindow(0.0, 3 * NS, 0.1 * NS, 0.5 * NS)
+        inner = DirWindow(1 * NS, 2 * NS, 0.2 * NS, 0.3 * NS)
+        assert outer.contains_window(inner)
+        assert not inner.contains_window(outer)
+        assert inner.contains_window(DirWindow.impossible())
+        assert not DirWindow.impossible().contains_window(inner)
+
+    def test_overlaps_arrivals(self):
+        a = DirWindow(0.0, 2 * NS, 0.1 * NS, 0.1 * NS)
+        b = DirWindow(1 * NS, 3 * NS, 0.1 * NS, 0.1 * NS)
+        c = DirWindow(2.5 * NS, 4 * NS, 0.1 * NS, 0.1 * NS)
+        assert a.overlaps_arrivals(b)
+        assert not a.overlaps_arrivals(c)
+        assert not a.overlaps_arrivals(DirWindow.impossible())
+
+
+class TestLineTiming:
+    def test_window_accessors(self):
+        timing = LineTiming()
+        new = DirWindow(1 * NS, 2 * NS, 0.1 * NS, 0.2 * NS)
+        timing.set_window(True, new)
+        assert timing.window(True) is new
+        assert timing.window(False) is timing.fall
+
+    def test_earliest_latest(self):
+        timing = LineTiming(
+            rise=DirWindow(1 * NS, 2 * NS, 0.1 * NS, 0.1 * NS),
+            fall=DirWindow(0.5 * NS, 3 * NS, 0.1 * NS, 0.1 * NS),
+        )
+        assert timing.earliest_arrival() == 0.5 * NS
+        assert timing.latest_arrival() == 3 * NS
+
+    def test_earliest_ignores_impossible(self):
+        timing = LineTiming(
+            rise=DirWindow(1 * NS, 2 * NS, 0.1 * NS, 0.1 * NS),
+            fall=DirWindow.impossible(),
+        )
+        assert timing.earliest_arrival() == 1 * NS
+
+    def test_all_impossible_returns_none(self):
+        timing = LineTiming(
+            rise=DirWindow.impossible(), fall=DirWindow.impossible()
+        )
+        assert timing.earliest_arrival() is None
+        assert timing.latest_arrival() is None
+
+
+class TestRequiredWindow:
+    def test_default_is_unbounded(self):
+        req = RequiredWindow()
+        assert req.q_s == -math.inf and req.q_l == math.inf
+
+    def test_tighten_takes_intersection(self):
+        a = RequiredWindow(1 * NS, 5 * NS)
+        b = RequiredWindow(2 * NS, 4 * NS)
+        t = a.tighten(b)
+        assert (t.q_s, t.q_l) == (2 * NS, 4 * NS)
+
+    def test_slacks(self):
+        req = RequiredWindow(1 * NS, 3 * NS)
+        window = DirWindow(1.5 * NS, 2.5 * NS, 0.1 * NS, 0.1 * NS)
+        assert req.setup_slack(window) == pytest.approx(0.5 * NS)
+        assert req.hold_slack(window) == pytest.approx(0.5 * NS)
+        late = DirWindow(1.5 * NS, 3.5 * NS, 0.1 * NS, 0.1 * NS)
+        assert req.setup_slack(late) == pytest.approx(-0.5 * NS)
+        early = DirWindow(0.5 * NS, 2.5 * NS, 0.1 * NS, 0.1 * NS)
+        assert req.hold_slack(early) == pytest.approx(-0.5 * NS)
+
+    def test_impossible_window_has_infinite_slack(self):
+        req = RequiredWindow(1 * NS, 3 * NS)
+        assert req.setup_slack(DirWindow.impossible()) == math.inf
+        assert req.hold_slack(DirWindow.impossible()) == math.inf
+
+
+class TestLineRequired:
+    def test_accessors(self):
+        req = LineRequired()
+        new = RequiredWindow(0.0, 1 * NS)
+        req.set_window(False, new)
+        assert req.window(False) is new
+        assert req.window(True).q_l == math.inf
+
+
+class TestStates:
+    def test_constants(self):
+        assert DEFINITE == 1 and POTENTIAL == 0 and IMPOSSIBLE == -1
+
+    def test_definite_flag(self):
+        assert DirWindow(0, 0, 0, 0, DEFINITE).is_definite
+        assert not DirWindow(0, 0, 0, 0, POTENTIAL).is_definite

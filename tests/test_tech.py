@@ -1,0 +1,43 @@
+"""Tests for the technology parameter container."""
+
+import dataclasses
+
+import pytest
+
+from repro.tech import GENERIC_05UM, Technology
+
+
+class TestTechnology:
+    def test_defaults_are_physical(self):
+        tech = GENERIC_05UM
+        assert 0 < tech.vtn < tech.vdd
+        assert 0 < tech.vtp < tech.vdd
+        assert tech.kpn > tech.kpp  # electrons are faster than holes
+        assert tech.w_n_min > 0 and tech.w_p_min > 0
+        assert tech.l_min > 0
+
+    def test_gate_cap_scales_linearly(self):
+        tech = GENERIC_05UM
+        assert tech.gate_cap(2e-6) == pytest.approx(2 * tech.gate_cap(1e-6))
+
+    def test_min_inverter_input_cap(self):
+        tech = GENERIC_05UM
+        expected = tech.gate_cap(tech.w_n_min) + tech.gate_cap(tech.w_p_min)
+        assert tech.min_inverter_input_cap() == pytest.approx(expected)
+        # Order of magnitude: a few femtofarads.
+        assert 1e-15 < tech.min_inverter_input_cap() < 50e-15
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GENERIC_05UM.vdd = 5.0
+
+    def test_custom_technology(self):
+        slow = Technology(name="slow", kpn=60e-6, kpp=20e-6)
+        assert slow.name == "slow"
+        assert slow.kpn == 60e-6
+        # Defaults survive partial overrides.
+        assert slow.vdd == GENERIC_05UM.vdd
+
+    def test_junction_cap(self):
+        tech = GENERIC_05UM
+        assert tech.junction_cap(tech.w_n_min) > 0

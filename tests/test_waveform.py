@@ -1,0 +1,164 @@
+"""Unit tests for waveform measurements and ramp stimuli."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.waveform import (
+    RampStimulus,
+    Waveform,
+    WaveformError,
+    span_of_stimuli,
+)
+
+VDD = 3.3
+
+
+def linear_ramp(t0, t1, v0, v1, n=200, pad=1e-9):
+    """A sampled saturated linear ramp from (t0, v0) to (t1, v1)."""
+    times = np.linspace(t0 - pad, t1 + pad, n)
+    vals = np.interp(times, [t0, t1], [v0, v1])
+    return Waveform(times, vals, VDD)
+
+
+class TestWaveformConstruction:
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0]), VDD)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0]), np.array([0.0]), VDD)
+
+
+class TestCrossings:
+    def test_single_rising_crossing_interpolated(self):
+        w = linear_ramp(0.0, 1e-9, 0.0, VDD)
+        t = w.cross_time(0.5 * VDD, rising=True)
+        assert t == pytest.approx(0.5e-9, rel=1e-6)
+
+    def test_direction_filter(self):
+        # Up then down: a pulse.
+        times = np.linspace(0, 4e-9, 400)
+        vals = np.where(times < 2e-9, times / 2e-9 * VDD, (4e-9 - times) / 2e-9 * VDD)
+        w = Waveform(times, vals, VDD)
+        up = w.cross_time(0.5 * VDD, rising=True)
+        down = w.cross_time(0.5 * VDD, rising=False)
+        assert up < down
+        assert up == pytest.approx(1e-9, rel=1e-2)
+        assert down == pytest.approx(3e-9, rel=1e-2)
+
+    def test_missing_crossing_raises(self):
+        w = Waveform(np.array([0.0, 1e-9]), np.array([0.0, 0.1]), VDD)
+        with pytest.raises(WaveformError):
+            w.cross_time(0.5 * VDD)
+
+    def test_no_crossing_of_half_vdd_raises_on_arrival(self):
+        w = Waveform(np.array([0.0, 1e-9]), np.array([0.0, 0.2]), VDD)
+        with pytest.raises(WaveformError):
+            w.arrival_time()
+
+
+class TestPaperMeasurements:
+    def test_arrival_is_half_vdd_crossing(self):
+        w = linear_ramp(1e-9, 2e-9, 0.0, VDD)
+        assert w.arrival_time() == pytest.approx(1.5e-9, rel=1e-6)
+
+    def test_transition_time_is_ten_ninety(self):
+        w = linear_ramp(0.0, 1e-9, 0.0, VDD)
+        # 10% to 90% of a 1 ns full ramp is 0.8 ns.
+        assert w.transition_time() == pytest.approx(0.8e-9, rel=1e-3)
+
+    def test_falling_measurements(self):
+        w = linear_ramp(0.0, 2e-9, VDD, 0.0)
+        assert w.final_transition_rising() is False
+        assert w.arrival_time() == pytest.approx(1e-9, rel=1e-3)
+        assert w.transition_time() == pytest.approx(1.6e-9, rel=1e-3)
+
+    def test_glitch_then_settle_uses_last_transition(self):
+        # Rise, fall, rise: final transition is rising.
+        times = np.linspace(0, 6e-9, 600)
+        seg = [0.0, VDD, 0.0, VDD]
+        knots = [0.0, 2e-9, 4e-9, 6e-9]
+        vals = np.interp(times, knots, seg)
+        w = Waveform(times, vals, VDD)
+        assert w.final_transition_rising() is True
+        assert w.arrival_time() == pytest.approx(5e-9, rel=1e-2)
+
+    def test_value_at_interpolates(self):
+        w = linear_ramp(0.0, 1e-9, 0.0, VDD)
+        assert w.value_at(0.5e-9) == pytest.approx(0.5 * VDD, rel=1e-6)
+
+
+class TestRampStimulus:
+    def test_steady_levels(self):
+        assert RampStimulus.steady(1, VDD).voltage(0.0) == VDD
+        assert RampStimulus.steady(0, VDD).voltage(5e-9) == 0.0
+        assert not RampStimulus.steady(1, VDD).is_transition
+
+    def test_transition_hits_requested_arrival_and_ttime(self):
+        stim = RampStimulus.transition(True, 2e-9, 0.8e-9, VDD)
+        # 50% at the arrival time.
+        assert stim.voltage(2e-9) == pytest.approx(0.5 * VDD, rel=1e-9)
+        # 10-90 time: solve crossings of the analytic ramp.
+        t10 = stim.start_time() + 0.1 * stim.ramp_duration()
+        t90 = stim.start_time() + 0.9 * stim.ramp_duration()
+        assert stim.voltage(t10) == pytest.approx(0.1 * VDD, rel=1e-9)
+        assert t90 - t10 == pytest.approx(0.8e-9, rel=1e-9)
+
+    def test_falling_transition(self):
+        stim = RampStimulus.transition(False, 1e-9, 0.4e-9, VDD)
+        assert stim.rising is False
+        assert stim.voltage(-1e-9) == VDD
+        assert stim.voltage(1e-9) == pytest.approx(0.5 * VDD)
+        assert stim.voltage(5e-9) == 0.0
+
+    def test_nonpositive_transition_time_rejected(self):
+        with pytest.raises(ValueError):
+            RampStimulus.transition(True, 0.0, 0.0, VDD)
+
+    def test_clipping_outside_ramp(self):
+        stim = RampStimulus.transition(True, 0.0, 1e-9, VDD)
+        assert stim.voltage(-1.0) == 0.0
+        assert stim.voltage(1.0) == VDD
+
+    @given(
+        arrival=st.floats(min_value=-5e-9, max_value=5e-9),
+        ttime=st.floats(min_value=1e-12, max_value=5e-9),
+        rising=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ramp_is_monotone_and_bounded(self, arrival, ttime, rising):
+        stim = RampStimulus.transition(rising, arrival, ttime, VDD)
+        samples = [stim.voltage(arrival + k * ttime) for k in np.linspace(-3, 3, 41)]
+        diffs = np.diff(samples)
+        assert all(v >= -1e-12 for v in (diffs if rising else -diffs))
+        assert all(-1e-12 <= v <= VDD + 1e-12 for v in samples)
+
+    def test_span_of_stimuli(self):
+        a = RampStimulus.transition(True, 1e-9, 0.8e-9, VDD)
+        b = RampStimulus.transition(False, 3e-9, 0.8e-9, VDD)
+        c = RampStimulus.steady(1, VDD)
+        start, end = span_of_stimuli([a, b, c])
+        assert start == pytest.approx(a.start_time())
+        assert end == pytest.approx(b.end_time())
+
+    def test_span_with_no_transitions(self):
+        assert span_of_stimuli([RampStimulus.steady(0, VDD)]) == (0.0, 0.0)
+
+
+class TestRampMath:
+    def test_ramp_duration_from_ten_ninety(self):
+        stim = RampStimulus.transition(True, 0.0, 0.8e-9, VDD)
+        assert stim.ramp_duration() == pytest.approx(1e-9, rel=1e-9)
+
+    def test_start_end_symmetric_about_arrival(self):
+        stim = RampStimulus.transition(True, 2e-9, 0.8e-9, VDD)
+        mid = 0.5 * (stim.start_time() + stim.end_time())
+        assert mid == pytest.approx(2e-9, abs=1e-15)
+        assert math.isclose(
+            stim.end_time() - stim.start_time(), stim.ramp_duration()
+        )
