@@ -21,7 +21,6 @@ def test_lookup_model_coverage_limitation(benchmark, library_table):
     """Table-lookup models cannot extend to more variables (ref [17])."""
     import pytest
 
-    from repro.experiments.common import default_library
     from repro.models import InputEvent, LookupModel, ModelCoverageError
 
     table, nand2 = library_table

@@ -9,6 +9,7 @@ Usage:
     python scripts/build_library.py [output.json]
 """
 
+import logging
 import sys
 import time
 from pathlib import Path
@@ -18,6 +19,8 @@ from repro.tech import GENERIC_05UM
 
 
 def main() -> int:
+    # Library code reports progress via logging; surface it here.
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
     default = (
         Path(__file__).resolve().parent.parent
         / "src" / "repro" / "data" / "lib_generic05.json"

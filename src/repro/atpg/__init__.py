@@ -2,9 +2,11 @@
 
 from .excite import ExcitationCheck, check_excitation, transition_literal
 from .faults import CrosstalkFault, FaultySimulator, generate_fault_list
+from .golden import GoldenCheck, spice_check
 from .search import (
     ABORTED,
     AtpgConfig,
+    AtpgStats,
     AtpgSummary,
     CrosstalkAtpg,
     DETECTED,
@@ -15,6 +17,7 @@ from .search import (
 __all__ = [
     "ABORTED",
     "AtpgConfig",
+    "AtpgStats",
     "AtpgSummary",
     "CrosstalkAtpg",
     "CrosstalkFault",
@@ -22,8 +25,10 @@ __all__ = [
     "ExcitationCheck",
     "FaultResult",
     "FaultySimulator",
+    "GoldenCheck",
     "UNTESTABLE",
     "check_excitation",
     "generate_fault_list",
+    "spice_check",
     "transition_literal",
 ]

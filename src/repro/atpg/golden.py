@@ -1,0 +1,99 @@
+"""Transistor-level "golden" cross-check of generated test vectors.
+
+The ATPG search runs entirely on the characterized library (event-driven
+timing simulation plus ITR windows) and never touches the transistor
+solver.  This module closes that loop for a generated vector: it rebuilds
+the victim's driver gate at transistor level, replays the event-driven
+input waveforms as ramp stimuli, and compares the SPICE-measured output
+arrival against the delay-model prediction.  A small error means the
+detected violation is not an artifact of the fitted formulas.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..circuit.netlist import Circuit
+from ..obs import get_registry
+from ..spice import CELL_KINDS, GateCell, RampStimulus, simulate_gate
+from ..sta.simulate import SimulationResult
+from ..tech import GENERIC_05UM, Technology
+
+
+@dataclasses.dataclass(frozen=True)
+class GoldenCheck:
+    """Model-vs-transistor comparison for one victim gate output."""
+
+    victim: str
+    cell: str
+    model_arrival: float
+    spice_arrival: float
+
+    @property
+    def error(self) -> float:
+        """Signed arrival error, seconds (spice minus model)."""
+        return self.spice_arrival - self.model_arrival
+
+    @property
+    def rel_error(self) -> float:
+        """Absolute error relative to the spice arrival."""
+        denom = max(abs(self.spice_arrival), 1e-15)
+        return abs(self.error) / denom
+
+
+def spice_check(
+    circuit: Circuit,
+    result: SimulationResult,
+    victim: str,
+    load_cap: Optional[float] = None,
+    tech: Technology = GENERIC_05UM,
+) -> Optional[GoldenCheck]:
+    """Re-simulate the victim's driver gate at transistor level.
+
+    Args:
+        circuit: Circuit the simulation result belongs to.
+        result: Event-driven two-frame simulation of a test vector.
+        victim: Gate-output line to check (the fault's victim).
+        load_cap: Capacitive load on the victim line (defaults to the
+            simulator's convention of a minimum inverter input).
+        tech: Technology for the transistor-level rebuild.
+
+    Returns:
+        The comparison, or None when the check does not apply: the gate
+        kind has no transistor builder (xnor), the victim does not
+        transition under this vector, or an input event is missing.
+    """
+    gate = circuit.driver(victim)
+    if gate is None or gate.kind not in CELL_KINDS:
+        return None
+    victim_event = result.events.get(victim)
+    if victim_event is None:
+        return None
+    cell = GateCell(gate.kind, len(gate.inputs), tech)
+    vdd = tech.vdd
+    stimuli = []
+    for line in gate.inputs:
+        event = result.events.get(line)
+        if event is None:
+            stimuli.append(RampStimulus.steady(result.values2[line], vdd))
+        else:
+            stimuli.append(
+                RampStimulus.transition(
+                    result.values2[line] == 1,
+                    event.arrival,
+                    event.trans,
+                    vdd,
+                )
+            )
+    sim = simulate_gate(cell, stimuli, load_cap=load_cap)
+    get_registry().counter("atpg.spice_checks").inc()
+    return GoldenCheck(
+        victim=victim,
+        cell=cell.name,
+        model_arrival=victim_event.arrival,
+        spice_arrival=sim.arrival,
+    )
+
+
+__all__ = ["GoldenCheck", "spice_check"]

@@ -23,6 +23,7 @@ from ..itr.implication import Conflict
 from ..itr.refine import ItrEngine
 from ..itr.values import TwoFrame
 from ..models.base import DelayModel
+from ..obs import get_registry
 from ..sta.analysis import StaConfig
 from ..sta.simulate import PiStimulus, TimingSimulator
 from .excite import check_excitation, transition_literal
@@ -68,10 +69,38 @@ class FaultResult:
 
 
 @dataclasses.dataclass
+class AtpgStats:
+    """Search-effort counters accumulated across ``generate`` calls.
+
+    The same quantities are recorded in the active metrics registry
+    under ``atpg.*`` counter names; this dataclass keeps them available
+    as a plain public value even when instrumentation is disabled.
+    """
+
+    faults: int = 0
+    decisions: int = 0
+    backtracks: int = 0
+    itr_prunes: int = 0
+    detected: int = 0
+    untestable: int = 0
+    aborted: int = 0
+
+    def __sub__(self, other: "AtpgStats") -> "AtpgStats":
+        """Field-wise difference (for before/after snapshots)."""
+        return AtpgStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in dataclasses.fields(self)
+            }
+        )
+
+
+@dataclasses.dataclass
 class AtpgSummary:
     """Aggregate ATPG statistics (the paper's efficiency metric)."""
 
     results: List[FaultResult]
+    stats: Optional[AtpgStats] = None
 
     def count(self, status: str) -> int:
         return sum(1 for r in self.results if r.status == status)
@@ -123,12 +152,40 @@ class CrosstalkAtpg:
         self._fault_free_sim = TimingSimulator(
             circuit, library, self.model, self.sta_config
         )
+        self.stats = AtpgStats()
+        obs = get_registry()
+        self._m_faults = obs.counter("atpg.faults")
+        self._m_decisions = obs.counter("atpg.decisions")
+        self._m_backtracks = obs.counter("atpg.backtracks")
+        self._m_prunes = obs.counter("atpg.itr_prunes")
+        self._m_status = {
+            DETECTED: obs.counter("atpg.detected"),
+            UNTESTABLE: obs.counter("atpg.untestable"),
+            ABORTED: obs.counter("atpg.aborted"),
+        }
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def generate(self, fault: CrosstalkFault) -> FaultResult:
         """Attempt to generate a two-pattern test for one fault."""
+        result = self._generate(fault)
+        self.stats.faults += 1
+        self._m_faults.inc()
+        if result.backtracks:
+            self.stats.backtracks += result.backtracks
+            self._m_backtracks.inc(result.backtracks)
+        if result.status == DETECTED:
+            self.stats.detected += 1
+        elif result.status == UNTESTABLE:
+            self.stats.untestable += 1
+        else:
+            self.stats.aborted += 1
+        self._m_status[result.status].inc()
+        return result
+
+    def _generate(self, fault: CrosstalkFault) -> FaultResult:
+        """Search for a two-pattern test (undecorated by bookkeeping)."""
         if self._po_depths().get(fault.victim, -1) < 0:
             return FaultResult(
                 fault, UNTESTABLE, reason="victim unobservable"
@@ -192,6 +249,8 @@ class CrosstalkAtpg:
         stack: List[Tuple[str, int, int, bool, tuple]] = []
 
         def attempt(base: tuple, pi: str, frame: int, bit: int):
+            self.stats.decisions += 1
+            self._m_decisions.inc()
             base_values, base_refined = base
             try:
                 new_values = self.engine.assign(
@@ -270,7 +329,9 @@ class CrosstalkAtpg:
 
     def run_all(self, faults) -> AtpgSummary:
         """Generate tests for a whole fault list."""
-        return AtpgSummary([self.generate(fault) for fault in faults])
+        before = dataclasses.replace(self.stats)
+        results = [self.generate(fault) for fault in faults]
+        return AtpgSummary(results, stats=self.stats - before)
 
     # ------------------------------------------------------------------
     # Search internals
@@ -394,13 +455,17 @@ class CrosstalkAtpg:
         else:
             result = self.engine.refine(values)
         verdict = check_excitation(fault, result, self._required)
+        reason = None
         if not verdict.logic_possible:
-            return "excitation logic", result
-        if not verdict.alignment_possible:
-            return "timing alignment", result
-        if not verdict.violation_possible:
-            return "no violation possible", result
-        return None, result
+            reason = "excitation logic"
+        elif not verdict.alignment_possible:
+            reason = "timing alignment"
+        elif not verdict.violation_possible:
+            reason = "no violation possible"
+        if reason is not None:
+            self.stats.itr_prunes += 1
+            self._m_prunes.inc()
+        return reason, result
 
     def _next_objective(
         self, values, fault: CrosstalkFault

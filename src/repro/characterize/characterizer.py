@@ -15,10 +15,12 @@ against the in-tree transistor simulator instead of HSPICE:
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import get_registry
 from ..spice import GateCell
 from ..tech import GENERIC_05UM, Technology
 from .formulas import (
@@ -34,7 +36,6 @@ from .library import (
     CellTiming,
     SimultaneousTiming,
     TimingArc,
-    arc_key,
     pair_key,
 )
 from .sweep import (
@@ -44,6 +45,22 @@ from .sweep import (
     pair_skew_sweep_noncontrolling,
     pin_to_pin_sweep,
 )
+
+logger = logging.getLogger(__name__)
+
+
+def _note_fit_rms(
+    formula: str, measured: Sequence[float], predicted: Sequence[float]
+) -> None:
+    """Record the RMS residual of one formula fit into the registry."""
+    obs = get_registry()
+    if not obs.enabled or not measured:
+        return
+    total = sum((m - p) ** 2 for m, p in zip(measured, predicted))
+    obs.histogram(f"characterize.fit_rms.{formula}").observe(
+        (total / len(measured)) ** 0.5
+    )
+
 
 #: Cells characterized into the default library.
 DEFAULT_CELLS = (
@@ -102,7 +119,7 @@ def characterize_arc(
             f"{cell.name} pin {pin}: inconsistent output direction in sweep"
         )
     ts = [p.t_in for p in points]
-    return TimingArc(
+    arc = TimingArc(
         pin=pin,
         in_rising=in_rising,
         out_rising=points[0].out_rising,
@@ -111,6 +128,9 @@ def characterize_arc(
         t_lo=min(ts),
         t_hi=max(ts),
     )
+    _note_fit_rms("dr", [p.delay for p in points], [arc.delay(t) for t in ts])
+    _note_fit_rms("tr", [p.trans for p in points], [arc.trans(t) for t in ts])
+    return arc
 
 
 def _characterize_ctrl(
@@ -191,7 +211,7 @@ def _characterize_ctrl(
         multi_scale[str(k)] = point.delay / base.delay
         trans_multi_scale[str(k)] = point.trans / base.trans
 
-    return SimultaneousTiming(
+    timing = SimultaneousTiming(
         out_rising=out_rising,
         d0=CubeRootSurface.fit(txs, tys, d0s),
         s_pos=QuadForm2.fit(txs, tys, s_pos),
@@ -202,6 +222,17 @@ def _characterize_ctrl(
         multi_scale=multi_scale,
         trans_multi_scale=trans_multi_scale,
     )
+    grid_points = list(zip(txs, tys))
+    _note_fit_rms(
+        "d0r", d0s, [timing.d0(tx, ty) for tx, ty in grid_points]
+    )
+    _note_fit_rms(
+        "sr", s_pos, [timing.s_pos(tx, ty) for tx, ty in grid_points]
+    )
+    _note_fit_rms(
+        "syr", s_neg, [timing.s_neg(tx, ty) for tx, ty in grid_points]
+    )
+    return timing
 
 
 def characterize_noncontrolling(
@@ -334,6 +365,8 @@ def characterize_cell(
         config: Sweep configuration (defaults are the library settings).
     """
     config = config or CharacterizationConfig()
+    obs = get_registry()
+    obs.counter("characterize.cells").inc()
     ref_load = cell.tech.min_inverter_input_cap()
     arcs: Dict[str, TimingArc] = {}
 
@@ -381,14 +414,25 @@ def characterize_library(
     config: Optional[CharacterizationConfig] = None,
     verbose: bool = False,
 ) -> CellLibrary:
-    """Characterize a full cell library (the paper's one-time effort)."""
+    """Characterize a full cell library (the paper's one-time effort).
+
+    Args:
+        tech: Technology to size the transistor-level cells with.
+        cells: (kind, n_inputs) pairs to characterize.
+        config: Sweep configuration.
+        verbose: Log per-cell progress at INFO instead of DEBUG.  The
+            caller is responsible for configuring logging handlers —
+            library code never prints unconditionally.
+    """
     config = config or CharacterizationConfig()
+    obs = get_registry()
+    level = logging.INFO if verbose else logging.DEBUG
     timings: Dict[str, CellTiming] = {}
     for kind, n_inputs in cells:
         cell = GateCell(kind, n_inputs, tech)
-        if verbose:
-            print(f"characterizing {cell.name} ...", flush=True)
-        timings[cell.name] = characterize_cell(cell, config)
+        logger.log(level, "characterizing %s ...", cell.name)
+        with obs.span(f"characterize.{cell.name}"):
+            timings[cell.name] = characterize_cell(cell, config)
     return CellLibrary(
         tech_name=tech.name,
         vdd=tech.vdd,

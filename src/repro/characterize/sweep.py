@@ -13,10 +13,18 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence
 
+from ..obs import get_registry
 from ..spice import GateCell, RampStimulus, simulate_gate
 
 #: Arrival time used for the (earliest) stimulated input in every sweep.
 BASE_ARRIVAL = 2e-9
+
+
+def _note_sweep(n_simulations: int) -> None:
+    """Record one completed sweep in the metrics registry."""
+    obs = get_registry()
+    obs.counter("characterize.simulations").inc(n_simulations)
+    obs.histogram("characterize.sweep_points").observe(n_simulations)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -93,6 +101,7 @@ def pin_to_pin_sweep(
                 out_rising=result.output_rising,
             )
         )
+    _note_sweep(len(points))
     return points
 
 
@@ -133,6 +142,7 @@ def pair_skew_sweep(
                 trans=result.trans_time,
             )
         )
+    _note_sweep(len(points))
     return points
 
 
@@ -174,6 +184,7 @@ def pair_skew_sweep_noncontrolling(
                 trans=result.trans_time,
             )
         )
+    _note_sweep(len(points))
     return points
 
 
@@ -197,6 +208,7 @@ def multi_switch_delay(
     for pin in pins:
         stimuli[pin] = RampStimulus.transition(in_rising, BASE_ARRIVAL, t_in, vdd)
     result = simulate_gate(cell, stimuli, load_cap=load_cap)
+    get_registry().counter("characterize.simulations").inc()
     return SkewPoint(
         skew=0.0,
         delay=result.delay_from_earliest(),

@@ -14,13 +14,21 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
-from .atpg import AtpgConfig, CrosstalkAtpg, generate_fault_list
+from .atpg import AtpgConfig, CrosstalkAtpg, generate_fault_list, spice_check
 from .characterize import CellLibrary
 from .circuit import ISCAS_PROFILES, load_bench, load_packaged_bench
 from .models import PinToPinModel, VShapeModel
+from .obs import (
+    MetricsRegistry,
+    format_summary,
+    get_registry,
+    set_registry,
+    write_trace,
+)
 from .sta import (
     PiStimulus,
     TimingAnalyzer,
@@ -29,6 +37,8 @@ from .sta import (
 )
 
 NS = 1e-9
+
+logger = logging.getLogger(__name__)
 
 
 def _load_circuit(spec: str):
@@ -126,7 +136,43 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
             f"aborted={summary.count('aborted'):3d} "
             f"efficiency={100 * summary.efficiency:6.2f}%"
         )
+        stats = summary.stats
+        logger.info(
+            "    effort: decisions=%d backtracks=%d itr_prunes=%d",
+            stats.decisions, stats.backtracks, stats.itr_prunes,
+        )
+        if args.spice_check and use_itr:
+            _spice_check_vectors(atpg, summary, args.spice_check)
     return 0
+
+
+def _spice_check_vectors(atpg, summary, limit: int) -> None:
+    """Cross-check up to ``limit`` detected vectors at transistor level."""
+    checked = 0
+    for res in summary.results:
+        if res.vector is None:
+            continue
+        sim = TimingSimulator(
+            atpg.circuit, atpg.library, atpg.model, atpg.sta_config
+        ).run(res.vector)
+        check = spice_check(
+            atpg.circuit, sim, res.fault.victim,
+            load_cap=atpg.engine.analyzer.load(res.fault.victim),
+        )
+        if check is None:
+            continue
+        print(
+            f"  spice check {check.victim} ({check.cell}): "
+            f"model {check.model_arrival / NS:.4f} ns, "
+            f"spice {check.spice_arrival / NS:.4f} ns, "
+            f"err {check.error / NS:+.4f} ns "
+            f"({100 * check.rel_error:.1f}%)"
+        )
+        checked += 1
+        if checked >= limit:
+            break
+    if not checked:
+        print("  spice check: no detected vector applicable")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -161,35 +207,65 @@ def _cmd_bench(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _global_flags() -> argparse.ArgumentParser:
+    """Flags accepted both before and after the subcommand.
+
+    ``argparse.SUPPRESS`` defaults let the same flag live on the main
+    parser and on every subparser: whichever parser actually sees the
+    flag sets the attribute, and nobody overwrites it with a default.
+    ``main`` reads the attributes with ``getattr(..., fallback)``.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--stats", action="store_true", default=argparse.SUPPRESS,
+        help="print an instrumentation summary after the command",
+    )
+    common.add_argument(
+        "--trace-json", metavar="PATH", default=argparse.SUPPRESS,
+        help="write a JSON-lines metrics trace to PATH",
+    )
+    common.add_argument(
+        "-v", "--verbose", action="count", default=argparse.SUPPRESS,
+        help="increase diagnostic verbosity (-v info, -vv debug)",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
+    common = _global_flags()
     parser = argparse.ArgumentParser(
         prog="repro-sta",
         description=(
             "Simultaneous-switching delay model toolkit "
             "(DAC 2001 reproduction)"
         ),
+        parents=[common],
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sta = sub.add_parser("sta", help="static timing analysis")
+    sta = sub.add_parser("sta", help="static timing analysis",
+                         parents=[common])
     sta.add_argument("circuit", help=".bench path or packaged name (c17...)")
     sta.add_argument("--max-outputs", type=int, default=8)
     sta.set_defaults(func=_cmd_sta)
 
-    sim = sub.add_parser("sim", help="two-pattern timing simulation")
+    sim = sub.add_parser("sim", help="two-pattern timing simulation",
+                         parents=[common])
     sim.add_argument("circuit")
     sim.add_argument("v1", help="first-frame input bits, PI order")
     sim.add_argument("v2", help="second-frame input bits")
     sim.set_defaults(func=_cmd_sim)
 
-    atpg = sub.add_parser("atpg", help="crosstalk delay-fault ATPG")
+    atpg = sub.add_parser("atpg", help="crosstalk delay-fault ATPG",
+                          parents=[common])
     atpg.add_argument("circuit")
     atpg.add_argument("--faults", type=int, default=20)
     atpg.add_argument("--seed", type=int, default=1)
     atpg.add_argument("--delta", type=float, default=0.4,
                       help="crosstalk extra delay, ns")
-    atpg.add_argument("--window", type=float, default=0.35,
-                      help="alignment window, ns")
+    atpg.add_argument("--window", type=float, default=0.12,
+                      help="alignment window, ns (tight enough that ITR "
+                           "has timing-infeasible branches to prune)")
     atpg.add_argument("--period-fraction", type=float, default=0.85,
                       help="clock period as a fraction of STA max delay")
     atpg.add_argument("--backtrack-limit", type=int, default=48)
@@ -197,14 +273,21 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--no-itr", dest="itr", action="store_false")
     atpg.add_argument("--compare", action="store_true",
                       help="run both with and without ITR")
+    atpg.add_argument("--spice-check", type=int, default=3, metavar="N",
+                      help="cross-check up to N detected vectors at "
+                           "transistor level (0 disables)")
+    atpg.add_argument("--no-spice-check", dest="spice_check",
+                      action="store_const", const=0)
     atpg.set_defaults(func=_cmd_atpg)
 
-    report = sub.add_parser("report", help="critical/shortest path report")
+    report = sub.add_parser("report", help="critical/shortest path report",
+                            parents=[common])
     report.add_argument("circuit")
     report.add_argument("--worst", type=int, default=10)
     report.set_defaults(func=_cmd_report)
 
-    bench = sub.add_parser("bench", help="list packaged benchmarks")
+    bench = sub.add_parser("bench", help="list packaged benchmarks",
+                           parents=[common])
     bench.set_defaults(func=_cmd_bench)
     return parser
 
@@ -212,7 +295,30 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    verbosity = min(getattr(args, "verbose", 0), 2)
+    logging.basicConfig(
+        level=(logging.WARNING, logging.INFO, logging.DEBUG)[verbosity],
+        format="%(message)s",
+        force=True,
+    )
+    stats = getattr(args, "stats", False)
+    trace_path = getattr(args, "trace_json", None)
+    if not stats and trace_path is None:
+        return args.func(args)
+    registry = MetricsRegistry()
+    previous = get_registry()
+    set_registry(registry)
+    try:
+        with registry.span(f"cli.{args.command}"):
+            status = args.func(args)
+    finally:
+        set_registry(previous)
+        if trace_path is not None:
+            write_trace(registry, trace_path)
+        if stats:
+            print()
+            print(format_summary(registry))
+    return status
 
 
 if __name__ == "__main__":

@@ -24,9 +24,9 @@ from typing import Dict, Optional
 from ..characterize.library import CellLibrary
 from ..circuit.netlist import Circuit
 from ..models.base import DelayModel
+from ..obs import get_registry
 from ..sta.analysis import StaConfig, StaResult, TimingAnalyzer
 from ..sta.windows import (
-    DEFINITE,
     DirWindow,
     IMPOSSIBLE,
     LineTiming,
@@ -73,6 +73,11 @@ class ItrEngine:
         self.circuit = circuit
         self.analyzer = TimingAnalyzer(circuit, library, model, config)
         self.implicator = TwoFrameImplicator(circuit)
+        obs = get_registry()
+        self._m_refinements = obs.counter("itr.refinements")
+        self._m_implications = obs.counter("itr.implications")
+        self._m_conflicts = obs.counter("itr.conflicts")
+        self._m_recomputed = obs.counter("itr.recomputed_gates")
 
     # ------------------------------------------------------------------
     # Value manipulation
@@ -84,7 +89,11 @@ class ItrEngine:
         self, values: Assignment, line: str, value: TwoFrame
     ) -> Assignment:
         """Refine one line and run implications (raises Conflict)."""
-        return self.implicator.assign(values, line, value)
+        try:
+            return self.implicator.assign(values, line, value)
+        except Conflict:
+            self._m_conflicts.inc()
+            raise
 
     # ------------------------------------------------------------------
     # Window refinement
@@ -106,6 +115,7 @@ class ItrEngine:
         per-line transition states everywhere the corner identification
         distinguishes definite / potential / impossible transitions.
         """
+        self._m_refinements.inc()
         values = self.implicator.imply(values)
         timings: Dict[str, LineTiming] = {}
         default = self.analyzer.pi_timing()
@@ -123,6 +133,7 @@ class ItrEngine:
                 rise=self._apply_logic_state(computed.rise, value, True),
                 fall=self._apply_logic_state(computed.fall, value, False),
             )
+        self._m_recomputed.inc(len(self.circuit.gates))
         return ItrResult(StaResult(self.circuit, timings), values)
 
     def refine_assign(
@@ -170,14 +181,17 @@ class ItrEngine:
                 assignment of the same circuit.
             values: The new (more specific) assignment; implied first.
         """
+        self._m_refinements.inc()
         values = self.implicator.imply(values)
         changed = {
             line
             for line in self.circuit.lines
             if values[line] != previous.values[line]
         }
+        self._m_implications.inc(len(changed))
         timings: Dict[str, LineTiming] = dict(previous.sta.timings)
         dirty = set()
+        recomputed = 0
         default = self.analyzer.pi_timing()
         for pi in self.circuit.inputs:
             if pi not in changed:
@@ -196,6 +210,7 @@ class ItrEngine:
             ):
                 continue
             computed = self.analyzer.propagate_gate(gate, timings)
+            recomputed += 1
             value = values[out]
             fresh = LineTiming(
                 rise=self._apply_logic_state(computed.rise, value, True),
@@ -204,6 +219,7 @@ class ItrEngine:
             if not self._timings_equal(fresh, timings[out]):
                 timings[out] = fresh
                 dirty.add(out)
+        self._m_recomputed.inc(recomputed)
         return ItrResult(StaResult(self.circuit, timings), values)
 
 

@@ -22,7 +22,7 @@ load via linear slopes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..characterize.library import CellTiming, pair_key
 from .base import DelayModel, InputEvent, ctrl_arc_delay, ctrl_arc_trans

@@ -1,0 +1,69 @@
+"""Lightweight instrumentation: counters, timers, and structured traces.
+
+Every hot layer of the reproduction — the transistor-level solver, the
+characterization sweeps, STA, ITR, and the ATPG search — reports into a
+process-wide :class:`MetricsRegistry`.  Instrumentation is **off by
+default**: the active registry starts as the no-op :data:`NULL_REGISTRY`
+and instrumented code pays only a no-op method call per event, so the
+default path stays within noise of the uninstrumented code.
+
+Typical usage::
+
+    from repro import obs
+
+    registry = obs.set_registry(obs.MetricsRegistry())
+    ...  # construct solvers/analyzers and run the workload
+    print(obs.format_summary(registry))
+    obs.write_trace(registry, "trace.jsonl")
+    obs.disable()
+
+The CLI exposes the same flow via ``repro-sta <cmd> --stats`` and
+``--trace-json PATH``; ``scripts/run_experiments.py`` records a snapshot
+per experiment into ``benchmarks/results/experiments.json``.
+
+Because instrumented classes capture their metric handles at
+construction time, install the registry *before* building the objects
+you want measured.
+"""
+
+from .emit import (
+    format_summary,
+    read_trace,
+    snapshot_from_trace,
+    trace_events,
+    write_trace,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    SpanRecord,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SpanRecord",
+    "disable",
+    "enable",
+    "format_summary",
+    "get_registry",
+    "read_trace",
+    "set_registry",
+    "snapshot_from_trace",
+    "trace_events",
+    "use_registry",
+    "write_trace",
+]

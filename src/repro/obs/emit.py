@@ -1,0 +1,163 @@
+"""Emitters: human-readable summaries and JSON-lines traces.
+
+Two output formats share one source of truth (the registry snapshot):
+
+* :func:`format_summary` renders a fixed-width text report, grouped by
+  metric kind, suitable for printing after a CLI run (``--stats``);
+* :func:`write_trace` writes a JSON-lines file — one JSON object per
+  line — carrying every completed span in completion order followed by
+  the final value of every counter, gauge, and histogram.  The trace is
+  self-describing (a leading ``meta`` line) and round-trips:
+  :func:`snapshot_from_trace` rebuilds the exact
+  :meth:`~repro.obs.registry.MetricsRegistry.snapshot` dictionary.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .registry import MetricsRegistry
+
+TRACE_VERSION = 1
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    if value >= 1e-6:
+        return f"{value * 1e6:.3f}us"
+    return f"{value * 1e9:.3f}ns"
+
+
+def _format_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e-2 and abs(value) < 1e6:
+        return f"{value:.4g}"
+    return f"{value:.4e}"
+
+
+def format_summary(registry: MetricsRegistry) -> str:
+    """Render every metric of ``registry`` as a fixed-width text report."""
+    lines: List[str] = ["== metrics =="]
+    if registry.counters:
+        lines.append("counters:")
+        width = max(len(name) for name in registry.counters)
+        for name, counter in sorted(registry.counters.items()):
+            lines.append(f"  {name:<{width}}  {counter.value}")
+    gauges = {
+        name: gauge
+        for name, gauge in registry.gauges.items()
+        if gauge.value is not None
+    }
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, gauge in sorted(gauges.items()):
+            lines.append(f"  {name:<{width}}  {_format_number(gauge.value)}")
+    histograms = {
+        name: hist for name, hist in registry.histograms.items() if hist.count
+    }
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name, hist in sorted(histograms.items()):
+            digest = hist.summary()
+            seconds = name.endswith("_s")
+            fmt = _format_seconds if seconds else _format_number
+            lines.append(
+                f"  {name:<{width}}  n={digest['count']}"
+                f"  mean={fmt(digest['mean'])}"
+                f"  p50={fmt(digest['p50'])}"
+                f"  p90={fmt(digest['p90'])}"
+                f"  max={fmt(digest['max'])}"
+                f"  total={fmt(digest['total'])}"
+            )
+    if registry.spans:
+        lines.append("spans:")
+        for span in registry.spans:
+            indent = "  " * (span.depth + 1)
+            lines.append(
+                f"{indent}{span.name}  {_format_seconds(span.elapsed)}"
+            )
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def trace_events(registry: MetricsRegistry) -> List[Dict[str, object]]:
+    """The JSON-lines trace of ``registry`` as a list of plain dicts."""
+    events: List[Dict[str, object]] = [
+        {"type": "meta", "version": TRACE_VERSION}
+    ]
+    for span in registry.spans:
+        events.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "path": span.path,
+                "start_s": span.start,
+                "elapsed_s": span.elapsed,
+                "depth": span.depth,
+            }
+        )
+    snapshot = registry.snapshot()
+    for name, value in snapshot["counters"].items():
+        events.append({"type": "counter", "name": name, "value": value})
+    for name, value in snapshot["gauges"].items():
+        events.append({"type": "gauge", "name": name, "value": value})
+    for name, summary in snapshot["histograms"].items():
+        events.append({"type": "histogram", "name": name, "summary": summary})
+    return events
+
+
+def write_trace(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write the registry's trace to ``path`` as JSON lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for event in trace_events(registry):
+            handle.write(json.dumps(event) + "\n")
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSON-lines trace back into its event dicts."""
+    events = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def snapshot_from_trace(
+    events: List[Dict[str, object]],
+) -> Dict[str, Dict[str, object]]:
+    """Rebuild a registry snapshot dict from parsed trace events.
+
+    Inverse of the metric portion of :func:`write_trace`: for any
+    registry, ``snapshot_from_trace(read_trace(write_trace(reg, p)))``
+    equals ``reg.snapshot()``.
+    """
+    snapshot: Dict[str, Dict[str, object]] = {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    for event in events:
+        kind = event.get("type")
+        if kind == "counter":
+            snapshot["counters"][event["name"]] = event["value"]
+        elif kind == "gauge":
+            snapshot["gauges"][event["name"]] = event["value"]
+        elif kind == "histogram":
+            snapshot["histograms"][event["name"]] = event["summary"]
+    return snapshot

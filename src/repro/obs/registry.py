@@ -1,0 +1,392 @@
+"""Metric primitives and the registry that owns them.
+
+Design constraints (see the package docstring):
+
+* **Near-zero overhead when disabled.**  The module-level active registry
+  defaults to :data:`NULL_REGISTRY`, whose factory methods hand out shared
+  null objects with no-op ``inc``/``set``/``observe`` methods and a no-op
+  context manager for ``timer``/``span``.  Instrumented hot paths fetch
+  their handles once (at construction) and pay a single no-op method call
+  per event afterwards.
+* **Handles stay valid across reset.**  :meth:`MetricsRegistry.reset`
+  zeroes every metric *in place* rather than discarding it, so objects
+  that captured a :class:`Counter` at construction keep reporting into
+  the registry after a reset (``scripts/run_experiments.py`` relies on
+  this to take per-experiment snapshots).
+* **Enable before construction.**  Instrumented classes capture their
+  metric handles in ``__init__``; install a real registry (via
+  :func:`set_registry` / :func:`enable`) *before* building solvers,
+  analyzers, or ATPG engines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-value-wins numeric metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Distribution metric over raw observations.
+
+    Runs here are short (at most a few hundred thousand observations per
+    process), so the histogram keeps every sample and reports *exact*
+    percentiles instead of bucketed approximations.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (linear interpolation between samples)."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] + frac * (ordered[hi] - ordered[lo])
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar digest used by the emitters and snapshots."""
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": len(self.values),
+            "total": self.total,
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": self.mean(),
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class SpanRecord:
+    """One completed span: a named, nested phase with wall-clock timing."""
+
+    __slots__ = ("name", "path", "start", "elapsed", "depth")
+
+    def __init__(
+        self, name: str, path: str, start: float, elapsed: float, depth: int
+    ) -> None:
+        self.name = name
+        self.path = path
+        self.start = start
+        self.elapsed = elapsed
+        self.depth = depth
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by the disabled registry."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = None
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    values: List[float] = []
+    count = 0
+    total = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def mean(self) -> float:
+        return 0.0
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0}
+
+
+class _NullContext:
+    """Shared no-op context manager for disabled timers and spans."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+NULL_CONTEXT = _NullContext()
+
+
+class _Timer:
+    """Context manager observing its elapsed wall-clock into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._histogram.observe(time.perf_counter() - self._start)
+        return False
+
+
+class _Span:
+    """Context manager recording a nested phase into the registry."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._registry._span_stack.append(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._start
+        registry = self._registry
+        path = "/".join(registry._span_stack)
+        depth = len(registry._span_stack) - 1
+        registry._span_stack.pop()
+        registry.spans.append(
+            SpanRecord(
+                self._name,
+                path,
+                self._start - registry._t0,
+                elapsed,
+                depth,
+            )
+        )
+        return False
+
+
+class MetricsRegistry:
+    """Owner of all metrics of one instrumented run.
+
+    Metrics are created lazily by name; asking twice for the same name
+    returns the same object.  Dotted names group metrics by subsystem
+    (``spice.newton_iterations``, ``atpg.backtracks``, ...).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.spans: List[SpanRecord] = []
+        self._span_stack: List[str] = []
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Metric factories
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def timer(self, name: str) -> _Timer:
+        """Context manager observing elapsed seconds into histogram ``name``."""
+        return _Timer(self.histogram(name))
+
+    def span(self, name: str) -> _Span:
+        """Context manager recording a (possibly nested) phase timing."""
+        return _Span(self, name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-data view of every metric (JSON-serializable)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: g.value
+                for name, g in sorted(self.gauges.items())
+                if g.value is not None
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self.histograms.items())
+                if h.count
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every metric *in place*; captured handles stay valid."""
+        for counter in self.counters.values():
+            counter.value = 0
+        for gauge in self.gauges.values():
+            gauge.value = None
+        for histogram in self.histograms.values():
+            histogram.values.clear()
+        self.spans.clear()
+        self._span_stack.clear()
+        self._t0 = time.perf_counter()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every factory returns a shared no-op object."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return NULL_GAUGE  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def timer(self, name: str) -> _Timer:
+        return NULL_CONTEXT  # type: ignore[return-value]
+
+    def span(self, name: str) -> _Span:
+        return NULL_CONTEXT  # type: ignore[return-value]
+
+
+#: The singleton disabled registry (the default active registry).
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (the null registry by default)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the active registry and return it."""
+    global _active
+    _active = registry
+    return registry
+
+
+def enable() -> MetricsRegistry:
+    """Install a fresh :class:`MetricsRegistry` unless one is already active."""
+    if not _active.enabled:
+        set_registry(MetricsRegistry())
+    return _active
+
+
+def disable() -> None:
+    """Restore the no-op null registry."""
+    set_registry(NULL_REGISTRY)
+
+
+class use_registry:
+    """Context manager installing ``registry`` for the enclosed block.
+
+    Mainly for tests::
+
+        with use_registry(MetricsRegistry()) as reg:
+            ...
+        # previous registry restored here
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = get_registry()
+        set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc) -> bool:
+        assert self._previous is not None
+        set_registry(self._previous)
+        return False

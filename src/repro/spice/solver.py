@@ -25,12 +25,51 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs import get_registry
 from .netlist import GND, SpiceCircuit
 from .waveform import Waveform
 
 
 class ConvergenceError(RuntimeError):
-    """Raised when Newton iteration cannot converge even after step halving."""
+    """Raised when Newton iteration cannot converge even after step halving.
+
+    Besides the formatted message, the failure context is carried as
+    attributes so callers (and bug reports) can diagnose *where* the
+    solve broke down:
+
+    Attributes:
+        sim_time: Simulated time of the failing step, seconds.
+        step: Step size at which Newton last failed, seconds.
+        newton_iterations: Newton iterations spent in the failing solve.
+        worst_node: Free node with the largest residual current when the
+            iteration gave up (None when the Jacobian was singular).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        sim_time: Optional[float] = None,
+        step: Optional[float] = None,
+        newton_iterations: Optional[int] = None,
+        worst_node: Optional[str] = None,
+    ) -> None:
+        details = []
+        if sim_time is not None:
+            details.append(f"t={sim_time:.3e}s")
+        if step is not None:
+            details.append(f"h={step:.1e}s")
+        if newton_iterations is not None:
+            details.append(f"after {newton_iterations} Newton iterations")
+        if worst_node is not None:
+            details.append(f"worst residual at node {worst_node!r}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.sim_time = sim_time
+        self.step = step
+        self.newton_iterations = newton_iterations
+        self.worst_node = worst_node
 
 
 @dataclasses.dataclass
@@ -65,6 +104,16 @@ class TransientSolver:
 
     def __init__(self, circuit: SpiceCircuit) -> None:
         self.circuit = circuit
+        obs = get_registry()
+        self._obs = obs
+        self._m_newton_iters = obs.counter("spice.newton_iterations")
+        self._m_steps = obs.counter("spice.steps")
+        self._m_halvings = obs.counter("spice.step_halvings")
+        self._m_conv_errors = obs.counter("spice.convergence_errors")
+        # Diagnostics of the most recent failed Newton solve (for the
+        # enriched ConvergenceError raised by _advance).
+        self._fail_iterations: Optional[int] = None
+        self._fail_node: Optional[str] = None
         self.free = circuit.free_nodes()
         self._index = {node: i for i, node in enumerate(self.free)}
         self._caps = np.array(
@@ -102,7 +151,8 @@ class TransientSolver:
         driven = self._driven_voltages(time)
         x = x_prev.copy()
         c_over_h = self._caps / h
-        for _ in range(_MAX_NEWTON_ITER):
+        residual = None
+        for iteration in range(_MAX_NEWTON_ITER):
             residual = gmin * x + c_over_h * (x - x_prev)
             jacobian = np.diag(c_over_h + gmin)
             for dev, i_d, i_g, i_s in self._devices:
@@ -127,14 +177,28 @@ class TransientSolver:
             try:
                 dx = np.linalg.solve(jacobian, -residual)
             except np.linalg.LinAlgError:
+                self._note_failure(iteration + 1, residual)
                 return None
             dx = np.clip(dx, -_DAMP_LIMIT, _DAMP_LIMIT)
             x = x + dx
             if float(np.max(np.abs(dx))) < _NEWTON_TOL:
                 # Keep voltages physically plausible (rail +/- 1 V slack).
                 np.clip(x, -1.0, tech.vdd + 1.0, out=x)
+                self._m_newton_iters.inc(iteration + 1)
                 return x
+        self._m_newton_iters.inc(_MAX_NEWTON_ITER)
+        self._note_failure(_MAX_NEWTON_ITER, residual)
         return None
+
+    def _note_failure(
+        self, iterations: int, residual: Optional[np.ndarray]
+    ) -> None:
+        """Record diagnostics of a failed Newton solve (failure path only)."""
+        self._fail_iterations = iterations
+        if residual is not None and len(self.free):
+            self._fail_node = self.free[int(np.argmax(np.abs(residual)))]
+        else:
+            self._fail_node = None
 
     def _advance(self, x: np.ndarray, t_from: float, t_to: float) -> np.ndarray:
         """Advance the state from ``t_from`` to ``t_to``, halving on failure."""
@@ -151,9 +215,15 @@ class TransientSolver:
             attempt = self._newton_solve(state, step_to, step_to - t)
             if attempt is None:
                 halvings += 1
+                self._m_halvings.inc()
                 if halvings > _MAX_STEP_HALVINGS:
+                    self._m_conv_errors.inc()
                     raise ConvergenceError(
-                        f"Newton failed near t={t:.3e}s even at h={sub_h:.1e}s"
+                        "Newton failed to converge even after step halving",
+                        sim_time=t,
+                        step=sub_h,
+                        newton_iterations=self._fail_iterations,
+                        worst_node=self._fail_node,
                     )
                 sub_h /= 2.0
                 continue
@@ -186,14 +256,15 @@ class TransientSolver:
             return x
         # Exponentially growing pseudo-transient: equivalent to a damped
         # DC solve, immune to cutoff-region singularities.
-        h = 1e-12
-        for _ in range(48):
-            advanced = self._newton_solve(x, time, h)
-            if advanced is None:
-                h *= 0.5
-                continue
-            x = advanced
-            h *= 1.6
+        with self._obs.timer("spice.settle_s"):
+            h = 1e-12
+            for _ in range(48):
+                advanced = self._newton_solve(x, time, h)
+                if advanced is None:
+                    h *= 0.5
+                    continue
+                x = advanced
+                h *= 1.6
         return x
 
     def run(
@@ -248,6 +319,7 @@ class TransientSolver:
             times.append(t)
             self._record(traces, record, x, t)
 
+        self._m_steps.inc(len(times) - 1)
         vdd = circuit.tech.vdd
         t_arr = np.array(times)
         waveforms = {

@@ -21,6 +21,7 @@ from ..characterize.library import CellLibrary, CellTiming
 from ..circuit.netlist import Circuit, Gate
 from ..models.base import DelayModel
 from ..models.vshape import VShapeModel
+from ..obs import get_registry
 from .corners import (
     CtrlInput,
     arc_fanin_window,
@@ -121,6 +122,10 @@ class TimingAnalyzer:
         self.library = library
         self.model = model if model is not None else VShapeModel()
         self.config = config or StaConfig()
+        obs = get_registry()
+        self._obs = obs
+        self._m_gates = obs.counter("sta.gates_evaluated")
+        self._m_corners = obs.counter("sta.corner_calls")
         self._loads = self._compute_loads()
         self._cells: Dict[str, CellTiming] = {}
         for gate in circuit.gates.values():
@@ -171,6 +176,8 @@ class TimingAnalyzer:
         self, gate: Gate, timings: Dict[str, LineTiming]
     ) -> LineTiming:
         """Compute the output windows of one gate from its input windows."""
+        self._m_gates.inc()
+        self._m_corners.inc(2)  # one corner search per output direction
         cell = self.cell_of(gate)
         load = self.load(gate.output)
         if cell.controlling_value is not None and cell.n_inputs >= 2:
@@ -219,17 +226,26 @@ class TimingAnalyzer:
             Windows for every line in the circuit.
         """
         timings: Dict[str, LineTiming] = {}
-        default = self.pi_timing()
-        for pi in self.circuit.inputs:
-            if pi_overrides and pi in pi_overrides:
-                timings[pi] = pi_overrides[pi]
-            else:
-                timings[pi] = LineTiming(
-                    rise=dataclasses.replace(default.rise),
-                    fall=dataclasses.replace(default.fall),
+        with self._obs.timer("sta.forward_s"):
+            default = self.pi_timing()
+            for pi in self.circuit.inputs:
+                if pi_overrides and pi in pi_overrides:
+                    timings[pi] = pi_overrides[pi]
+                else:
+                    timings[pi] = LineTiming(
+                        rise=dataclasses.replace(default.rise),
+                        fall=dataclasses.replace(default.fall),
+                    )
+            for out in self.circuit.topological_order():
+                timings[out] = self.propagate_gate(
+                    self.circuit.gates[out], timings
                 )
-        for out in self.circuit.topological_order():
-            timings[out] = self.propagate_gate(self.circuit.gates[out], timings)
+        if self._obs.enabled:
+            widths = self._obs.histogram("sta.window_width_s")
+            for timing in timings.values():
+                for window in (timing.rise, timing.fall):
+                    if window.is_active:
+                        widths.observe(window.a_l - window.a_s)
         return StaResult(self.circuit, timings)
 
     # ------------------------------------------------------------------
@@ -292,58 +308,59 @@ class TimingAnalyzer:
         Returns:
             Required windows for every line.
         """
-        if po_required is None:
-            q_l = (
-                setup_time
-                if setup_time is not None
-                else result.output_max_arrival()
-            )
-            q_s = hold_time if hold_time is not None else -math.inf
-            po_required = {
-                po: LineRequired(
-                    rise=RequiredWindow(q_s, q_l),
-                    fall=RequiredWindow(q_s, q_l),
+        with self._obs.timer("sta.backward_s"):
+            if po_required is None:
+                q_l = (
+                    setup_time
+                    if setup_time is not None
+                    else result.output_max_arrival()
                 )
-                for po in self.circuit.outputs
-            }
-        required: Dict[str, LineRequired] = {
-            line: LineRequired() for line in self.circuit.lines
-        }
-        for po, req in po_required.items():
-            required[po] = LineRequired(
-                rise=required[po].rise.tighten(req.rise),
-                fall=required[po].fall.tighten(req.fall),
-            )
-        for out in reversed(self.circuit.topological_order()):
-            gate = self.circuit.gates[out]
-            cell = self.cell_of(gate)
-            load = self.load(out)
-            out_req = required[out]
-            for pin, in_rising, out_rising in self._arc_pairs(cell):
-                line = gate.inputs[pin]
-                in_window = result.line(line).window(in_rising)
-                if not in_window.is_active:
-                    continue
-                d_min, d_max = pin_delay_bounds(
-                    cell, pin, in_rising, out_rising,
-                    in_window.t_s, in_window.t_l, load,
-                )
-                is_ctrl_arc = (
-                    cell.controlling_value is not None
-                    and cell.ctrl is not None
-                    and in_rising == (cell.controlling_value == 1)
-                    and out_rising == cell.ctrl.out_rising
-                )
-                if is_ctrl_arc:
-                    d_min = self._ctrl_min_delay(
-                        cell, pin, in_window.t_s, in_window.t_l, load
+                q_s = hold_time if hold_time is not None else -math.inf
+                po_required = {
+                    po: LineRequired(
+                        rise=RequiredWindow(q_s, q_l),
+                        fall=RequiredWindow(q_s, q_l),
                     )
-                target = out_req.window(out_rising)
-                current = required[line].window(in_rising)
-                tightened = current.tighten(
-                    RequiredWindow(target.q_s - d_min, target.q_l - d_max)
+                    for po in self.circuit.outputs
+                }
+            required: Dict[str, LineRequired] = {
+                line: LineRequired() for line in self.circuit.lines
+            }
+            for po, req in po_required.items():
+                required[po] = LineRequired(
+                    rise=required[po].rise.tighten(req.rise),
+                    fall=required[po].fall.tighten(req.fall),
                 )
-                required[line].set_window(in_rising, tightened)
+            for out in reversed(self.circuit.topological_order()):
+                gate = self.circuit.gates[out]
+                cell = self.cell_of(gate)
+                load = self.load(out)
+                out_req = required[out]
+                for pin, in_rising, out_rising in self._arc_pairs(cell):
+                    line = gate.inputs[pin]
+                    in_window = result.line(line).window(in_rising)
+                    if not in_window.is_active:
+                        continue
+                    d_min, d_max = pin_delay_bounds(
+                        cell, pin, in_rising, out_rising,
+                        in_window.t_s, in_window.t_l, load,
+                    )
+                    is_ctrl_arc = (
+                        cell.controlling_value is not None
+                        and cell.ctrl is not None
+                        and in_rising == (cell.controlling_value == 1)
+                        and out_rising == cell.ctrl.out_rising
+                    )
+                    if is_ctrl_arc:
+                        d_min = self._ctrl_min_delay(
+                            cell, pin, in_window.t_s, in_window.t_l, load
+                        )
+                    target = out_req.window(out_rising)
+                    current = required[line].window(in_rising)
+                    tightened = current.tighten(
+                        RequiredWindow(target.q_s - d_min, target.q_l - d_max)
+                    )
+                    required[line].set_window(in_rising, tightened)
         return required
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ against exhaustive timing simulation).
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..characterize.library import CellTiming
 from ..models.vshape import VShapeModel

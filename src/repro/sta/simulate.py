@@ -140,10 +140,10 @@ class TimingSimulator:
             from ..circuit.logic import evaluate_gate
 
             values1[out] = evaluate_gate(
-                gate.kind, [values1[l] for l in gate.inputs]
+                gate.kind, [values1[name] for name in gate.inputs]
             )
             values2[out] = evaluate_gate(
-                gate.kind, [values2[l] for l in gate.inputs]
+                gate.kind, [values2[name] for name in gate.inputs]
             )
             if values1[out] == values2[out] or not input_events:
                 events[out] = None

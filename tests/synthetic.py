@@ -14,7 +14,6 @@ from repro.characterize.library import (
     CellTiming,
     SimultaneousTiming,
     TimingArc,
-    arc_key,
 )
 
 NS = 1e-9

@@ -1,6 +1,5 @@
 """Tests for the timing-based ATPG (paper Section 7)."""
 
-import pytest
 
 from repro.atpg import (
     ABORTED,

@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import get_registry
 
 
 class TestParser:
@@ -21,6 +25,23 @@ class TestParser:
         )
         assert args.itr is False
         assert args.faults == 5
+
+    def test_no_spice_check_flag(self):
+        args = build_parser().parse_args(["atpg", "c17", "--no-spice-check"])
+        assert args.spice_check == 0
+
+    def test_global_flags_accepted_on_both_sides(self):
+        before = build_parser().parse_args(["--stats", "bench"])
+        after = build_parser().parse_args(["bench", "--stats"])
+        assert getattr(before, "stats", False)
+        assert getattr(after, "stats", False)
+        # Unset global flags stay absent (argparse.SUPPRESS defaults).
+        plain = build_parser().parse_args(["bench"])
+        assert not hasattr(plain, "stats")
+
+    def test_verbose_counts(self):
+        args = build_parser().parse_args(["-vv", "sta", "c17"])
+        assert args.verbose == 2
 
 
 class TestCommands:
@@ -59,10 +80,70 @@ class TestCommands:
     def test_atpg_compare_runs(self, capsys):
         code = main([
             "atpg", "c17", "--faults", "2", "--compare",
-            "--backtrack-limit", "4",
+            "--backtrack-limit", "4", "--no-spice-check",
         ])
         assert code == 0
         out = capsys.readouterr().out
         assert "with ITR" in out
         assert "no ITR" in out
         assert "efficiency" in out
+
+
+class TestInstrumentationFlags:
+    def test_stats_prints_metrics_summary(self, capsys):
+        code = main([
+            "atpg", "c17", "--faults", "2", "--stats", "--no-spice-check",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        assert "atpg.decisions" in out
+        assert "itr.refinements" in out
+        # The CLI restores the disabled registry after the command.
+        assert not get_registry().enabled
+
+    def test_stats_includes_spice_counters_with_check(self, capsys):
+        code = main(["atpg", "c17", "--faults", "4", "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spice.newton_iterations" in out
+        assert "spice check" in out
+
+    def test_trace_json_emits_parseable_lines(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "atpg", "c17", "--faults", "2", "--no-spice-check",
+            "--trace-json", str(trace),
+        ])
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in trace.read_text().strip().splitlines()
+        ]
+        assert events[0]["type"] == "meta"
+        kinds = {e["type"] for e in events}
+        assert "counter" in kinds
+        assert "span" in kinds
+        names = {e.get("name") for e in events}
+        assert "atpg.decisions" in names
+        assert "cli.atpg" in names
+
+    def test_verbose_enables_info_logging(self, capsys):
+        code = main([
+            "-v", "atpg", "c17", "--faults", "2", "--no-spice-check",
+        ])
+        assert code == 0
+        # -v routes effort diagnostics through logging (stderr handler).
+        captured = capsys.readouterr()
+        assert "effort: decisions=" in captured.err
+        logging.basicConfig(level=logging.WARNING, force=True)
+
+    def test_quiet_by_default(self, capsys):
+        code = main([
+            "atpg", "c17", "--faults", "2", "--no-spice-check",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "effort:" not in captured.out
+        assert "effort:" not in captured.err
+        logging.basicConfig(level=logging.WARNING, force=True)

@@ -11,7 +11,6 @@ Key properties:
   transitions lose their windows.
 """
 
-import itertools
 import random
 
 import pytest

@@ -1,0 +1,234 @@
+"""Tests for the instrumentation subsystem (``repro.obs``)."""
+
+import json
+
+import pytest
+
+from repro.atpg import AtpgConfig, CrosstalkAtpg, generate_fault_list
+from repro.obs import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    disable,
+    enable,
+    format_summary,
+    get_registry,
+    read_trace,
+    snapshot_from_trace,
+    trace_events,
+    use_registry,
+    write_trace,
+)
+from repro.spice import ConvergenceError
+
+NS = 1e-9
+
+
+class TestRegistry:
+    def test_counter_identity_and_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x.count")
+        assert reg.counter("x.count") is c
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert reg.snapshot()["counters"]["x.count"] == 5
+
+    def test_gauge_last_value_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("x.level")
+        g.set(1)
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_histogram_percentiles_exact(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("x.dist")
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            h.observe(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(50) == 3.0
+        assert h.percentile(100) == 5.0
+        assert h.percentile(25) == 2.0  # linear interpolation on the grid
+        digest = h.summary()
+        assert digest["count"] == 5
+        assert digest["mean"] == pytest.approx(3.0)
+
+    def test_reset_zeroes_in_place(self):
+        """Handles captured before reset must stay live afterwards."""
+        reg = MetricsRegistry()
+        c = reg.counter("x.count")
+        h = reg.histogram("x.dist")
+        c.inc(7)
+        h.observe(1.0)
+        with reg.span("phase"):
+            pass
+        reg.reset()
+        assert c.value == 0
+        assert h.count == 0
+        assert reg.spans == []
+        c.inc()  # same object still feeds the registry
+        assert reg.counter("x.count") is c
+        assert reg.snapshot()["counters"]["x.count"] == 1
+
+    def test_timer_observes_elapsed(self):
+        reg = MetricsRegistry()
+        with reg.timer("x.elapsed_s"):
+            pass
+        digest = reg.histogram("x.elapsed_s").summary()
+        assert digest["count"] == 1
+        assert digest["max"] >= 0.0
+
+    def test_span_nesting_paths(self):
+        reg = MetricsRegistry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        paths = [(s.path, s.depth) for s in reg.spans]
+        # Spans are recorded in completion order: inner first.
+        assert paths == [("outer/inner", 1), ("outer", 0)]
+
+
+class TestDisabled:
+    def test_default_registry_is_null(self):
+        assert isinstance(get_registry(), NullRegistry)
+
+    def test_null_registry_shares_noop_handles(self):
+        c1 = NULL_REGISTRY.counter("a")
+        c2 = NULL_REGISTRY.counter("b")
+        assert c1 is c2
+        c1.inc(100)
+        assert c1.value == 0
+        assert NULL_REGISTRY.counters == {}
+        with NULL_REGISTRY.timer("t"):
+            pass
+        with NULL_REGISTRY.span("s"):
+            pass
+        assert NULL_REGISTRY.histograms == {}
+        assert NULL_REGISTRY.spans == []
+
+    def test_enable_disable_roundtrip(self):
+        try:
+            reg = enable()
+            assert reg.enabled
+            assert get_registry() is reg
+            assert enable() is reg  # idempotent while enabled
+        finally:
+            disable()
+        assert not get_registry().enabled
+
+    def test_use_registry_restores_previous(self):
+        before = get_registry()
+        with use_registry() as reg:
+            assert get_registry() is reg
+            assert reg.enabled
+        assert get_registry() is before
+
+
+class TestEmitters:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("atpg.decisions").inc(12)
+        reg.gauge("sta.period_s").set(1.5e-9)
+        for v in (0.5, 1.0, 2.0):
+            reg.histogram("spice.settle_s").observe(v)
+        with reg.span("run"):
+            with reg.span("inner"):
+                pass
+        return reg
+
+    def test_format_summary_sections(self):
+        text = format_summary(self._populated())
+        assert "counters:" in text
+        assert "atpg.decisions" in text
+        assert "gauges:" in text
+        assert "histograms:" in text
+        assert "spans:" in text
+
+    def test_format_summary_empty(self):
+        assert "(no metrics recorded)" in format_summary(MetricsRegistry())
+
+    def test_trace_roundtrip(self, tmp_path):
+        reg = self._populated()
+        path = write_trace(reg, tmp_path / "trace.jsonl")
+        # Every line parses as standalone JSON.
+        lines = path.read_text().strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[0] == {"type": "meta", "version": 1}
+        assert snapshot_from_trace(read_trace(path)) == reg.snapshot()
+
+    def test_trace_contains_spans(self):
+        events = trace_events(self._populated())
+        spans = [e for e in events if e["type"] == "span"]
+        assert [s["path"] for s in spans] == ["run/inner", "run"]
+
+
+class TestConvergenceError:
+    def test_context_in_message_and_attributes(self):
+        err = ConvergenceError(
+            "Newton failed",
+            sim_time=2.5e-9,
+            step=1e-12,
+            newton_iterations=80,
+            worst_node="out",
+        )
+        assert err.sim_time == 2.5e-9
+        assert err.step == 1e-12
+        assert err.newton_iterations == 80
+        assert err.worst_node == "out"
+        text = str(err)
+        assert "t=2.500e-09s" in text
+        assert "80 Newton iterations" in text
+        assert "'out'" in text
+
+    def test_plain_message_unchanged(self):
+        assert str(ConvergenceError("boom")) == "boom"
+
+
+class TestAtpgIntegration:
+    def test_registry_counters_match_atpg_stats(self, c17, library):
+        """Registry counters and the public AtpgStats must agree."""
+        faults = generate_fault_list(
+            c17, 6, seed=3, delta=0.4 * NS, window=0.12 * NS
+        )
+        with use_registry() as reg:
+            atpg = CrosstalkAtpg(
+                c17, library, config=AtpgConfig(backtrack_limit=48)
+            )
+            summary = atpg.run_all(faults)
+        stats = summary.stats
+        counters = reg.snapshot()["counters"]
+        assert stats.faults == len(faults)
+        assert counters["atpg.faults"] == stats.faults
+        assert counters["atpg.decisions"] == stats.decisions
+        assert counters.get("atpg.backtracks", 0) == stats.backtracks
+        assert counters["atpg.itr_prunes"] == stats.itr_prunes
+        assert counters["atpg.detected"] == stats.detected
+        assert counters["atpg.untestable"] == stats.untestable
+        assert counters["atpg.aborted"] == stats.aborted
+        assert stats.decisions > 0
+        assert stats.detected + stats.untestable + stats.aborted == len(faults)
+        # The search engine exercises ITR and STA instrumentation too.
+        assert counters["itr.refinements"] > 0
+        assert counters["sta.gates_evaluated"] > 0
+
+    def test_stats_accumulate_and_summary_delta(self, c17, library):
+        faults = generate_fault_list(
+            c17, 2, seed=1, delta=0.4 * NS, window=0.12 * NS
+        )
+        atpg = CrosstalkAtpg(c17, library)
+        first = atpg.run_all(faults)
+        second = atpg.run_all(faults)
+        # Per-run deltas are equal; the engine-wide stats accumulate.
+        assert second.stats.faults == first.stats.faults == 2
+        assert atpg.stats.faults == 4
+
+    def test_works_with_instrumentation_disabled(self, c17, library):
+        """AtpgStats must be populated even under the null registry."""
+        assert not get_registry().enabled
+        faults = generate_fault_list(
+            c17, 2, seed=1, delta=0.4 * NS, window=0.12 * NS
+        )
+        summary = CrosstalkAtpg(c17, library).run_all(faults)
+        assert summary.stats.faults == 2
+        assert summary.stats.decisions > 0

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.spice.gates import GateCell, OUT_NODE, input_node
-from repro.spice.netlist import GND, SpiceCircuit
 from repro.spice.solver import TransientSolver
 from repro.spice.waveform import RampStimulus
 from repro.tech import GENERIC_05UM as TECH

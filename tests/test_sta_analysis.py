@@ -14,10 +14,9 @@ import math
 import random
 
 import pytest
-from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.circuit import GeneratorConfig, generate_circuit, load_packaged_bench
+from repro.circuit import GeneratorConfig, generate_circuit
 from repro.models import PinToPinModel, VShapeModel
 from repro.sta import (
     LineRequired,

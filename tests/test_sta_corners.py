@@ -11,7 +11,7 @@ from repro.sta.corners import (
     pin_delay_bounds,
     pin_trans_bounds,
 )
-from repro.sta.windows import DEFINITE, DirWindow, IMPOSSIBLE, POTENTIAL
+from repro.sta.windows import DEFINITE, DirWindow, POTENTIAL
 from repro.characterize.formulas import QuadPoly1
 from tests.synthetic import REF_LOAD, make_inv, make_nand
 
