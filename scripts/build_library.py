@@ -1,39 +1,52 @@
 #!/usr/bin/env python3
 """Build the packaged characterized cell library.
 
-Runs the full characterization flow (Section 3.7 of the paper: a one-time
-effort per cell library) against the generic 0.5 um technology and writes
-``src/repro/data/lib_generic05.json``.
+Thin wrapper over ``repro-sta characterize`` (the same code path): runs
+the full characterization flow (Section 3.7 of the paper: a one-time
+effort per cell library) against the generic 0.5 um technology and
+writes ``src/repro/data/lib_generic05.json``.
+
+Sweeps run in parallel (``--jobs``, default: all CPUs) and completed
+sweeps are cached on disk (``~/.cache/repro-char`` or
+``$REPRO_CACHE_DIR``), so an unchanged re-run issues zero new
+transistor-level simulations.
 
 Usage:
-    python scripts/build_library.py [output.json]
+    python scripts/build_library.py [output.json] [--jobs N]
+        [--no-cache] [--force] [--stats]
 """
 
-import logging
-import sys
-import time
-from pathlib import Path
+import argparse
 
-from repro.characterize import characterize_library
-from repro.tech import GENERIC_05UM
+from repro.cli import main as cli_main
 
 
-def main() -> int:
-    # Library code reports progress via logging; surface it here.
-    logging.basicConfig(level=logging.INFO, format="%(message)s")
-    default = (
-        Path(__file__).resolve().parent.parent
-        / "src" / "repro" / "data" / "lib_generic05.json"
-    )
-    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else default
-    started = time.time()
-    library = characterize_library(GENERIC_05UM, verbose=True)
-    library.meta["build_seconds"] = round(time.time() - started, 1)
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    library.save(out_path)
-    print(f"wrote {out_path} ({len(library.cells)} cells, "
-          f"{library.meta['build_seconds']} s)")
-    return 0
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default=None,
+                        help="output path (default: the packaged library)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all CPUs)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        default=True, help="disable the sweep cache")
+    parser.add_argument("--force", action="store_true",
+                        help="re-run sweeps even when cached")
+    parser.add_argument("--stats", action="store_true",
+                        help="print an instrumentation summary")
+    args = parser.parse_args(argv)
+
+    cmd = ["characterize", "-v"]
+    if args.output:
+        cmd += ["--out", args.output]
+    if args.jobs is not None:
+        cmd += ["--jobs", str(args.jobs)]
+    if not args.cache:
+        cmd += ["--no-cache"]
+    if args.force:
+        cmd += ["--force"]
+    if args.stats:
+        cmd += ["--stats"]
+    return cli_main(cmd)
 
 
 if __name__ == "__main__":

@@ -6,17 +6,24 @@ the two- and three-input NAND/NOR/AND/OR cells and rewrites
 ``src/repro/data/lib_generic05.json`` in place.  Cells not listed keep
 ``nonctrl = None`` and fall back to the SDF rule.
 
+The sweeps go through the same parallel, cached runner as the main
+characterization flow (``--jobs``, ``--no-cache``, ``--force``).
+
 Usage:
-    python scripts/extend_library_nonctrl.py [library.json]
+    python scripts/extend_library_nonctrl.py [library.json] [--jobs N]
 """
 
-import sys
+import argparse
 import time
 from pathlib import Path
 
 from repro.characterize import (
     CellLibrary,
+    CharacterizationConfig,
+    SweepCache,
     characterize_noncontrolling,
+    make_runner,
+    plan_nonctrl_jobs,
 )
 from repro.spice import GateCell
 from repro.tech import GENERIC_05UM
@@ -28,26 +35,53 @@ EXTENDED_CELLS = (
 )
 
 
-def main() -> int:
+def main(argv=None) -> int:
     default = (
         Path(__file__).resolve().parent.parent
         / "src" / "repro" / "data" / "lib_generic05.json"
     )
-    path = Path(sys.argv[1]) if len(sys.argv) > 1 else default
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("library", nargs="?", default=default,
+                        help="library JSON to extend in place")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all CPUs)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        default=True, help="disable the sweep cache")
+    parser.add_argument("--force", action="store_true",
+                        help="re-run sweeps even when cached")
+    args = parser.parse_args(argv)
+
+    path = Path(args.library)
     library = CellLibrary.load(path)
-    started = time.time()
-    for kind, n_inputs in EXTENDED_CELLS:
-        cell = GateCell(kind, n_inputs, GENERIC_05UM)
+    config = CharacterizationConfig()
+    runner = make_runner(
+        GENERIC_05UM,
+        jobs=args.jobs,
+        cache=SweepCache() if args.cache else None,
+        force=args.force,
+    )
+    cells = [
+        GateCell(kind, n_inputs, GENERIC_05UM)
+        for kind, n_inputs in EXTENDED_CELLS
+    ]
+    started = time.perf_counter()
+    runner.prefetch(
+        [job for c in cells if c.name in library
+         for job in plan_nonctrl_jobs(c, config)]
+    )
+    for cell in cells:
         if cell.name not in library:
             print(f"skipping {cell.name} (not in library)")
             continue
         print(f"characterizing nonctrl for {cell.name} ...", flush=True)
-        library.cells[cell.name].nonctrl = characterize_noncontrolling(cell)
+        library.cells[cell.name].nonctrl = characterize_noncontrolling(
+            cell, config, runner=runner
+        )
     library.meta["nonctrl_extension"] = [
         f"{kind.upper()}{n}" for kind, n in EXTENDED_CELLS
     ]
     library.save(path)
-    print(f"rewrote {path} ({time.time() - started:.1f} s)")
+    print(f"rewrote {path} ({time.perf_counter() - started:.1f} s)")
     return 0
 
 

@@ -6,6 +6,7 @@ and fit the empirical DR / D0R / SR formulas (and their transition-time
 analogues), producing a persistent :class:`CellLibrary`.
 """
 
+from .cache import SweepCache, default_cache_dir
 from .characterizer import (
     CharacterizationConfig,
     DEFAULT_CELLS,
@@ -13,6 +14,14 @@ from .characterizer import (
     characterize_cell,
     characterize_library,
     characterize_noncontrolling,
+)
+from .parallel import (
+    ParallelSweepRunner,
+    SweepJob,
+    SweepRunner,
+    make_runner,
+    plan_cell_jobs,
+    plan_nonctrl_jobs,
 )
 from .formulas import (
     CubeRootSurface,
@@ -26,6 +35,8 @@ from .library import (
     CellLibrary,
     CellTiming,
     DEFAULT_LIBRARY,
+    FORMAT_VERSION,
+    LibraryFormatError,
     SimultaneousTiming,
     TimingArc,
     arc_key,
@@ -50,24 +61,34 @@ __all__ = [
     "CubeRootSurface",
     "DEFAULT_CELLS",
     "DEFAULT_LIBRARY",
+    "FORMAT_VERSION",
+    "LibraryFormatError",
     "LinForm2",
+    "ParallelSweepRunner",
     "PinToPinPoint",
     "QuadForm2",
     "QuadPoly1",
     "SimultaneousTiming",
     "SkewPoint",
+    "SweepCache",
+    "SweepJob",
+    "SweepRunner",
     "TimingArc",
     "arc_key",
     "characterize_arc",
     "characterize_cell",
     "characterize_library",
     "characterize_noncontrolling",
+    "default_cache_dir",
     "load_sweep",
+    "make_runner",
     "multi_switch_delay",
     "pair_key",
     "pair_skew_sweep",
     "pair_skew_sweep_noncontrolling",
     "pin_to_pin_sweep",
+    "plan_cell_jobs",
+    "plan_nonctrl_jobs",
     "refine_minimum",
     "saturation_crossing",
 ]

@@ -1,0 +1,101 @@
+"""Content-addressed on-disk cache for characterization sweeps.
+
+The paper treats characterization as a one-time effort per cell library
+(Section 3.7); this cache makes the flow behave that way in practice.
+Every sweep (one :class:`~repro.characterize.parallel.SweepJob` — a
+pin-to-pin grid, a pair-skew curve, a multi-switch point, or a load
+sweep) is stored under a SHA-256 key computed from everything that can
+change its result:
+
+* the library :data:`~repro.characterize.library.FORMAT_VERSION`,
+* every :class:`~repro.tech.Technology` parameter,
+* the cell spec (kind, fan-in) and the full sweep parameters.
+
+Re-running ``scripts/build_library.py`` (or ``repro-sta characterize``)
+with nothing changed therefore issues zero new SPICE simulations, and
+touching one cell kind or one grid invalidates exactly the affected
+sweeps.  Entries are plain JSON, so cached results round-trip floats
+exactly (``repr`` shortest representation) and a warm replay is
+bit-identical to the original run.
+
+The cache root defaults to ``~/.cache/repro-char`` and can be moved with
+the ``REPRO_CACHE_DIR`` environment variable or the ``--cache-dir``
+CLI flag.  Corrupt or unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-char``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-char"
+
+
+def content_key(payload: dict) -> str:
+    """SHA-256 of a canonical JSON rendering of ``payload``.
+
+    ``sort_keys`` plus JSON's exact float representation make the key a
+    pure function of the payload's *values*, independent of dict
+    ordering or the process that computed it.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """Content-addressed JSON store, one file per sweep result.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` (the two-character
+    fan-out keeps directories small for full-library runs).  Writes are
+    atomic (temp file + rename) so a killed characterization run never
+    leaves a truncated entry behind.
+    """
+
+    def __init__(self, root=None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or None (miss / corrupt)."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()

@@ -31,6 +31,7 @@ from .formulas import (
     refine_minimum,
     saturation_crossing,
 )
+from .cache import SweepCache
 from .library import (
     CellLibrary,
     CellTiming,
@@ -38,13 +39,7 @@ from .library import (
     TimingArc,
     pair_key,
 )
-from .sweep import (
-    load_sweep,
-    multi_switch_delay,
-    pair_skew_sweep,
-    pair_skew_sweep_noncontrolling,
-    pin_to_pin_sweep,
-)
+from .parallel import SweepRunner, make_runner, plan_cell_jobs
 
 logger = logging.getLogger(__name__)
 
@@ -107,9 +102,11 @@ def characterize_arc(
     config: CharacterizationConfig,
     ref_load: float,
     other_value: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> TimingArc:
     """Fit one pin-to-pin timing arc from a transition-time sweep."""
-    points = pin_to_pin_sweep(
+    runner = runner or SweepRunner(cell.tech)
+    points = runner.pin_to_pin(
         cell, pin, in_rising, config.t_grid, load_cap=ref_load,
         other_value=other_value,
     )
@@ -137,6 +134,7 @@ def _characterize_ctrl(
     cell: GateCell,
     config: CharacterizationConfig,
     ref_load: float,
+    runner: SweepRunner,
 ) -> SimultaneousTiming:
     """Characterize the simultaneous to-controlling switching behaviour."""
     grid = list(config.pair_t_grid)
@@ -152,7 +150,7 @@ def _characterize_ctrl(
     for t_p in grid:
         for t_q in grid:
             skews = config.skew_grid(t_p, t_q)
-            points = pair_skew_sweep(
+            points = runner.pair_skew(
                 cell, 0, 1, t_p, t_q, skews, load_cap=ref_load
             )
             by_skew = {p.skew: p for p in points}
@@ -192,20 +190,20 @@ def _characterize_ctrl(
 
     # Pair scaling factors relative to the characterized (0, 1) pair.
     t_nom = config.t_nominal
-    base = multi_switch_delay(cell, [0, 1], t_nom, load_cap=ref_load)
+    base = runner.multi_switch(cell, [0, 1], t_nom, load_cap=ref_load)
     pair_scale: Dict[str, float] = {pair_key(0, 1): 1.0}
     for p in range(cell.n_inputs):
         for q in range(p + 1, cell.n_inputs):
             if (p, q) == (0, 1):
                 continue
-            point = multi_switch_delay(cell, [p, q], t_nom, load_cap=ref_load)
+            point = runner.multi_switch(cell, [p, q], t_nom, load_cap=ref_load)
             pair_scale[pair_key(p, q)] = point.delay / base.delay
 
     # Multi-input (k > 2) zero-skew scaling factors.
     multi_scale: Dict[str, float] = {"2": 1.0}
     trans_multi_scale: Dict[str, float] = {"2": 1.0}
     for k in range(3, cell.n_inputs + 1):
-        point = multi_switch_delay(
+        point = runner.multi_switch(
             cell, list(range(k)), t_nom, load_cap=ref_load
         )
         multi_scale[str(k)] = point.delay / base.delay
@@ -239,6 +237,7 @@ def characterize_noncontrolling(
     cell: GateCell,
     config: Optional[CharacterizationConfig] = None,
     ref_load: Optional[float] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> SimultaneousTiming:
     """Characterize simultaneous to-NON-controlling switching (extension).
 
@@ -251,6 +250,7 @@ def characterize_noncontrolling(
     See :mod:`repro.models.nonctrl` for the model this feeds.
     """
     config = config or CharacterizationConfig()
+    runner = runner or SweepRunner(cell.tech)
     if ref_load is None:
         ref_load = cell.tech.min_inverter_input_cap()
     cv = cell.controlling_value
@@ -269,7 +269,7 @@ def characterize_noncontrolling(
     for t_p in grid:
         for t_q in grid:
             skews = config.skew_grid(t_p, t_q)
-            points = pair_skew_sweep_noncontrolling(
+            points = runner.pair_skew_nonctrl(
                 cell, 0, 1, t_p, t_q, skews, load_cap=ref_load
             )
             by_skew = {p.skew: p for p in points}
@@ -323,6 +323,7 @@ def _characterize_load_slopes(
     arcs: Dict[str, TimingArc],
     config: CharacterizationConfig,
     ref_load: float,
+    runner: SweepRunner,
 ) -> tuple:
     """Linear load-sensitivity slopes per output direction."""
     loads = [m * ref_load for m in config.load_multipliers]
@@ -338,7 +339,7 @@ def _characterize_load_slopes(
         if cell.controlling_value is None and cell.n_inputs > 1:
             # XOR: pick the context that reproduces this arc's polarity.
             other = 0 if arc.in_rising == arc.out_rising else 1
-        points = load_sweep(
+        points = runner.load(
             cell, 0, arc.in_rising, config.t_nominal, loads, other_value=other
         )
         caps = np.array(loads)
@@ -357,14 +358,21 @@ def _characterize_load_slopes(
 def characterize_cell(
     cell: GateCell,
     config: Optional[CharacterizationConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> CellTiming:
     """Characterize a single cell into a :class:`CellTiming`.
 
     Args:
         cell: The transistor-level cell.
         config: Sweep configuration (defaults are the library settings).
+        runner: Sweep execution engine.  Defaults to a plain serial
+            :class:`SweepRunner` (no cache) — exactly the historical
+            inline behaviour.  Pass a cached and/or parallel runner
+            (see :func:`repro.characterize.parallel.make_runner`) to
+            skip or batch the transistor-level work.
     """
     config = config or CharacterizationConfig()
+    runner = runner or SweepRunner(cell.tech)
     obs = get_registry()
     obs.counter("characterize.cells").inc()
     ref_load = cell.tech.min_inverter_input_cap()
@@ -375,22 +383,25 @@ def characterize_cell(
         for pin in range(cell.n_inputs):
             for in_rising, other in contexts:
                 arc = characterize_arc(
-                    cell, pin, in_rising, config, ref_load, other_value=other
+                    cell, pin, in_rising, config, ref_load,
+                    other_value=other, runner=runner,
                 )
                 arcs[arc.key] = arc
     else:
         in_dirs = (True, False) if cell.n_inputs >= 1 else ()
         for pin in range(cell.n_inputs):
             for in_rising in in_dirs:
-                arc = characterize_arc(cell, pin, in_rising, config, ref_load)
+                arc = characterize_arc(
+                    cell, pin, in_rising, config, ref_load, runner=runner
+                )
                 arcs[arc.key] = arc
 
     ctrl = None
     if cell.controlling_value is not None and cell.n_inputs >= 2:
-        ctrl = _characterize_ctrl(cell, config, ref_load)
+        ctrl = _characterize_ctrl(cell, config, ref_load, runner)
 
     delay_slope, trans_slope = _characterize_load_slopes(
-        cell, arcs, config, ref_load
+        cell, arcs, config, ref_load, runner
     )
 
     return CellTiming(
@@ -413,6 +424,11 @@ def characterize_library(
     cells: Iterable[tuple] = DEFAULT_CELLS,
     config: Optional[CharacterizationConfig] = None,
     verbose: bool = False,
+    *,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
+    force: bool = False,
+    runner: Optional[SweepRunner] = None,
 ) -> CellLibrary:
     """Characterize a full cell library (the paper's one-time effort).
 
@@ -423,16 +439,35 @@ def characterize_library(
         verbose: Log per-cell progress at INFO instead of DEBUG.  The
             caller is responsible for configuring logging handlers —
             library code never prints unconditionally.
+        jobs: Worker processes for the sweeps.  1 (the default) keeps
+            the historical serial path; higher counts fan the planned
+            sweeps out over a process pool, with bit-identical fitted
+            coefficients for any value.
+        cache: Optional on-disk sweep cache; hits skip simulations.
+        force: Ignore cached entries on read (still rewrites them).
+        runner: Pre-built runner, overriding ``jobs``/``cache``/``force``.
     """
     config = config or CharacterizationConfig()
+    if runner is None:
+        runner = make_runner(tech, jobs=jobs, cache=cache, force=force)
     obs = get_registry()
     level = logging.INFO if verbose else logging.DEBUG
+    cell_objs = [GateCell(kind, n_inputs, tech) for kind, n_inputs in cells]
+    plan = [
+        job for cell in cell_objs for job in plan_cell_jobs(cell, config)
+    ]
+    logger.log(
+        level, "characterizing %d cells (%d sweeps, %d worker%s) ...",
+        len(cell_objs), len(plan), runner.jobs,
+        "" if runner.jobs == 1 else "s",
+    )
+    with obs.span("characterize.prefetch"):
+        runner.prefetch(plan)
     timings: Dict[str, CellTiming] = {}
-    for kind, n_inputs in cells:
-        cell = GateCell(kind, n_inputs, tech)
+    for cell in cell_objs:
         logger.log(level, "characterizing %s ...", cell.name)
         with obs.span(f"characterize.{cell.name}"):
-            timings[cell.name] = characterize_cell(cell, config)
+            timings[cell.name] = characterize_cell(cell, config, runner)
     return CellLibrary(
         tech_name=tech.name,
         vdd=tech.vdd,
@@ -440,5 +475,6 @@ def characterize_library(
         meta={
             "t_grid": list(config.t_grid),
             "pair_t_grid": list(config.pair_t_grid),
+            "jobs": runner.jobs,
         },
     )

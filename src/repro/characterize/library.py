@@ -22,6 +22,20 @@ from .formulas import CubeRootSurface, LinForm2, QuadForm2, QuadPoly1
 #: ``scripts/build_library.py`` against the generic 0.5 um technology).
 DEFAULT_LIBRARY = "lib_generic05.json"
 
+#: JSON ``format`` marker of a characterized-library document.
+FORMAT_NAME = "repro-cell-library"
+
+#: Schema version of the on-disk library JSON.  Bump whenever the
+#: serialized shape changes; loading any other version fails with a
+#: clear "re-run characterization" error, and the characterization
+#: sweep cache (:mod:`repro.characterize.cache`) keys on it so stale
+#: cached sweeps are never replayed into a new format.
+FORMAT_VERSION = 2
+
+
+class LibraryFormatError(ValueError):
+    """A library JSON document that cannot be loaded by this version."""
+
 
 def arc_key(pin: int, in_rising: bool, out_rising: bool) -> str:
     """Canonical dictionary key of a timing arc."""
@@ -176,7 +190,8 @@ class CellLibrary:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         return {
-            "format": "repro-cell-library-v1",
+            "format": FORMAT_NAME,
+            "format_version": FORMAT_VERSION,
             "tech_name": self.tech_name,
             "vdd": self.vdd,
             "meta": self.meta,
@@ -187,21 +202,44 @@ class CellLibrary:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CellLibrary":
-        if payload.get("format") != "repro-cell-library-v1":
-            raise ValueError("not a repro cell-library JSON document")
-        cells = {
-            name: _cell_from_dict(raw)
-            for name, raw in payload["cells"].items()
-        }
-        return cls(
-            tech_name=payload["tech_name"],
-            vdd=payload["vdd"],
-            cells=cells,
-            meta=payload.get("meta", {}),
-        )
+        if not isinstance(payload, dict) or payload.get("format") not in (
+            FORMAT_NAME,
+            "repro-cell-library-v1",  # pre-versioning documents
+        ):
+            raise LibraryFormatError(
+                "not a repro cell-library JSON document"
+            )
+        version = payload.get("format_version")
+        if version is None and payload["format"] == "repro-cell-library-v1":
+            version = 1
+        if version != FORMAT_VERSION:
+            raise LibraryFormatError(
+                f"library file is from an incompatible version "
+                f"({version}, this build reads {FORMAT_VERSION}) — "
+                f"re-run characterization (repro-sta characterize, or "
+                f"scripts/build_library.py)"
+            )
+        try:
+            cells = {
+                name: _cell_from_dict(raw)
+                for name, raw in payload["cells"].items()
+            }
+            return cls(
+                tech_name=payload["tech_name"],
+                vdd=payload["vdd"],
+                cells=cells,
+                meta=payload.get("meta", {}),
+            )
+        except (KeyError, TypeError) as exc:
+            raise LibraryFormatError(
+                f"malformed library file (missing or invalid field: {exc}) "
+                f"— re-run characterization"
+            ) from exc
 
     def save(self, path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=1))
 
     @classmethod
     def load(cls, path) -> "CellLibrary":

@@ -1,0 +1,539 @@
+"""Sweep-level jobs, planning, and the parallel/cached batch runner.
+
+The characterization flow is thousands of independent transistor-level
+sweeps; this module turns each sweep into a :class:`SweepJob` — a small,
+picklable, hashable value describing exactly one call into
+:mod:`repro.characterize.sweep` — and executes batches of them through a
+:class:`SweepRunner`:
+
+* :class:`SweepRunner` is the serial engine: each job runs in-process,
+  through the content-addressed :class:`~repro.characterize.cache.SweepCache`
+  when one is attached.  With no cache it is behaviourally identical to
+  calling the sweep functions directly (today's path).
+* :class:`ParallelSweepRunner` adds a ``prefetch`` pass that fans the
+  cache-missing jobs of a whole library build out over a
+  ``ProcessPoolExecutor``.  Results are reassembled by job key, and the
+  fitting code consumes them in the same order as the serial run, so the
+  fitted coefficients are bit-identical for any worker count.
+
+:func:`plan_cell_jobs` enumerates, up front, every sweep that
+:func:`~repro.characterize.characterizer.characterize_cell` will request
+for a cell.  Correctness never depends on the plan: a sweep the plan
+missed is simply executed inline by the runner when the fitter asks for
+it — planning only decides what can be parallelised.
+
+Instrumentation (all through :mod:`repro.obs`): ``characterize.cache.hits``
+/ ``.misses``, ``characterize.pool.jobs_dispatched``, the pool's
+wall-clock (``characterize.pool.wall_s``) versus the summed per-job
+worker time (``characterize.pool.job_s`` — what the serial run would
+have cost), plus the pre-existing ``characterize.simulations`` counter,
+which counts *executed* simulations only — a warm-cache run reports 0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs import get_registry
+from ..obs.registry import disable as _disable_obs
+from ..spice import GateCell
+from ..tech import Technology
+from .cache import SweepCache, content_key
+from .library import FORMAT_VERSION
+from .sweep import (
+    PinToPinPoint,
+    SkewPoint,
+    load_sweep,
+    multi_switch_delay,
+    pair_skew_sweep,
+    pair_skew_sweep_noncontrolling,
+    pin_to_pin_sweep,
+)
+
+#: Job operations, one per sweep function.
+OP_PIN2PIN = "pin2pin"
+OP_PAIR_CTRL = "pair_ctrl"
+OP_PAIR_NONCTRL = "pair_nonctrl"
+OP_MULTI = "multi"
+OP_LOAD = "load"
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepJob:
+    """One independent characterization sweep, fully described by value.
+
+    Args:
+        op: Which sweep to run (one of the ``OP_*`` constants).
+        cell_kind: Gate kind (``nand``, ``nor``, ...); the cell is
+            rebuilt from (kind, fan-in, technology) wherever the job
+            executes, so jobs stay tiny on the wire.
+        n_inputs: Cell fan-in.
+        pins: Stimulated input positions — ``(pin,)`` for pin-to-pin and
+            load sweeps, ``(p, q)`` for pair sweeps, the switching set
+            for multi-input points.
+        in_rising: Input transition direction (pin-to-pin/load only).
+        t_values: Input transition times — the grid for pin-to-pin,
+            ``(t_p, t_q)`` for pairs, ``(t_in,)`` otherwise.
+        skews: Skew grid for pair sweeps.
+        loads: Output loads — ``(load,)`` except for load sweeps, where
+            it is the swept grid.
+        other_value: Steady value on non-stimulated inputs (XOR context).
+    """
+
+    op: str
+    cell_kind: str
+    n_inputs: int
+    pins: Tuple[int, ...]
+    in_rising: Optional[bool] = None
+    t_values: Tuple[float, ...] = ()
+    skews: Tuple[float, ...] = ()
+    loads: Tuple[float, ...] = ()
+    other_value: Optional[int] = None
+
+
+def job_key(job: SweepJob, tech: Technology) -> str:
+    """Content-address of a job: hash of everything affecting its result."""
+    return content_key(
+        {
+            "format_version": FORMAT_VERSION,
+            "tech": dataclasses.asdict(tech),
+            "op": job.op,
+            "cell": [job.cell_kind, job.n_inputs],
+            "pins": list(job.pins),
+            "in_rising": job.in_rising,
+            "t_values": list(job.t_values),
+            "skews": list(job.skews),
+            "loads": list(job.loads),
+            "other_value": job.other_value,
+        }
+    )
+
+
+def execute_job(job: SweepJob, tech: Technology) -> Tuple[list, int]:
+    """Run one job's simulations; returns (points, simulation count)."""
+    cell = GateCell(job.cell_kind, job.n_inputs, tech)
+    load = job.loads[0]
+    if job.op == OP_PIN2PIN:
+        points = pin_to_pin_sweep(
+            cell, job.pins[0], job.in_rising, list(job.t_values),
+            load_cap=load, other_value=job.other_value,
+        )
+        return points, len(points)
+    if job.op == OP_PAIR_CTRL:
+        points = pair_skew_sweep(
+            cell, job.pins[0], job.pins[1],
+            job.t_values[0], job.t_values[1], list(job.skews), load_cap=load,
+        )
+        return points, len(points)
+    if job.op == OP_PAIR_NONCTRL:
+        points = pair_skew_sweep_noncontrolling(
+            cell, job.pins[0], job.pins[1],
+            job.t_values[0], job.t_values[1], list(job.skews), load_cap=load,
+        )
+        return points, len(points)
+    if job.op == OP_MULTI:
+        point = multi_switch_delay(
+            cell, list(job.pins), job.t_values[0], load_cap=load
+        )
+        return [point], 1
+    if job.op == OP_LOAD:
+        points = load_sweep(
+            cell, job.pins[0], job.in_rising, job.t_values[0],
+            list(job.loads), other_value=job.other_value,
+        )
+        return points, len(points)
+    raise ValueError(f"unknown sweep op {job.op!r}")
+
+
+def encode_points(job: SweepJob, points: list) -> list:
+    """Plain-JSON rendering of a job's result points."""
+    if job.op in (OP_PIN2PIN, OP_LOAD):
+        return [[p.t_in, p.delay, p.trans, p.out_rising] for p in points]
+    return [[p.skew, p.delay, p.trans] for p in points]
+
+
+def decode_points(job: SweepJob, raw: list) -> list:
+    """Inverse of :func:`encode_points` (exact float round-trip)."""
+    if job.op in (OP_PIN2PIN, OP_LOAD):
+        return [
+            PinToPinPoint(
+                t_in=r[0], delay=r[1], trans=r[2], out_rising=bool(r[3])
+            )
+            for r in raw
+        ]
+    return [SkewPoint(skew=r[0], delay=r[1], trans=r[2]) for r in raw]
+
+
+def _note_batch_result(job: SweepJob, n_simulations: int) -> None:
+    """Mirror the counters the serial sweep functions would have bumped.
+
+    Pool workers run with a fresh (null) registry, so the parent
+    re-records each collected job exactly as the in-process sweep code
+    in :mod:`repro.characterize.sweep` would have.
+    """
+    obs = get_registry()
+    obs.counter("characterize.simulations").inc(n_simulations)
+    if job.op == OP_MULTI:
+        return  # multi_switch_delay counts but records no sweep histogram
+    hist = obs.histogram("characterize.sweep_points")
+    if job.op == OP_LOAD:
+        # load_sweep runs one single-point pin-to-pin sweep per load.
+        for _ in range(n_simulations):
+            hist.observe(1)
+    else:
+        hist.observe(n_simulations)
+
+
+def _pool_execute(job: SweepJob, tech: Technology) -> Tuple[list, int, float]:
+    """Worker entry point: run a job, return (points, n_sim, seconds)."""
+    _disable_obs()  # never inherit the parent's live registry handles
+    started = time.perf_counter()
+    points, n_simulations = execute_job(job, tech)
+    return points, n_simulations, time.perf_counter() - started
+
+
+class SweepRunner:
+    """Serial sweep engine with optional content-addressed caching.
+
+    The characterizer calls the sweep-mirroring methods
+    (:meth:`pin_to_pin`, :meth:`pair_skew`, ...) exactly where it used
+    to call the module-level sweep functions; without a cache each call
+    executes the identical in-process code path.
+
+    Args:
+        tech: Technology every job of this runner belongs to.
+        cache: Optional sweep cache; hits skip the simulations entirely.
+        force: Ignore cached entries on read (fresh results are still
+            written back).
+    """
+
+    #: Worker-process count (informational; recorded in library meta).
+    jobs = 1
+
+    def __init__(
+        self,
+        tech: Technology,
+        cache: Optional[SweepCache] = None,
+        force: bool = False,
+    ) -> None:
+        self.tech = tech
+        self.cache = cache
+        self.force = force
+        self._store: Dict[SweepJob, list] = {}
+
+    # ------------------------------------------------------------------
+    # Sweep-mirroring API used by the characterizer
+    # ------------------------------------------------------------------
+    def pin_to_pin(
+        self,
+        cell: GateCell,
+        pin: int,
+        in_rising: bool,
+        t_grid: Sequence[float],
+        load_cap: Optional[float] = None,
+        other_value: Optional[int] = None,
+    ) -> List[PinToPinPoint]:
+        return self._points(self._job(
+            cell, op=OP_PIN2PIN, pins=(pin,), in_rising=in_rising,
+            t_values=tuple(t_grid), loads=(self._load(cell, load_cap),),
+            other_value=other_value,
+        ))
+
+    def pair_skew(
+        self,
+        cell: GateCell,
+        pin_p: int,
+        pin_q: int,
+        t_p: float,
+        t_q: float,
+        skews: Sequence[float],
+        load_cap: Optional[float] = None,
+    ) -> List[SkewPoint]:
+        return self._points(self._job(
+            cell, op=OP_PAIR_CTRL, pins=(pin_p, pin_q),
+            t_values=(t_p, t_q), skews=tuple(skews),
+            loads=(self._load(cell, load_cap),),
+        ))
+
+    def pair_skew_nonctrl(
+        self,
+        cell: GateCell,
+        pin_p: int,
+        pin_q: int,
+        t_p: float,
+        t_q: float,
+        skews: Sequence[float],
+        load_cap: Optional[float] = None,
+    ) -> List[SkewPoint]:
+        return self._points(self._job(
+            cell, op=OP_PAIR_NONCTRL, pins=(pin_p, pin_q),
+            t_values=(t_p, t_q), skews=tuple(skews),
+            loads=(self._load(cell, load_cap),),
+        ))
+
+    def multi_switch(
+        self,
+        cell: GateCell,
+        pins: Sequence[int],
+        t_in: float,
+        load_cap: Optional[float] = None,
+    ) -> SkewPoint:
+        points = self._points(self._job(
+            cell, op=OP_MULTI, pins=tuple(pins), t_values=(t_in,),
+            loads=(self._load(cell, load_cap),),
+        ))
+        return points[0]
+
+    def load(
+        self,
+        cell: GateCell,
+        pin: int,
+        in_rising: bool,
+        t_in: float,
+        loads: Sequence[float],
+        other_value: Optional[int] = None,
+    ) -> List[PinToPinPoint]:
+        return self._points(self._job(
+            cell, op=OP_LOAD, pins=(pin,), in_rising=in_rising,
+            t_values=(t_in,), loads=tuple(loads), other_value=other_value,
+        ))
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+    def prefetch(self, jobs: Sequence[SweepJob]) -> None:
+        """Resolve a batch of jobs ahead of the fitting pass.
+
+        The serial runner resolves lazily, so this is a no-op; the
+        parallel runner overrides it with the pool fan-out.
+        """
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _job(self, cell: GateCell, **fields) -> SweepJob:
+        if cell.tech != self.tech:
+            raise ValueError(
+                f"cell {cell.name} technology {cell.tech.name!r} differs "
+                f"from the runner's {self.tech.name!r}"
+            )
+        return SweepJob(
+            cell_kind=cell.kind, n_inputs=cell.n_inputs, **fields
+        )
+
+    def _load(self, cell: GateCell, load_cap: Optional[float]) -> float:
+        """Canonical output load (the default minimum-inverter one)."""
+        if load_cap is not None:
+            return load_cap
+        return cell.tech.min_inverter_input_cap()
+
+    def _points(self, job: SweepJob) -> list:
+        points = self._store.get(job)
+        if points is None:
+            points = self._acquire(job)
+            self._store[job] = points
+        return points
+
+    def _acquire(self, job: SweepJob) -> list:
+        cached = self._cache_lookup(job)
+        if cached is not None:
+            return cached
+        points, n_simulations = execute_job(job, self.tech)
+        self._cache_record(job, points, n_simulations)
+        return points
+
+    def _cache_lookup(self, job: SweepJob) -> Optional[list]:
+        if self.cache is None or self.force:
+            return None
+        payload = self.cache.get(job_key(job, self.tech))
+        if payload is None:
+            return None
+        try:
+            points = decode_points(job, payload["points"])
+        except (KeyError, TypeError, IndexError):
+            return None
+        get_registry().counter("characterize.cache.hits").inc()
+        return points
+
+    def _cache_record(
+        self, job: SweepJob, points: list, n_simulations: int
+    ) -> None:
+        if self.cache is None:
+            return
+        get_registry().counter("characterize.cache.misses").inc()
+        self.cache.put(
+            job_key(job, self.tech),
+            {
+                "points": encode_points(job, points),
+                "n_simulations": n_simulations,
+            },
+        )
+
+
+class ParallelSweepRunner(SweepRunner):
+    """Fans prefetched jobs out over a process pool.
+
+    Each job still runs its own simulate calls sequentially inside one
+    worker, so every sweep's floating-point trajectory is identical to
+    the serial run; only the order *between* independent sweeps changes,
+    and the fitting pass consumes results by job key in the serial
+    order.  ``--jobs N`` therefore produces bit-identical coefficients
+    for every N.
+    """
+
+    def __init__(
+        self,
+        tech: Technology,
+        jobs: Optional[int] = None,
+        cache: Optional[SweepCache] = None,
+        force: bool = False,
+    ) -> None:
+        super().__init__(tech, cache=cache, force=force)
+        self.jobs = jobs if jobs else (os.cpu_count() or 1)
+
+    def prefetch(self, jobs: Sequence[SweepJob]) -> None:
+        obs = get_registry()
+        pending: List[SweepJob] = []
+        seen = set()
+        for job in jobs:
+            if job in self._store or job in seen:
+                continue
+            cached = self._cache_lookup(job)
+            if cached is not None:
+                self._store[job] = cached
+            else:
+                seen.add(job)
+                pending.append(job)
+        if not pending:
+            return
+        obs.counter("characterize.pool.jobs_dispatched").inc(len(pending))
+        results: Dict[SweepJob, Tuple[list, int, float]] = {}
+        with obs.timer("characterize.pool.wall_s"):
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_pool_execute, job, self.tech): job
+                    for job in pending
+                }
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+        # Record and cache in submission order: metrics and cache
+        # contents come out identical no matter how the pool scheduled.
+        for job in pending:
+            points, n_simulations, elapsed = results[job]
+            _note_batch_result(job, n_simulations)
+            obs.histogram("characterize.pool.job_s").observe(elapsed)
+            self._cache_record(job, points, n_simulations)
+            self._store[job] = points
+
+
+def make_runner(
+    tech: Technology,
+    jobs: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+    force: bool = False,
+) -> SweepRunner:
+    """The right runner for a worker count (None = all CPUs, 1 = serial)."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1:
+        return SweepRunner(tech, cache=cache, force=force)
+    return ParallelSweepRunner(tech, jobs=jobs, cache=cache, force=force)
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def _load_slope_contexts(cell: GateCell) -> List[Tuple[bool, Optional[int]]]:
+    """(in_rising, other_value) pairs the load-slope pass will sweep.
+
+    ``_characterize_load_slopes`` sweeps pin 0 once per distinct output
+    direction, in arc insertion order.  For ordinary cells that is both
+    input directions with the default context; for XOR the first R and F
+    arcs are the in-rising ones, each re-run in the held-input context
+    that reproduces its polarity.
+    """
+    if cell.kind == "xor":
+        return [(True, 0), (True, 1)]
+    return [(True, None), (False, None)]
+
+
+def plan_cell_jobs(cell: GateCell, config) -> List[SweepJob]:
+    """Every sweep ``characterize_cell(cell, config)`` will request.
+
+    Args:
+        cell: The cell to be characterized.
+        config: A :class:`~repro.characterize.characterizer.CharacterizationConfig`.
+
+    The enumeration mirrors the characterizer's control flow, including
+    the logically-derived output directions of the load-slope sweeps.
+    Should a prediction ever diverge from a measurement, the runner
+    executes the unplanned sweep inline — the plan only decides what is
+    batched, never what is correct.
+    """
+    ref_load = cell.tech.min_inverter_input_cap()
+    jobs: List[SweepJob] = []
+
+    def add(op, pins, **fields):
+        fields.setdefault("loads", (ref_load,))
+        jobs.append(SweepJob(
+            op=op, cell_kind=cell.kind, n_inputs=cell.n_inputs,
+            pins=pins, **fields,
+        ))
+
+    # 1. Pin-to-pin arcs.
+    if cell.kind == "xor":
+        contexts = [(True, 0), (True, 1), (False, 0), (False, 1)]
+        for pin in range(cell.n_inputs):
+            for in_rising, other in contexts:
+                add(OP_PIN2PIN, (pin,), in_rising=in_rising,
+                    t_values=tuple(config.t_grid), other_value=other)
+    else:
+        for pin in range(cell.n_inputs):
+            for in_rising in (True, False):
+                add(OP_PIN2PIN, (pin,), in_rising=in_rising,
+                    t_values=tuple(config.t_grid))
+
+    # 2. Simultaneous to-controlling switching.
+    if cell.controlling_value is not None and cell.n_inputs >= 2:
+        for t_p in config.pair_t_grid:
+            for t_q in config.pair_t_grid:
+                add(OP_PAIR_CTRL, (0, 1), t_values=(t_p, t_q),
+                    skews=tuple(config.skew_grid(t_p, t_q)))
+        t_nom = config.t_nominal
+        add(OP_MULTI, (0, 1), t_values=(t_nom,))
+        for p in range(cell.n_inputs):
+            for q in range(p + 1, cell.n_inputs):
+                if (p, q) == (0, 1):
+                    continue
+                add(OP_MULTI, (p, q), t_values=(t_nom,))
+        for k in range(3, cell.n_inputs + 1):
+            add(OP_MULTI, tuple(range(k)), t_values=(t_nom,))
+
+    # 3. Load-sensitivity slopes.
+    loads = tuple(m * ref_load for m in config.load_multipliers)
+    for in_rising, other in _load_slope_contexts(cell):
+        add(OP_LOAD, (0,), in_rising=in_rising,
+            t_values=(config.t_nominal,), loads=loads, other_value=other)
+    return jobs
+
+
+def plan_nonctrl_jobs(
+    cell: GateCell, config, ref_load: Optional[float] = None
+) -> List[SweepJob]:
+    """Every sweep ``characterize_noncontrolling(cell, config)`` requests."""
+    if ref_load is None:
+        ref_load = cell.tech.min_inverter_input_cap()
+    jobs: List[SweepJob] = []
+    for t_p in config.pair_t_grid:
+        for t_q in config.pair_t_grid:
+            jobs.append(SweepJob(
+                op=OP_PAIR_NONCTRL, cell_kind=cell.kind,
+                n_inputs=cell.n_inputs, pins=(0, 1), t_values=(t_p, t_q),
+                skews=tuple(config.skew_grid(t_p, t_q)), loads=(ref_load,),
+            ))
+    return jobs

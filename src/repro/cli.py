@@ -8,19 +8,34 @@ Subcommands:
 * ``sim``   — timing-simulate one two-pattern vector;
 * ``atpg``  — run the crosstalk-delay-fault ATPG over a random fault
   list, with or without ITR pruning;
+* ``characterize`` — build a characterized cell library (parallel,
+  cached transistor-level sweeps);
 * ``bench`` — list the benchmark circuits shipped with the package.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import logging
+import os
+import re
 import sys
+import time
 from pathlib import Path
 
 from .atpg import AtpgConfig, CrosstalkAtpg, generate_fault_list, spice_check
-from .characterize import CellLibrary
+from .characterize import (
+    CellLibrary,
+    CharacterizationConfig,
+    DEFAULT_CELLS,
+    DEFAULT_LIBRARY,
+    SweepCache,
+    characterize_library,
+)
 from .circuit import ISCAS_PROFILES, load_bench, load_packaged_bench
+from .spice import GateCell
+from .tech import GENERIC_05UM
 from .models import PinToPinModel, VShapeModel
 from .obs import (
     MetricsRegistry,
@@ -196,6 +211,83 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _packaged_library_path() -> Path:
+    """Where the library shipped inside the package lives."""
+    return Path(__file__).resolve().parent / "data" / DEFAULT_LIBRARY
+
+
+def _parse_cells(spec: str) -> tuple:
+    """Parse ``inv,nand2,nor3`` into ((kind, n_inputs), ...).
+
+    A spec without a fan-in digit gets the cell family's natural one
+    (1 for inv/buf, 2 otherwise).  Raises ValueError on unknown kinds
+    or unsupported fan-ins (via GateCell validation).
+    """
+    cells = []
+    for token in spec.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        match = re.fullmatch(r"([a-z]+?)(\d+)?", token)
+        if match is None:
+            raise ValueError(f"malformed cell spec {token!r}")
+        kind = match.group(1)
+        if match.group(2) is not None:
+            n_inputs = int(match.group(2))
+        else:
+            n_inputs = 1 if kind in ("inv", "buf") else 2
+        GateCell(kind, n_inputs)  # validates kind and fan-in
+        cells.append((kind, n_inputs))
+    if not cells:
+        raise ValueError("empty cell list")
+    return tuple(cells)
+
+
+def _parse_grid_ns(spec: str) -> tuple:
+    """Parse a comma-separated list of transition times in ns to seconds."""
+    values = tuple(float(tok) * NS for tok in spec.split(",") if tok.strip())
+    if not values:
+        raise ValueError("empty grid")
+    return values
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    try:
+        cells = _parse_cells(args.cells) if args.cells else DEFAULT_CELLS
+        config = CharacterizationConfig()
+        overrides = {}
+        if args.t_grid:
+            overrides["t_grid"] = _parse_grid_ns(args.t_grid)
+        if args.pair_t_grid:
+            overrides["pair_t_grid"] = _parse_grid_ns(args.pair_t_grid)
+        if args.skews_per_side is not None:
+            overrides["skews_per_side"] = args.skews_per_side
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = None
+    if args.cache:
+        cache = SweepCache(args.cache_dir) if args.cache_dir else SweepCache()
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    out_path = Path(args.out) if args.out else _packaged_library_path()
+    started = time.perf_counter()
+    library = characterize_library(
+        GENERIC_05UM, cells, config, verbose=True,
+        jobs=jobs, cache=cache, force=args.force,
+    )
+    library.meta["build_seconds"] = round(time.perf_counter() - started, 1)
+    library.save(out_path)
+    print(
+        f"wrote {out_path} ({len(library.cells)} cells, "
+        f"{library.meta['build_seconds']} s, jobs={jobs}"
+        + (f", cache={cache.root}" if cache is not None else "")
+        + ")"
+    )
+    return 0
+
+
 def _cmd_bench(_args: argparse.Namespace) -> int:
     print("packaged benchmark circuits:")
     print("  c17      (real ISCAS85 netlist)")
@@ -279,6 +371,54 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--no-spice-check", dest="spice_check",
                       action="store_const", const=0)
     atpg.set_defaults(func=_cmd_atpg)
+
+    char = sub.add_parser(
+        "characterize",
+        help="build a characterized cell library (parallel, cached sweeps)",
+        parents=[common],
+    )
+    char.add_argument(
+        "-o", "--out", default=None, metavar="PATH",
+        help="output library JSON (default: the packaged "
+             f"src/repro/data/{DEFAULT_LIBRARY})",
+    )
+    char.add_argument(
+        "--cells", default=None, metavar="SPEC,...",
+        help="comma-separated cells, e.g. inv,nand2,nor3 "
+             "(default: the full library set)",
+    )
+    char.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the sweeps "
+             "(default: all CPUs; 1 = serial)",
+    )
+    char.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="sweep cache location (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-char)",
+    )
+    char.add_argument(
+        "--no-cache", dest="cache", action="store_false", default=True,
+        help="disable the on-disk sweep cache",
+    )
+    char.add_argument(
+        "--force", action="store_true",
+        help="re-run sweeps even when cached (fresh results are "
+             "written back)",
+    )
+    char.add_argument(
+        "--t-grid", default=None, metavar="NS,...",
+        help="override the pin-to-pin transition-time grid, in ns",
+    )
+    char.add_argument(
+        "--pair-t-grid", default=None, metavar="NS,...",
+        help="override the simultaneous-pair transition-time grid, in ns",
+    )
+    char.add_argument(
+        "--skews-per-side", type=int, default=None, metavar="K",
+        help="override the skew samples per side of zero",
+    )
+    char.set_defaults(func=_cmd_characterize)
 
     report = sub.add_parser("report", help="critical/shortest path report",
                             parents=[common])

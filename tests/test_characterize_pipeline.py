@@ -1,0 +1,188 @@
+"""Tests for the parallel, cached characterization pipeline.
+
+Covers the three tentpole properties:
+
+* the on-disk sweep cache: a warm re-run issues **zero** transistor
+  simulations (asserted via the ``characterize.simulations`` counter)
+  and reproduces the fitted coefficients bit-for-bit;
+* the process-pool runner: ``jobs=2`` produces a library identical to
+  ``jobs=1``;
+* the sweep plan: every sweep the characterizer requests was enumerated
+  up front (no inline fallback), including the XOR load-slope contexts.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.characterize import (
+    CharacterizationConfig,
+    SweepCache,
+    SweepRunner,
+    characterize_cell,
+    characterize_library,
+    characterize_noncontrolling,
+    make_runner,
+    plan_cell_jobs,
+    plan_nonctrl_jobs,
+)
+from repro.characterize.cache import content_key
+from repro.characterize.library import _cell_to_dict
+from repro.characterize.parallel import (
+    ParallelSweepRunner,
+    decode_points,
+    encode_points,
+    job_key,
+)
+from repro.obs import use_registry
+from repro.spice import GateCell
+from repro.tech import GENERIC_05UM as TECH
+
+NS = 1e-9
+
+FAST = CharacterizationConfig(
+    t_grid=(0.15 * NS, 0.4 * NS, 0.9 * NS),
+    pair_t_grid=(0.2 * NS, 0.5 * NS, 1.0 * NS),
+    skews_per_side=3,
+    load_multipliers=(1.0, 2.0),
+)
+
+
+def _sims(registry) -> int:
+    counter = registry.counters.get("characterize.simulations")
+    return counter.value if counter is not None else 0
+
+
+class TestSweepCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("ab" + "0" * 62, {"points": [[1.0, 2.0]]})
+        assert cache.get("ab" + "0" * 62) == {"points": [[1.0, 2.0]]}
+
+    def test_missing_and_corrupt_entries_are_misses(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = "cd" + "0" * 62
+        assert cache.get(key) is None
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_content_key_ignores_dict_order(self):
+        assert content_key({"a": 1, "b": 2.5}) == content_key(
+            {"b": 2.5, "a": 1}
+        )
+        assert content_key({"a": 1}) != content_key({"a": 2})
+
+    def test_job_key_depends_on_technology(self):
+        cell = GateCell("inv", 1, TECH)
+        (job,) = [
+            j for j in plan_cell_jobs(cell, FAST) if j.op == "pin2pin"
+        ][:1]
+        other = dataclasses.replace(TECH, vdd=3.0)
+        assert job_key(job, TECH) != job_key(job, other)
+
+    def test_encode_decode_round_trips_floats_exactly(self):
+        cell = GateCell("nand", 2, TECH)
+        jobs = plan_cell_jobs(cell, FAST)
+        runner = SweepRunner(TECH)
+        for job in (jobs[0], jobs[4]):  # one pin2pin, one pair sweep
+            points = runner._points(job)
+            raw = json.loads(json.dumps(encode_points(job, points)))
+            assert decode_points(job, raw) == points
+
+
+class TestCachedRuns:
+    def test_warm_cache_run_issues_zero_simulations(self, tmp_path):
+        cell = GateCell("inv", 1, TECH)
+        cache = SweepCache(tmp_path / "cache")
+        with use_registry() as cold:
+            first = characterize_cell(
+                cell, FAST, runner=SweepRunner(TECH, cache=cache)
+            )
+        assert _sims(cold) > 0
+        assert cold.counters["characterize.cache.misses"].value > 0
+        with use_registry() as warm:
+            second = characterize_cell(
+                cell, FAST, runner=SweepRunner(TECH, cache=cache)
+            )
+        assert _sims(warm) == 0
+        assert warm.counters["characterize.cache.hits"].value > 0
+        assert json.dumps(_cell_to_dict(first)) == json.dumps(
+            _cell_to_dict(second)
+        )
+
+    def test_force_re_executes_despite_cache(self, tmp_path):
+        cell = GateCell("inv", 1, TECH)
+        cache = SweepCache(tmp_path / "cache")
+        characterize_cell(cell, FAST, runner=SweepRunner(TECH, cache=cache))
+        with use_registry() as forced:
+            characterize_cell(
+                cell, FAST,
+                runner=SweepRunner(TECH, cache=cache, force=True),
+            )
+        assert _sims(forced) > 0
+        assert "characterize.cache.hits" not in forced.counters
+
+    def test_runner_rejects_foreign_technology(self):
+        other = dataclasses.replace(TECH, vdd=3.0)
+        runner = SweepRunner(other)
+        with pytest.raises(ValueError, match="technology"):
+            runner.pin_to_pin(
+                GateCell("inv", 1, TECH), 0, True, FAST.t_grid
+            )
+
+
+class TestParallelParity:
+    def test_two_jobs_identical_to_serial(self):
+        cells = (("nand", 2),)
+        with use_registry():
+            serial = characterize_library(TECH, cells, FAST, jobs=1)
+        with use_registry() as reg:
+            pooled = characterize_library(TECH, cells, FAST, jobs=2)
+        assert reg.counters["characterize.pool.jobs_dispatched"].value > 0
+        a, b = serial.to_dict(), pooled.to_dict()
+        assert a["meta"].pop("jobs") == 1
+        assert b["meta"].pop("jobs") == 2
+        assert json.dumps(a) == json.dumps(b)
+
+    def test_make_runner_selects_by_job_count(self):
+        assert type(make_runner(TECH, jobs=1)) is SweepRunner
+        assert isinstance(make_runner(TECH, jobs=2), ParallelSweepRunner)
+        assert make_runner(TECH, jobs=2).jobs == 2
+
+
+class TestPlanCoverage:
+    @pytest.mark.parametrize("kind,n_inputs", [("inv", 1), ("xor", 2)])
+    def test_plan_covers_every_requested_sweep(self, kind, n_inputs):
+        cell = GateCell(kind, n_inputs, TECH)
+        runner = SweepRunner(TECH)
+        for job in plan_cell_jobs(cell, FAST):
+            runner._points(job)
+
+        def unplanned(job):
+            raise AssertionError(f"unplanned sweep: {job}")
+
+        runner._acquire = unplanned
+        characterize_cell(cell, FAST, runner=runner)
+
+    def test_nonctrl_plan_covers_every_requested_sweep(self):
+        cell = GateCell("nand", 2, TECH)
+        runner = SweepRunner(TECH)
+        jobs = plan_nonctrl_jobs(cell, FAST)
+        assert len(jobs) == len(FAST.pair_t_grid) ** 2
+        for job in jobs:
+            runner._points(job)
+
+        def unplanned(job):
+            raise AssertionError(f"unplanned sweep: {job}")
+
+        runner._acquire = unplanned
+        characterize_noncontrolling(cell, FAST, runner=runner)
+
+    def test_plan_counts(self):
+        # NAND3: 6 arcs, 9 pair sweeps, 4 multi points (base pair, the
+        # two remaining pairs, k=3), 2 load sweeps.
+        plan = plan_cell_jobs(GateCell("nand", 3, TECH), FAST)
+        assert len(plan) == 6 + 9 + 4 + 2

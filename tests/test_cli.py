@@ -43,6 +43,37 @@ class TestParser:
         args = build_parser().parse_args(["-vv", "sta", "c17"])
         assert args.verbose == 2
 
+    def test_characterize_defaults(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.cells is None
+        assert args.jobs is None
+        assert args.cache is True
+        assert args.force is False
+
+    def test_characterize_flags(self):
+        args = build_parser().parse_args([
+            "characterize", "--cells", "inv,nand2", "--jobs", "4",
+            "--no-cache", "--force", "--t-grid", "0.2,0.6",
+        ])
+        assert args.cells == "inv,nand2"
+        assert args.jobs == 4
+        assert args.cache is False
+        assert args.force is True
+        assert args.t_grid == "0.2,0.6"
+
+    def test_cell_spec_parsing(self):
+        from repro.cli import _parse_cells
+
+        assert _parse_cells("inv,nand2,nor3") == (
+            ("inv", 1), ("nand", 2), ("nor", 3),
+        )
+        assert _parse_cells("buf") == (("buf", 1),)
+        assert _parse_cells("xor") == (("xor", 2),)
+        with pytest.raises(ValueError):
+            _parse_cells("frob2")
+        with pytest.raises(ValueError):
+            _parse_cells("")
+
 
 class TestCommands:
     def test_bench_lists_circuits(self, capsys):
@@ -87,6 +118,48 @@ class TestCommands:
         assert "with ITR" in out
         assert "no ITR" in out
         assert "efficiency" in out
+
+
+class TestCharacterizeCommand:
+    ARGS = [
+        "characterize", "--cells", "inv",
+        "--t-grid", "0.15,0.4,0.9", "--pair-t-grid", "0.2,0.5,1.0",
+        "--skews-per-side", "3", "--jobs", "1",
+    ]
+
+    def test_characterize_builds_and_caches(self, tmp_path, capsys):
+        from repro.characterize import CellLibrary
+        from repro.obs import snapshot_from_trace, read_trace
+
+        out = tmp_path / "lib" / "tiny.json"  # parent dir created by save
+        cache = tmp_path / "cache"
+        trace1 = tmp_path / "cold.jsonl"
+        argv = self.ARGS + [
+            "--out", str(out), "--cache-dir", str(cache),
+        ]
+        assert main(argv + ["--trace-json", str(trace1)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        library = CellLibrary.load(out)
+        assert "INV" in library
+        assert library.meta["jobs"] == 1
+        assert "build_seconds" in library.meta
+        cold = snapshot_from_trace(read_trace(trace1))
+        assert cold["counters"]["characterize.simulations"] > 0
+        assert cold["counters"]["characterize.cache.misses"] > 0
+
+        # Warm re-run: every sweep served from cache, zero simulations.
+        trace2 = tmp_path / "warm.jsonl"
+        assert main(argv + ["--trace-json", str(trace2)]) == 0
+        warm = snapshot_from_trace(read_trace(trace2))
+        assert warm["counters"].get("characterize.simulations", 0) == 0
+        assert warm["counters"]["characterize.cache.hits"] > 0
+
+    def test_characterize_rejects_bad_cells(self, tmp_path, capsys):
+        assert main([
+            "characterize", "--cells", "frobnicator",
+            "--out", str(tmp_path / "x.json"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestInstrumentationFlags:

@@ -1,9 +1,13 @@
 """Tests for CellLibrary containers and JSON round-tripping."""
 
+import json
+
 import pytest
 
 from repro.characterize.library import (
+    FORMAT_VERSION,
     CellLibrary,
+    LibraryFormatError,
     arc_key,
     pair_key,
 )
@@ -118,6 +122,46 @@ class TestLibrarySerialization:
         path = tmp_path / "bad.json"
         path.write_text('{"format": "something-else"}')
         with pytest.raises(ValueError):
+            CellLibrary.load(path)
+
+    def test_save_creates_missing_parent_directories(self, tmp_path):
+        lib = self.make_library()
+        path = tmp_path / "deep" / "nested" / "lib.json"
+        lib.save(path)
+        assert set(CellLibrary.load(path).cells) == set(lib.cells)
+
+    def test_document_carries_format_version(self):
+        payload = self.make_library().to_dict()
+        assert payload["format"] == "repro-cell-library"
+        assert payload["format_version"] == FORMAT_VERSION
+
+    def test_stale_version_fails_with_clear_error(self, tmp_path):
+        payload = self.make_library().to_dict()
+        payload["format_version"] = FORMAT_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(
+            LibraryFormatError, match="re-run characterization"
+        ):
+            CellLibrary.load(path)
+
+    def test_pre_versioning_document_fails_with_clear_error(self, tmp_path):
+        payload = self.make_library().to_dict()
+        payload["format"] = "repro-cell-library-v1"
+        del payload["format_version"]
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(LibraryFormatError, match="incompatible version"):
+            CellLibrary.load(path)
+
+    def test_missing_keys_fail_with_clear_error(self, tmp_path):
+        payload = self.make_library().to_dict()
+        del payload["cells"]["NAND2"]["arcs"]
+        path = tmp_path / "mangled.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(
+            LibraryFormatError, match="re-run characterization"
+        ):
             CellLibrary.load(path)
 
     def test_inv_has_no_ctrl_block(self, tmp_path):
