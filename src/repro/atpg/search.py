@@ -13,7 +13,9 @@ Section 7 (ATPG efficiency with and without ITR) is a one-flag ablation.
 from __future__ import annotations
 
 import dataclasses
+import time
 import zlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, List, Optional, Tuple
 
 from ..characterize.library import CellLibrary
@@ -24,7 +26,8 @@ from ..itr.refine import ItrEngine
 from ..itr.values import TwoFrame
 from ..models.base import DelayModel
 from ..obs import get_registry
-from ..sta.analysis import StaConfig
+from ..obs.registry import disable as _disable_obs
+from ..sta.analysis import PerfConfig, StaConfig
 from ..sta.simulate import PiStimulus, TimingSimulator
 from .excite import check_excitation, transition_literal
 from .faults import CrosstalkFault, FaultySimulator
@@ -94,6 +97,20 @@ class AtpgStats:
             }
         )
 
+    def __add__(self, other: "AtpgStats") -> "AtpgStats":
+        """Field-wise sum (for merging per-worker deltas)."""
+        return AtpgStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in dataclasses.fields(self)
+            }
+        )
+
+    def accumulate(self, other: "AtpgStats") -> None:
+        """Field-wise in-place addition."""
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
 
 @dataclasses.dataclass
 class AtpgSummary:
@@ -114,6 +131,35 @@ class AtpgSummary:
         return resolved / len(self.results)
 
 
+# ----------------------------------------------------------------------
+# Fault-parallel worker plumbing
+# ----------------------------------------------------------------------
+# One test generator per worker process, built by the pool initializer.
+_WORKER_ATPG: Optional["CrosstalkAtpg"] = None
+
+
+def _atpg_worker_init(circuit, library, model, sta_config, config, perf):
+    """Build the per-process test generator for the fault pool.
+
+    Workers run with instrumentation disabled (the parent mirrors the
+    merged search-effort deltas into its own registry afterwards).
+    """
+    global _WORKER_ATPG
+    _disable_obs()
+    _WORKER_ATPG = CrosstalkAtpg(
+        circuit, library, model, sta_config, config, perf
+    )
+
+
+def _atpg_worker_run(index, fault):
+    """Generate a test for one fault; returns (index, result, delta, s)."""
+    before = dataclasses.replace(_WORKER_ATPG.stats)
+    start = time.perf_counter()
+    result = _WORKER_ATPG.generate(fault)
+    elapsed = time.perf_counter() - start
+    return index, result, _WORKER_ATPG.stats - before, elapsed
+
+
 class CrosstalkAtpg:
     """Two-pattern crosstalk-delay-fault test generator.
 
@@ -124,6 +170,8 @@ class CrosstalkAtpg:
             proposed V-shape model).
         sta_config: Boundary conditions shared with STA/ITR.
         config: Search parameters.
+        perf: Timing-core performance knobs forwarded to ITR's analyzer
+            (defaults to batched kernels + propagation memo).
     """
 
     def __init__(
@@ -133,11 +181,13 @@ class CrosstalkAtpg:
         model: Optional[DelayModel] = None,
         sta_config: Optional[StaConfig] = None,
         config: Optional[AtpgConfig] = None,
+        perf: Optional[PerfConfig] = None,
     ) -> None:
         self.circuit = circuit
         self.library = library
         self.config = config or AtpgConfig()
-        self.engine = ItrEngine(circuit, library, model, sta_config)
+        self.perf = perf
+        self.engine = ItrEngine(circuit, library, model, sta_config, perf)
         self.model = self.engine.analyzer.model
         self.sta_config = self.engine.analyzer.config
         self._sta = self.engine.analyzer.analyze()
@@ -152,6 +202,9 @@ class CrosstalkAtpg:
         self._fault_free_sim = TimingSimulator(
             circuit, library, self.model, self.sta_config
         )
+        # Refined windows for the all-unspecified assignment, shared as
+        # the incremental-refinement baseline across faults (lazy).
+        self._base_itr = None
         self.stats = AtpgStats()
         obs = get_registry()
         self._m_faults = obs.counter("atpg.faults")
@@ -327,11 +380,63 @@ class CrosstalkAtpg:
         except _Abort:
             return FaultResult(fault, ABORTED, backtracks=backtracks)
 
-    def run_all(self, faults) -> AtpgSummary:
-        """Generate tests for a whole fault list."""
-        before = dataclasses.replace(self.stats)
-        results = [self.generate(fault) for fault in faults]
-        return AtpgSummary(results, stats=self.stats - before)
+    def run_all(self, faults, jobs: int = 1) -> AtpgSummary:
+        """Generate tests for a whole fault list.
+
+        Args:
+            faults: Faults to target, in order.
+            jobs: Worker processes.  ``jobs=1`` runs the historical
+                serial path in this process; ``jobs>1`` fans the faults
+                out over a process pool (one search engine per worker)
+                and reassembles results in the input order, so the
+                summary is identical to a serial run.
+        """
+        faults = list(faults)
+        if jobs <= 1 or len(faults) <= 1:
+            before = dataclasses.replace(self.stats)
+            results = [self.generate(fault) for fault in faults]
+            return AtpgSummary(results, stats=self.stats - before)
+        return self._run_all_parallel(faults, jobs)
+
+    def _run_all_parallel(self, faults, jobs: int) -> AtpgSummary:
+        obs = get_registry()
+        obs.counter("atpg.pool.faults_dispatched").inc(len(faults))
+        job_hist = obs.histogram("atpg.pool.job_s")
+        # Share the parent-resolved period so every worker checks the
+        # same setup threshold without re-deriving it from its own STA.
+        cfg = dataclasses.replace(self.config, period=self.period)
+        results: List[Optional[FaultResult]] = [None] * len(faults)
+        merged = AtpgStats()
+        with obs.timer("atpg.pool.wall_s"):
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(faults)),
+                initializer=_atpg_worker_init,
+                initargs=(
+                    self.circuit, self.library, self.model,
+                    self.sta_config, cfg, self.perf,
+                ),
+            ) as pool:
+                futures = {
+                    pool.submit(_atpg_worker_run, i, fault): i
+                    for i, fault in enumerate(faults)
+                }
+                for future in as_completed(futures):
+                    index, result, delta, elapsed = future.result()
+                    results[index] = result
+                    merged.accumulate(delta)
+                    job_hist.observe(elapsed)
+        self.stats.accumulate(merged)
+        # Workers run with instrumentation disabled; mirror their merged
+        # search effort into the parent registry so run reports carry
+        # the same counters as a serial run.
+        self._m_faults.inc(merged.faults)
+        self._m_decisions.inc(merged.decisions)
+        self._m_backtracks.inc(merged.backtracks)
+        self._m_prunes.inc(merged.itr_prunes)
+        self._m_status[DETECTED].inc(merged.detected)
+        self._m_status[UNTESTABLE].inc(merged.untestable)
+        self._m_status[ABORTED].inc(merged.aborted)
+        return AtpgSummary(list(results), stats=merged)
 
     # ------------------------------------------------------------------
     # Search internals
@@ -448,12 +553,18 @@ class CrosstalkAtpg:
 
         When a previous refined result is supplied the windows are
         updated incrementally (only the cone affected by the new
-        assignments is recomputed).
+        assignments is recomputed).  With no previous result, the
+        refinement starts from the engine's all-unspecified baseline —
+        refine_incremental is bit-identical to a full refine, and the
+        baseline never changes, so it is computed once per generator.
         """
-        if previous is not None:
-            result = self.engine.refine_incremental(previous, values)
-        else:
-            result = self.engine.refine(values)
+        if previous is None:
+            if self._base_itr is None:
+                self._base_itr = self.engine.refine(
+                    self.engine.initial_values()
+                )
+            previous = self._base_itr
+        result = self.engine.refine_incremental(previous, values)
         verdict = check_excitation(fault, result, self._required)
         reason = None
         if not verdict.logic_possible:
@@ -558,11 +669,15 @@ class CrosstalkAtpg:
         self, fault: CrosstalkFault, vector: Dict[str, PiStimulus]
     ) -> bool:
         """Simulate the vector against the faulty circuit and check setup."""
-        faulty_sim = FaultySimulator(
-            self.circuit, self.library, self.model, self.sta_config,
-            fault=fault,
-        )
-        faulty = faulty_sim.run(vector)
+        # The simulator is stateless across run() calls, so reuse one per
+        # fault instead of recomputing loads on every candidate vector.
+        if getattr(self, "_faulty_for", None) is not fault:
+            self._faulty_for = fault
+            self._faulty_sim = FaultySimulator(
+                self.circuit, self.library, self.model, self.sta_config,
+                fault=fault,
+            )
+        faulty = self._faulty_sim.run(vector)
         threshold = self.period + self.config.detect_guard
         late = [
             po

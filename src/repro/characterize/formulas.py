@@ -29,10 +29,28 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+#: The exponent used by every cube-root evaluation.  Kept as a single
+#: constant so the scalar and vectorized paths round identically.
+ONE_THIRD = 1.0 / 3.0
+
 
 def _lstsq(design: np.ndarray, targets: np.ndarray) -> np.ndarray:
     solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
     return solution
+
+
+def cbrt_many(values: np.ndarray) -> np.ndarray:
+    """Element-wise ``t ** (1/3)`` bit-identical to the scalar evaluation.
+
+    ``np.power``'s vectorized float64 loop can differ from libm ``pow``
+    in the last ulp, and the batched STA corner kernels must reproduce
+    the scalar model arithmetic exactly — so the roots go through
+    Python's float ``**`` one value at a time.  Candidate sets are tiny
+    (a handful of clamped transition times per corner search), so this
+    costs nothing measurable.
+    """
+    return np.array([v ** ONE_THIRD for v in np.asarray(values).tolist()],
+                    dtype=float)
 
 
 def _time_scale(*arrays: np.ndarray) -> float:
@@ -71,23 +89,44 @@ class QuadPoly1:
         return -self.a1 / (2.0 * self.a2)
 
     def max_over(self, lo: float, hi: float) -> Tuple[float, float]:
-        """(argmax, max) of the polynomial over ``[lo, hi]``."""
-        candidates = [lo, hi]
-        peak = self.peak_location()
-        if peak is not None and lo < peak < hi:
-            candidates.append(peak)
-        best = max(candidates, key=self.__call__)
-        return best, self(best)
+        """(argmax, max) of the polynomial over ``[lo, hi]``.
+
+        Ties resolve to the earlier candidate in (lo, hi, peak) order,
+        and every candidate is evaluated exactly once.
+        """
+        best_t, best_v = lo, self(lo)
+        v = self(hi)
+        if v > best_v:
+            best_t, best_v = hi, v
+        if self.a2 < 0.0:
+            peak = -self.a1 / (2.0 * self.a2)
+            if lo < peak < hi:
+                v = self(peak)
+                if v > best_v:
+                    best_t, best_v = peak, v
+        return best_t, best_v
 
     def min_over(self, lo: float, hi: float) -> Tuple[float, float]:
-        """(argmin, min) of the polynomial over ``[lo, hi]``."""
-        candidates = [lo, hi]
+        """(argmin, min) of the polynomial over ``[lo, hi]``.
+
+        Ties resolve to the earlier candidate in (lo, hi, valley) order,
+        and every candidate is evaluated exactly once.
+        """
+        best_t, best_v = lo, self(lo)
+        v = self(hi)
+        if v < best_v:
+            best_t, best_v = hi, v
         if self.a2 > 0.0:
             valley = -self.a1 / (2.0 * self.a2)
             if lo < valley < hi:
-                candidates.append(valley)
-        best = min(candidates, key=self.__call__)
-        return best, self(best)
+                v = self(valley)
+                if v < best_v:
+                    best_t, best_v = valley, v
+        return best_t, best_v
+
+    def eval_many(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation, bit-identical per element to ``self(t)``."""
+        return (self.a2 * ts + self.a1) * ts + self.a0
 
     def coefficients(self) -> Tuple[float, float, float]:
         return self.a2, self.a1, self.a0
@@ -124,8 +163,16 @@ class CubeRootSurface:
     k_c: float
 
     def __call__(self, tx: float, ty: float) -> float:
-        x = tx ** (1.0 / 3.0)
-        y = ty ** (1.0 / 3.0)
+        x = tx ** ONE_THIRD
+        y = ty ** ONE_THIRD
+        return self.k_xy * x * y + self.k_x * x + self.k_y * y + self.k_c
+
+    def eval_many(self, txs: np.ndarray, tys: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation, bit-identical per element to scalar."""
+        return self.eval_roots(cbrt_many(txs), cbrt_many(tys))
+
+    def eval_roots(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vectorized surface over pre-computed cube roots (see cbrt_many)."""
         return self.k_xy * x * y + self.k_x * x + self.k_y * y + self.k_c
 
     def to_paper_form(self) -> Tuple[float, float, float, float, float]:
@@ -203,6 +250,17 @@ class QuadForm2:
             + self.k5
         )
 
+    def eval_many(self, txs: np.ndarray, tys: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation, bit-identical per element to scalar."""
+        return (
+            self.k0 * txs * txs
+            + self.k1 * tys * tys
+            + self.k2 * txs * tys
+            + self.k3 * txs
+            + self.k4 * tys
+            + self.k5
+        )
+
     def coefficients(self) -> Tuple[float, ...]:
         return (self.k0, self.k1, self.k2, self.k3, self.k4, self.k5)
 
@@ -255,6 +313,10 @@ class LinForm2:
 
     def __call__(self, tx: float, ty: float) -> float:
         return self.c0 + self.c1 * tx + self.c2 * ty
+
+    def eval_many(self, txs: np.ndarray, tys: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation, bit-identical per element to scalar."""
+        return self.c0 + self.c1 * txs + self.c2 * tys
 
     @classmethod
     def fit(

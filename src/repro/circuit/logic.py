@@ -38,6 +38,11 @@ INVERTING = {
 
 Trit = Optional[int]
 
+#: Evaluation memo.  The input space is tiny (8 kinds x 3^fanin trits)
+#: and the implication / simulation loops evaluate the same situations
+#: millions of times, so a dict hit replaces the branchy evaluation.
+_EVAL_CACHE: dict = {}
+
 
 def evaluate_gate(kind: str, values: Sequence[Trit]) -> Trit:
     """Evaluate a gate over three-valued inputs.
@@ -52,6 +57,18 @@ def evaluate_gate(kind: str, values: Sequence[Trit]) -> Trit:
     Raises:
         ValueError: For unknown kinds or wrong input counts.
     """
+    key = (kind, tuple(values))
+    try:
+        return _EVAL_CACHE[key]
+    except KeyError:
+        pass
+    result = _evaluate_gate(kind, values)
+    _EVAL_CACHE[key] = result
+    return result
+
+
+def _evaluate_gate(kind: str, values: Sequence[Trit]) -> Trit:
+    """The uncached evaluation (reference implementation)."""
     if kind not in GATE_KINDS:
         raise ValueError(f"unknown gate kind {kind!r}")
     n = len(values)

@@ -143,7 +143,7 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
                 period=period,
             ),
         )
-        summary = atpg.run_all(faults)
+        summary = atpg.run_all(faults, jobs=args.jobs)
         label = "with ITR" if use_itr else "no ITR  "
         print(
             f"{label}: detected={summary.count('detected'):3d} "
@@ -365,6 +365,9 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--no-itr", dest="itr", action="store_false")
     atpg.add_argument("--compare", action="store_true",
                       help="run both with and without ITR")
+    atpg.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for the fault list "
+                           "(1 = serial; results are identical either way)")
     atpg.add_argument("--spice-check", type=int, default=3, metavar="N",
                       help="cross-check up to N detected vectors at "
                            "transistor level (0 disables)")

@@ -8,6 +8,7 @@ from 39.63% to 82.75%.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from ..atpg import AtpgConfig, CrosstalkAtpg, generate_fault_list
@@ -24,7 +25,10 @@ def run(
     backtrack_limit: int = 48,
     period_fraction: float = 0.85,
     period: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_ATPG_JOBS", "1"))
     circuit = load_packaged_bench(circuit_name)
     library = default_library()
     faults = generate_fault_list(
@@ -46,7 +50,9 @@ def run(
                 period=clock,
             ),
         )
-        summary = atpg.run_all(faults)
+        # Fault-parallel runs reassemble per-fault results in input
+        # order, so the Section 7 numbers are identical for any jobs.
+        summary = atpg.run_all(faults, jobs=jobs)
         label = "with ITR" if use_itr else "without ITR"
         efficiencies[label] = summary.efficiency
         rows.append([

@@ -20,6 +20,7 @@ from ..circuit.logic import (
     noncontrolled_output,
 )
 from ..circuit.netlist import Circuit, Gate
+from ..obs import get_registry
 from .values import TwoFrame, Trit, XX
 
 
@@ -28,6 +29,17 @@ class Conflict(Exception):
 
 
 Assignment = Dict[str, TwoFrame]
+
+
+class ImpliedAssignment(dict):
+    """An :data:`Assignment` known to be at an implication fixpoint.
+
+    :meth:`TwoFrameImplicator.imply` returns this marker subclass so
+    consumers (``ItrEngine.refine*``) can skip re-running the fixpoint —
+    implication is idempotent, so skipping it on an already-implied
+    assignment is bit-identical and saves a full-circuit worklist pass
+    per refinement.  Instances must be treated as immutable.
+    """
 
 
 def initial_assignment(circuit: Circuit) -> Assignment:
@@ -40,6 +52,9 @@ class TwoFrameImplicator:
 
     def __init__(self, circuit: Circuit) -> None:
         self.circuit = circuit
+        # Each successful _set_frame value refinement is one implication
+        # step (the quantity the paper's Section 5.1 procedure iterates).
+        self._m_implications = get_registry().counter("itr.implications")
 
     # ------------------------------------------------------------------
     # Public API
@@ -85,7 +100,7 @@ class TwoFrameImplicator:
         Raises:
             Conflict: When the assignment is inconsistent.
         """
-        values = dict(values)
+        values = ImpliedAssignment(values)
         if seeds is None:
             worklist: List[Gate] = list(self.circuit.gates.values())
         else:
@@ -136,6 +151,7 @@ class TwoFrameImplicator:
         if merged != old:
             values[line] = merged
             changed.append(line)
+            self._m_implications.inc()
 
     def _imply_gate(self, values: Assignment, gate: Gate) -> List[str]:
         changed: List[str] = []

@@ -25,7 +25,7 @@ from ..characterize.library import CellLibrary
 from ..circuit.netlist import Circuit
 from ..models.base import DelayModel
 from ..obs import get_registry
-from ..sta.analysis import StaConfig, StaResult, TimingAnalyzer
+from ..sta.analysis import PerfConfig, StaConfig, StaResult, TimingAnalyzer
 from ..sta.windows import (
     DirWindow,
     IMPOSSIBLE,
@@ -34,6 +34,7 @@ from ..sta.windows import (
 from .implication import (
     Assignment,
     Conflict,
+    ImpliedAssignment,
     TwoFrameImplicator,
     initial_assignment,
 )
@@ -61,6 +62,8 @@ class ItrEngine:
         config: STA boundary conditions, shared with plain STA so that
             ``refine(initial_assignment)`` reproduces the STA result
             exactly (the paper: "STA is a special case of ITR").
+        perf: Performance knobs forwarded to the analyzer (batched
+            kernels + propagation memo, both on by default).
     """
 
     def __init__(
@@ -69,13 +72,17 @@ class ItrEngine:
         library: CellLibrary,
         model: Optional[DelayModel] = None,
         config: Optional[StaConfig] = None,
+        perf: Optional[PerfConfig] = None,
     ) -> None:
         self.circuit = circuit
-        self.analyzer = TimingAnalyzer(circuit, library, model, config)
+        self.analyzer = TimingAnalyzer(circuit, library, model, config, perf)
         self.implicator = TwoFrameImplicator(circuit)
+        # The PI boundary windows depend only on the (immutable) config,
+        # so compute them once instead of on every refine call.
+        self._pi_default = self.analyzer.pi_timing()
         obs = get_registry()
         self._m_refinements = obs.counter("itr.refinements")
-        self._m_implications = obs.counter("itr.implications")
+        self._m_changed_lines = obs.counter("itr.changed_lines")
         self._m_conflicts = obs.counter("itr.conflicts")
         self._m_recomputed = obs.counter("itr.recomputed_gates")
 
@@ -116,9 +123,10 @@ class ItrEngine:
         distinguishes definite / potential / impossible transitions.
         """
         self._m_refinements.inc()
-        values = self.implicator.imply(values)
+        if not isinstance(values, ImpliedAssignment):
+            values = self.implicator.imply(values)
         timings: Dict[str, LineTiming] = {}
-        default = self.analyzer.pi_timing()
+        default = self._pi_default
         for pi in self.circuit.inputs:
             timing = LineTiming(
                 rise=self._apply_logic_state(default.rise, values[pi], True),
@@ -182,17 +190,21 @@ class ItrEngine:
             values: The new (more specific) assignment; implied first.
         """
         self._m_refinements.inc()
-        values = self.implicator.imply(values)
+        # Implication is idempotent: assignments produced by assign() /
+        # imply() are already at the fixpoint, so skip the (full-circuit)
+        # re-implication for those — bit-identical, much cheaper.
+        if not isinstance(values, ImpliedAssignment):
+            values = self.implicator.imply(values)
         changed = {
             line
             for line in self.circuit.lines
             if values[line] != previous.values[line]
         }
-        self._m_implications.inc(len(changed))
+        self._m_changed_lines.inc(len(changed))
         timings: Dict[str, LineTiming] = dict(previous.sta.timings)
         dirty = set()
         recomputed = 0
-        default = self.analyzer.pi_timing()
+        default = self._pi_default
         for pi in self.circuit.inputs:
             if pi not in changed:
                 continue

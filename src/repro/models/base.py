@@ -63,6 +63,12 @@ class DelayModel(abc.ABC):
     #: Short identifier used in benchmark tables.
     name = "base"
 
+    #: Whether the model exposes pair V-shapes (``vshape`` /
+    #: ``trans_vshape``) that STA's corner search can merge over
+    #: simultaneous to-controlling switching.  The pin-to-pin baseline
+    #: does not; the proposed model does.
+    supports_pair_merge = False
+
     # ------------------------------------------------------------------
     # Pieces concrete models implement / may override
     # ------------------------------------------------------------------

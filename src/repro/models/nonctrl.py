@@ -33,6 +33,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence, Tuple
 
+import numpy as np
+
+from ..characterize.formulas import cbrt_many
 from ..characterize.library import CellTiming
 from .base import InputEvent
 from .vshape import VShapeModel
@@ -125,6 +128,35 @@ class NonCtrlAwareModel(VShapeModel):
         return PeakShape(
             p0=p0, s_pos=s_pos, s_neg=s_neg, tail_p=tail_p, tail_q=tail_q
         )
+
+    def peak_anchors_batch(
+        self,
+        cell: CellTiming,
+        t_lo: np.ndarray,
+        t_hi: np.ndarray,
+        scale: np.ndarray,
+        tail_lo: np.ndarray,
+        tail_hi: np.ndarray,
+        load: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized core of :meth:`nonctrl_shape` for ordered pairs.
+
+        The caller supplies clamped transition times of the lower/higher
+        position pin, the pair-scale factor, and the pin-to-pin tail
+        delays.  Bit-identical per element to :meth:`nonctrl_shape` with
+        ``pin_p < pin_q``.
+
+        Returns:
+            ``(p0, s_pos, s_neg)`` arrays of Λ-shape anchors.
+        """
+        data = cell.nonctrl
+        load_adj = cell.load_adjusted_delay(data.out_rising, load)
+        x, y = cbrt_many(t_lo), cbrt_many(t_hi)
+        p0 = data.d0.eval_roots(x, y) * scale + load_adj
+        p0 = np.maximum(np.maximum(p0, tail_lo), tail_hi)
+        s_pos = np.maximum(data.s_pos.eval_many(t_lo, t_hi), _S_FLOOR)
+        s_neg = np.maximum(data.s_neg.eval_many(t_lo, t_hi), _S_FLOOR)
+        return p0, s_pos, s_neg
 
     def noncontrolling_response(
         self,

@@ -16,7 +16,13 @@ from .base import DelayModel, InputEvent, ctrl_arc_delay, ctrl_arc_trans
 
 
 class PinToPinModel(DelayModel):
-    """Pin-to-pin (SDF) delay model."""
+    """Pin-to-pin (SDF) delay model.
+
+    Carries no simultaneous-switching data (``supports_pair_merge`` stays
+    False), so both the scalar corner search and the batched NumPy corner
+    kernels reduce to the per-pin DR / transition-time polynomial bounds —
+    the conventional SDF-based STA of the paper's Table 2 baseline.
+    """
 
     name = "pin2pin"
 

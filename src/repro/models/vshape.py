@@ -24,6 +24,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence, Tuple
 
+import numpy as np
+
+from ..characterize.formulas import cbrt_many
 from ..characterize.library import CellTiming, pair_key
 from .base import DelayModel, InputEvent, ctrl_arc_delay, ctrl_arc_trans
 
@@ -113,6 +116,7 @@ class VShapeModel(DelayModel):
     """The paper's proposed delay model."""
 
     name = "proposed"
+    supports_pair_merge = True
 
     # ------------------------------------------------------------------
     # V-shape construction (also used by the STA corner identification)
@@ -202,6 +206,65 @@ class VShapeModel(DelayModel):
             t_p=tail_p,
             t_q=tail_q,
         )
+
+    # ------------------------------------------------------------------
+    # Batched anchor evaluation (the STA corner kernels' entry points)
+    # ------------------------------------------------------------------
+    def vshape_anchors_batch(
+        self,
+        cell: CellTiming,
+        t_lo: np.ndarray,
+        t_hi: np.ndarray,
+        scale: np.ndarray,
+        dr_lo: np.ndarray,
+        dr_hi: np.ndarray,
+        load: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized core of :meth:`vshape` for position-ordered pairs.
+
+        The caller supplies, per candidate, the *clamped* transition
+        times of the lower/higher-position pin (``t_lo`` / ``t_hi``),
+        the D0 pair-scale factor, and the pin-to-pin tail delays.  Every
+        element is bit-identical to the corresponding scalar
+        :meth:`vshape` call with ``pin_p < pin_q`` (the only ordering
+        the forward corner search produces).
+
+        Returns:
+            ``(d0, s_pos, s_neg)`` arrays of V-shape anchors.
+        """
+        ctrl = cell.ctrl
+        load_adj = cell.load_adjusted_delay(ctrl.out_rising, load)
+        x, y = cbrt_many(t_lo), cbrt_many(t_hi)
+        d0 = ctrl.d0.eval_roots(x, y) * scale + load_adj
+        d0 = np.minimum(np.minimum(d0, dr_lo), dr_hi)
+        s_pos = np.maximum(ctrl.s_pos.eval_many(t_lo, t_hi), _S_FLOOR)
+        s_neg = np.maximum(ctrl.s_neg.eval_many(t_lo, t_hi), _S_FLOOR)
+        return d0, s_pos, s_neg
+
+    def trans_vshape_anchors_batch(
+        self,
+        cell: CellTiming,
+        t_lo: np.ndarray,
+        t_hi: np.ndarray,
+        tail_lo: np.ndarray,
+        tail_hi: np.ndarray,
+        load: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized core of :meth:`trans_vshape` for ordered pairs.
+
+        Returns:
+            ``(vertex_skew, vertex_value, s_pos, s_neg)`` arrays.
+        """
+        ctrl = cell.ctrl
+        load_adj = cell.load_adjusted_trans(ctrl.out_rising, load)
+        x, y = cbrt_many(t_lo), cbrt_many(t_hi)
+        vertex_value = ctrl.t_vertex.eval_roots(x, y) + load_adj
+        vertex_skew = ctrl.t_vertex_skew.eval_many(t_lo, t_hi)
+        s_pos = np.maximum(ctrl.s_pos.eval_many(t_lo, t_hi), _S_FLOOR)
+        s_neg = np.maximum(ctrl.s_neg.eval_many(t_lo, t_hi), _S_FLOOR)
+        vertex_skew = np.minimum(np.maximum(vertex_skew, -s_neg), s_pos)
+        vertex_value = np.minimum(np.minimum(vertex_value, tail_lo), tail_hi)
+        return vertex_skew, vertex_value, s_pos, s_neg
 
     # ------------------------------------------------------------------
     # Multi-input merge (extended model, Section 3.6)

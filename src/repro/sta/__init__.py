@@ -1,11 +1,13 @@
 """Static timing analysis, corner identification and timing simulation."""
 
 from .analysis import (
+    PerfConfig,
     StaConfig,
     StaResult,
     TimingAnalyzer,
     Violation,
 )
+from .cache import PropagationCache
 from .corners import (
     CtrlInput,
     arc_fanin_window,
@@ -35,7 +37,9 @@ __all__ = [
     "LineTiming",
     "POTENTIAL",
     "PathStage",
+    "PerfConfig",
     "PiStimulus",
+    "PropagationCache",
     "RequiredWindow",
     "SimulationResult",
     "StaConfig",

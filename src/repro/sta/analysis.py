@@ -22,6 +22,8 @@ from ..circuit.netlist import Circuit, Gate
 from ..models.base import DelayModel
 from ..models.vshape import VShapeModel
 from ..obs import get_registry
+from . import kernels
+from .cache import PropagationCache
 from .corners import (
     CtrlInput,
     arc_fanin_window,
@@ -54,6 +56,38 @@ class StaConfig:
     pi_trans: Tuple[float, float] = (0.2e-9, 0.2e-9)
     po_load: float = 7e-15
     dangling_load: float = 7e-15
+
+
+@dataclasses.dataclass(frozen=True)
+class PerfConfig:
+    """Performance knobs of the timing core.
+
+    Both fast paths are bit-identical to the scalar/uncached reference
+    (the parity test suite enforces this), so the defaults are on; the
+    flags exist for debugging and for the parity tests themselves.
+
+    Args:
+        batched_kernels: Evaluate corner candidates through the NumPy
+            kernels of :mod:`repro.sta.kernels` instead of per-candidate
+            scalar model calls.
+        batch_min_fanin: Minimum gate fan-in for the batched kernels to
+            engage; narrower gates use the scalar path.  The candidate
+            set grows O(fan-in²), so vectorization only amortizes its
+            array overhead from about three inputs up (measured: ~2x at
+            fan-in 4, ~3x at fan-in 5, but a loss at fan-in 2).
+        memo_enabled: Memoize ``propagate_gate`` results per analyzer
+            (see :class:`repro.sta.cache.PropagationCache`).
+        memo_max_entries: LRU eviction bound of the memo cache.
+        memo_quantum: Quantization step (seconds) for memo hash keys;
+            exactness is guaranteed by tag verification, so this only
+            affects hash bucketing.
+    """
+
+    batched_kernels: bool = True
+    batch_min_fanin: int = 3
+    memo_enabled: bool = True
+    memo_max_entries: int = 100_000
+    memo_quantum: float = 1e-15
 
 
 @dataclasses.dataclass
@@ -109,6 +143,8 @@ class TimingAnalyzer:
         library: Characterized cell library.
         model: Delay model (defaults to the proposed V-shape model).
         config: Boundary conditions.
+        perf: Performance knobs (defaults to batched + memoized; both
+            paths are bit-identical to the scalar/uncached reference).
     """
 
     def __init__(
@@ -117,15 +153,27 @@ class TimingAnalyzer:
         library: CellLibrary,
         model: Optional[DelayModel] = None,
         config: Optional[StaConfig] = None,
+        perf: Optional[PerfConfig] = None,
     ) -> None:
         self.circuit = circuit
         self.library = library
         self.model = model if model is not None else VShapeModel()
         self.config = config or StaConfig()
+        self.perf = perf or PerfConfig()
         obs = get_registry()
         self._obs = obs
         self._m_gates = obs.counter("sta.gates_evaluated")
         self._m_corners = obs.counter("sta.corner_calls")
+        self._kernels = (
+            kernels.KernelContext() if self.perf.batched_kernels else None
+        )
+        self._memo = (
+            PropagationCache(
+                self.perf.memo_max_entries, self.perf.memo_quantum
+            )
+            if self.perf.memo_enabled
+            else None
+        )
         self._loads = self._compute_loads()
         self._cells: Dict[str, CellTiming] = {}
         for gate in circuit.gates.values():
@@ -180,6 +228,29 @@ class TimingAnalyzer:
         self._m_corners.inc(2)  # one corner search per output direction
         cell = self.cell_of(gate)
         load = self.load(gate.output)
+        if self._memo is None:
+            return self._propagate_windows(gate, cell, load, timings)
+        key, tag = self._memo.key_for(
+            cell.name, load, [timings[line] for line in gate.inputs]
+        )
+        cached = self._memo.lookup(key, tag)
+        if cached is not None:
+            return cached
+        result = self._propagate_windows(gate, cell, load, timings)
+        self._memo.store(key, tag, result)
+        return result
+
+    def _propagate_windows(
+        self,
+        gate: Gate,
+        cell: CellTiming,
+        load: float,
+        timings: Dict[str, LineTiming],
+    ) -> LineTiming:
+        """The corner searches of one gate (batched or scalar path)."""
+        ctx = self._kernels
+        if ctx is not None and len(gate.inputs) < self.perf.batch_min_fanin:
+            ctx = None  # narrow gate: scalar beats the array overhead
         if cell.controlling_value is not None and cell.n_inputs >= 2:
             ctrl_in_rising = cell.controlling_value == 1
             ctrl_ins = [
@@ -190,10 +261,20 @@ class TimingAnalyzer:
                 CtrlInput(pin, timings[line].window(not ctrl_in_rising))
                 for pin, line in enumerate(gate.inputs)
             ]
-            ctrl_window = ctrl_response_window(cell, self.model, ctrl_ins, load)
-            nonctrl_window = nonctrl_response_window(
-                cell, nonctrl_ins, load, model=self.model
-            )
+            if ctx is not None:
+                ctrl_window = kernels.ctrl_response_window(
+                    cell, self.model, ctrl_ins, load, ctx
+                )
+                nonctrl_window = kernels.nonctrl_response_window(
+                    cell, nonctrl_ins, load, ctx, model=self.model
+                )
+            else:
+                ctrl_window = ctrl_response_window(
+                    cell, self.model, ctrl_ins, load
+                )
+                nonctrl_window = nonctrl_response_window(
+                    cell, nonctrl_ins, load, model=self.model
+                )
             result = LineTiming()
             result.set_window(cell.ctrl.out_rising, ctrl_window)
             result.set_window(not cell.ctrl.out_rising, nonctrl_window)
@@ -208,9 +289,13 @@ class TimingAnalyzer:
                         arcs.append(
                             (pin, in_rising, timings[line].window(in_rising))
                         )
-            result.set_window(
-                out_rising, arc_fanin_window(cell, arcs, out_rising, load)
-            )
+            if ctx is not None:
+                window = kernels.arc_fanin_window(
+                    cell, arcs, out_rising, load, ctx
+                )
+            else:
+                window = arc_fanin_window(cell, arcs, out_rising, load)
+            result.set_window(out_rising, window)
         return result
 
     def analyze(
@@ -272,7 +357,7 @@ class TimingAnalyzer:
         d_min, _ = pin_delay_bounds(
             cell, pin, in_rising, out_rising, t_s, t_l, load
         )
-        if not isinstance(self.model, VShapeModel) or cell.ctrl is None:
+        if not getattr(self.model, "supports_pair_merge", False) or cell.ctrl is None:
             return d_min
         best = d_min
         for partner in range(cell.n_inputs):

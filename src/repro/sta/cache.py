@@ -1,0 +1,137 @@
+"""Gate-propagation memo cache.
+
+ITR's refinement loop re-propagates the same gates under the same (or
+bit-equal) input windows millions of times during ATPG: branches of the
+decision tree revisit identical window configurations, and so do
+different faults on the same circuit.  :class:`PropagationCache` turns
+those repeats into a dict hit.
+
+Correctness contract: a hit returns a window set **bit-identical** to
+what the corner search would have produced.  Keys quantize the window
+floats (so the dict key is hash-friendly and stable), but every entry
+also stores the *exact* input floats as a tag which is verified on
+lookup — a quantization collision is treated as a miss and overwritten,
+never served.  IMPOSSIBLE windows carry NaN fields (and NaN != NaN), so
+they key and tag on their state alone.
+
+Entries are LRU-evicted beyond ``max_entries``; hit/miss/eviction
+counters and a size gauge are published through :mod:`repro.obs` as
+``sta.memo.*``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Sequence, Tuple
+
+from ..obs import get_registry
+from .windows import DirWindow, LineTiming
+
+Key = Tuple[object, ...]
+Tag = Tuple[object, ...]
+
+
+def _copy_window(w: DirWindow) -> DirWindow:
+    # Direct construction: dataclasses.replace costs ~8x as much and
+    # this copy runs twice per cache hit and store.
+    return DirWindow(a_s=w.a_s, a_l=w.a_l, t_s=w.t_s, t_l=w.t_l, state=w.state)
+
+
+def _copy_timing(timing: LineTiming) -> LineTiming:
+    """A structural copy, so callers can never mutate a cached entry."""
+    return LineTiming(
+        rise=_copy_window(timing.rise),
+        fall=_copy_window(timing.fall),
+    )
+
+
+class PropagationCache:
+    """LRU memo of ``propagate_gate`` results.
+
+    Args:
+        max_entries: Eviction bound (least-recently-used beyond this).
+        quantum: Quantization step, seconds, used only to build the hash
+            key; exactness is guaranteed by the tag check.
+    """
+
+    def __init__(self, max_entries: int, quantum: float) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        if quantum <= 0.0:
+            raise ValueError("quantum must be positive")
+        self.max_entries = max_entries
+        self.quantum = quantum
+        self._entries: "OrderedDict[Key, Tuple[Tag, LineTiming]]" = (
+            OrderedDict()
+        )
+        obs = get_registry()
+        self._m_hits = obs.counter("sta.memo.hits")
+        self._m_misses = obs.counter("sta.memo.misses")
+        self._m_evictions = obs.counter("sta.memo.evictions")
+        self._g_size = obs.gauge("sta.memo.size")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _window_parts(self, w: DirWindow) -> Tuple[Tuple, Tuple]:
+        """(quantized key part, exact tag part) of one direction window."""
+        if not w.is_active:
+            # NaN fields would break both hashing and tag equality.
+            return (w.state,), (w.state,)
+        q = self.quantum
+        key = (
+            w.state,
+            round(w.a_s / q),
+            round(w.a_l / q),
+            round(w.t_s / q),
+            round(w.t_l / q),
+        )
+        tag = (w.state, w.a_s, w.a_l, w.t_s, w.t_l)
+        return key, tag
+
+    def key_for(
+        self,
+        cell_name: str,
+        load: float,
+        input_timings: Sequence[LineTiming],
+    ) -> Tuple[Key, Tag]:
+        """Build the (hash key, exact tag) of one propagation situation.
+
+        The model and boundary config are fixed per analyzer (the cache
+        is per-analyzer), so the situation is fully described by the
+        cell, the output load, and the per-pin rise/fall windows.
+        """
+        key_parts = []
+        tag_parts = []
+        for timing in input_timings:
+            for w in (timing.rise, timing.fall):
+                k, t = self._window_parts(w)
+                key_parts.append(k)
+                tag_parts.append(t)
+        return (
+            (cell_name, load, tuple(key_parts)),
+            (load, tuple(tag_parts)),
+        )
+
+    def lookup(self, key: Key, tag: Tag) -> Optional[LineTiming]:
+        """The memoized result, or None on miss / quantization collision."""
+        entry = self._entries.get(key)
+        if entry is None or entry[0] != tag:
+            self._m_misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self._m_hits.inc()
+        return _copy_timing(entry[1])
+
+    def store(self, key: Key, tag: Tag, result: LineTiming) -> None:
+        """Memoize a propagation result (evicting LRU entries if full)."""
+        self._entries[key] = (tag, _copy_timing(result))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._m_evictions.inc()
+        self._g_size.set(len(self._entries))
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._g_size.set(0)

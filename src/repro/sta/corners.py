@@ -82,6 +82,31 @@ def pin_trans_bounds(
     return t_min + adjust, t_max + adjust
 
 
+def _pin_bounds(
+    cell: CellTiming,
+    pin: int,
+    in_rising: bool,
+    out_rising: bool,
+    t_s: float,
+    t_l: float,
+    load: float,
+) -> Tuple[float, float, float, float]:
+    """(d_min, d_max, t_min, t_max) of one pin over one window.
+
+    One arc lookup and one clamp serve all four bounds; the values are
+    exactly those of :func:`pin_delay_bounds` + :func:`pin_trans_bounds`.
+    """
+    arc = cell.arc(pin, in_rising, out_rising)
+    lo, hi = _clamped_interval(arc, t_s, t_l)
+    _, d_min = arc.delay.min_over(lo, hi)
+    _, d_max = arc.delay.max_over(lo, hi)
+    _, t_min = arc.trans.min_over(lo, hi)
+    _, t_max = arc.trans.max_over(lo, hi)
+    d_adj = cell.load_adjusted_delay(out_rising, load)
+    r_adj = cell.load_adjusted_trans(out_rising, load)
+    return d_min + d_adj, d_max + d_adj, t_min + r_adj, t_max + r_adj
+
+
 def _pair_min_arrival(
     cell: CellTiming,
     model: VShapeModel,
@@ -164,17 +189,26 @@ def ctrl_response_window(
         return DirWindow.impossible()
     out_rising = ctrl.out_rising
     in_rising = cell.controlling_value == 1
-    uses_vshape = isinstance(model, VShapeModel) or hasattr(model, "vshape")
+    uses_vshape = getattr(model, "supports_pair_merge", False)
 
     # ---- latest arrival (paper's A_Z_R,L with the T* peak rule) ----
+    # One fused bounds call per input serves the latest-arrival rule
+    # (d_max), the earliest-arrival candidates (d_min), and the
+    # transition-time window (t_min / t_max) further below.
     definite = [i for i in active if i.window.is_definite]
     single_bounds_max = {}
+    candidates = []
+    t_highs = []
+    t_lows = []
     for item in active:
         w = item.window
-        _, d_max = pin_delay_bounds(
+        d_min, d_max, t_min, t_max = _pin_bounds(
             cell, item.pin, in_rising, out_rising, w.t_s, w.t_l, load
         )
         single_bounds_max[item.pin] = w.a_l + d_max
+        candidates.append(w.a_s + d_min)
+        t_lows.append(t_min)
+        t_highs.append(t_max)
     if definite:
         # A definite switcher alone guarantees the output by its own path;
         # extra simultaneous transitions can only speed the output up.
@@ -183,13 +217,6 @@ def ctrl_response_window(
         a_l = max(single_bounds_max[i.pin] for i in active)
 
     # ---- earliest arrival ----
-    candidates = []
-    for item in active:
-        w = item.window
-        d_min, _ = pin_delay_bounds(
-            cell, item.pin, in_rising, out_rising, w.t_s, w.t_l, load
-        )
-        candidates.append(w.a_s + d_min)
     if uses_vshape and len(active) >= 2:
         overlap = _overlap_count(active)
         ratio = _multi_ratio(ctrl.multi_scale, overlap) if overlap > 2 else 1.0
@@ -209,23 +236,15 @@ def ctrl_response_window(
     a_s = min(candidates)
     a_s = min(a_s, a_l)
 
-    # ---- transition-time window ----
-    t_highs = []
-    t_lows = []
-    for item in active:
-        w = item.window
-        t_min, t_max = pin_trans_bounds(
-            cell, item.pin, in_rising, out_rising, w.t_s, w.t_l, load
-        )
-        t_lows.append(t_min)
-        t_highs.append(t_max)
+    # ---- transition-time window (bounds gathered in the loop above) ----
     # Even with a definite switcher bounding the arrival, a slower
     # potential switcher may arrive first and set the output slope, so the
     # transition-time upper bound ranges over every active input.
     t_l = max(t_highs)
     t_s = min(t_lows)
     if uses_vshape and len(active) >= 2:
-        overlap = _overlap_count(active)
+        # ``overlap`` was computed by the arrival merge above; the active
+        # set has not changed since.
         t_ratio = (
             _multi_ratio(ctrl.trans_multi_scale, overlap)
             if overlap > 2 else 1.0
@@ -322,14 +341,11 @@ def nonctrl_response_window(
     t_highs = []
     for item in active:
         w = item.window
-        d_min, d_max = pin_delay_bounds(
+        d_min, d_max, t_min, t_max = _pin_bounds(
             cell, item.pin, in_rising, out_rising, w.t_s, w.t_l, load
         )
         lows[item.pin] = w.a_s + d_min
         highs[item.pin] = w.a_l + d_max
-        t_min, t_max = pin_trans_bounds(
-            cell, item.pin, in_rising, out_rising, w.t_s, w.t_l, load
-        )
         t_lows.append(t_min)
         t_highs.append(t_max)
     definite = [i for i in active if i.window.is_definite]
@@ -376,10 +392,7 @@ def arc_fanin_window(
     t_s = t_l = None
     any_definite = False
     for pin, in_rising, w in active:
-        d_min, d_max = pin_delay_bounds(
-            cell, pin, in_rising, out_rising, w.t_s, w.t_l, load
-        )
-        tr_min, tr_max = pin_trans_bounds(
+        d_min, d_max, tr_min, tr_max = _pin_bounds(
             cell, pin, in_rising, out_rising, w.t_s, w.t_l, load
         )
         lo, hi = w.a_s + d_min, w.a_l + d_max
