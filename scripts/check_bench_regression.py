@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Gate CI on the timing micro-benchmarks.
+
+Compares a fresh ``scripts/bench_timing.py`` run against the committed
+baseline in ``benchmarks/results/BENCH_timing.json`` on *per-unit*
+metrics (seconds per STA pass / ITR decision / ATPG fault), which are
+comparable between ``--quick`` and full runs because both exercise the
+same circuits — quick mode only lowers repeat counts.
+
+The threshold is deliberately generous (default 2.5x): shared CI runners
+are noisy, and the gate exists to catch order-of-magnitude regressions
+(an accidentally disabled kernel path, a memo that stopped hitting), not
+to police single-digit percentages.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --current /tmp/BENCH_timing.json \
+        [--baseline benchmarks/results/BENCH_timing.json] \
+        [--threshold 2.5]
+
+Exits 1 when any gated metric exceeds ``threshold * baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_timing.json"
+
+#: (section, key) pairs gated on; all are seconds-per-unit-of-work.
+GATED_METRICS = (
+    ("sta_full_pass", "optimized_s_per_pass"),
+    ("itr_refine", "optimized_s_per_decision"),
+    ("atpg_with_itr", "s_per_fault_optimized"),
+)
+
+
+def check(baseline: dict, current: dict, threshold: float) -> int:
+    failures = 0
+    print(f"bench regression gate (threshold {threshold:.2f}x baseline):")
+    for section, key in GATED_METRICS:
+        name = f"{section}.{key}"
+        base = baseline.get(section, {}).get(key)
+        cur = current.get(section, {}).get(key)
+        if base is None or cur is None:
+            print(f"  {name:<40} SKIP (metric missing)")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "ok" if ratio <= threshold else "REGRESSION"
+        if verdict != "ok":
+            failures += 1
+        print(
+            f"  {name:<40} base {base * 1e3:9.3f} ms  "
+            f"now {cur * 1e3:9.3f} ms  ({ratio:5.2f}x)  {verdict}"
+        )
+    if failures:
+        print(
+            f"FAIL: {failures} metric(s) slower than "
+            f"{threshold:.2f}x the committed baseline"
+        )
+        return 1
+    print("PASS: no gated metric regressed past the threshold")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", required=True, metavar="JSON",
+        help="fresh bench_timing.py output to check",
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE), metavar="JSON",
+        help=f"committed baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.5, metavar="X",
+        help="fail when current > X * baseline (default: 2.5)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 1.0:
+        parser.error("threshold must be > 1.0")
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    return check(baseline, current, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

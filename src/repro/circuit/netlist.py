@@ -210,6 +210,46 @@ class Circuit:
             )
         return values
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable structural description of the circuit.
+
+        Used by the fuzzing subsystem to persist failing cases as
+        reproducible artifacts; :meth:`from_dict` round-trips exactly
+        (names, order, and gate pin order are all preserved).
+        """
+        return {
+            "name": self.name,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "gates": [
+                [gate.output, gate.kind, list(gate.inputs)]
+                for gate in self.gates.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Circuit":
+        """Rebuild a circuit from :meth:`to_dict` output.
+
+        Raises:
+            CircuitError: If the payload is malformed or describes a
+                structurally invalid circuit.
+        """
+        try:
+            name = payload["name"]
+            inputs = payload["inputs"]
+            outputs = payload["outputs"]
+            raw_gates = payload["gates"]
+        except (TypeError, KeyError) as exc:
+            raise CircuitError(f"malformed circuit payload: {exc}") from None
+        gates = [
+            Gate(output, kind, list(pins)) for output, kind, pins in raw_gates
+        ]
+        return cls(name, inputs, outputs, gates)
+
     def __repr__(self) -> str:
         return (
             f"Circuit({self.name!r}, {len(self.inputs)} PIs, "

@@ -10,6 +10,8 @@ Subcommands:
   list, with or without ITR pruning;
 * ``characterize`` — build a characterized cell library (parallel,
   cached transistor-level sweeps);
+* ``fuzz`` — differential fuzzing of the optimized timing paths against
+  their reference implementations, with failure shrinking and replay;
 * ``bench`` — list the benchmark circuits shipped with the package.
 """
 
@@ -34,6 +36,13 @@ from .characterize import (
     characterize_library,
 )
 from .circuit import ISCAS_PROFILES, load_bench, load_packaged_bench
+from .fuzz import (
+    DEFAULT_ARTIFACT_DIR,
+    FuzzConfig,
+    ORACLES,
+    replay_artifact,
+    run_fuzz,
+)
 from .spice import GateCell
 from .tech import GENERIC_05UM
 from .models import PinToPinModel, VShapeModel
@@ -288,6 +297,49 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.list_oracles:
+        print("registered differential oracles:")
+        for name, oracle in ORACLES.items():
+            cap = (
+                f" (max {oracle.max_cases}/run)"
+                if oracle.max_cases is not None else ""
+            )
+            print(f"  {name:<10} {oracle.description}{cap}")
+        return 0
+    if args.replay:
+        case, result = replay_artifact(Path(args.replay))
+        status = "ok" if result.ok else "STILL FAILING"
+        print(f"replay {case.describe()}: {status}")
+        if result.detail:
+            print(f"  {result.detail}")
+        return 0 if result.ok else 1
+    oracles = None
+    if args.oracles:
+        oracles = tuple(
+            tok.strip() for tok in args.oracles.split(",") if tok.strip()
+        )
+    cases = args.cases
+    if cases is None and args.time_budget is None:
+        cases = 50
+    try:
+        config = FuzzConfig(
+            oracles=oracles,
+            cases=cases,
+            seed=args.seed,
+            time_budget=args.time_budget,
+            jobs=args.jobs,
+            artifact_dir=Path(args.artifact_dir),
+            shrink=args.shrink,
+        )
+        report = run_fuzz(config)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format_summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(_args: argparse.Namespace) -> int:
     print("packaged benchmark circuits:")
     print("  c17      (real ISCAS85 netlist)")
@@ -422,6 +474,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the skew samples per side of zero",
     )
     char.set_defaults(func=_cmd_characterize)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of fast paths against references",
+        parents=[common],
+    )
+    fuzz.add_argument(
+        "--oracles", default=None, metavar="NAME,...",
+        help="comma-separated oracle names (default: all registered; "
+             "see --list-oracles)",
+    )
+    fuzz.add_argument(
+        "--cases", type=int, default=None, metavar="N",
+        help="total cases to schedule (default: 50, or unbounded when "
+             "--time-budget is set)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed; fully determines every case")
+    fuzz.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop scheduling new cases after this much wall-clock time",
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = serial; the schedule is identical)",
+    )
+    fuzz.add_argument(
+        "--artifact-dir", default=str(DEFAULT_ARTIFACT_DIR), metavar="DIR",
+        help="where failure artifacts are written "
+             f"(default: {DEFAULT_ARTIFACT_DIR})",
+    )
+    fuzz.add_argument(
+        "--no-shrink", dest="shrink", action="store_false", default=True,
+        help="write failing cases as-is, without minimization",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="re-run one failure artifact instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--list-oracles", action="store_true",
+        help="list the registered differential oracles and exit",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     report = sub.add_parser("report", help="critical/shortest path report",
                             parents=[common])

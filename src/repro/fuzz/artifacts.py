@@ -1,0 +1,105 @@
+"""Failure artifacts: reproducible JSON records under ``fuzz-failures/``.
+
+Every failure the fuzzer finds is written as one JSON document carrying
+the fuzz coordinates (seed, oracle, case index), the oracle's mismatch
+detail, the original generated case, and — when shrinking succeeded —
+the minimized case.  ``repro-sta fuzz --replay PATH`` re-runs the stored
+(minimized) case through its oracle, so a CI artifact reproduces locally
+with no knowledge of the run that produced it.
+
+Floats survive the round-trip exactly (JSON serializes Python floats via
+``repr``), so a replayed bit-parity failure fails bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional
+
+from .case import FuzzCase
+
+ARTIFACT_FORMAT = "repro-fuzz-failure"
+ARTIFACT_VERSION = 1
+
+#: Default directory failing cases are written to (repo-relative).
+DEFAULT_ARTIFACT_DIR = Path("fuzz-failures")
+
+
+class ArtifactError(ValueError):
+    """Raised for unreadable or incompatible artifact files."""
+
+
+def artifact_name(case: FuzzCase) -> str:
+    return f"{case.oracle}-seed{case.seed}-case{case.index}.json"
+
+
+def write_artifact(
+    case: FuzzCase,
+    detail: str,
+    directory: Path = DEFAULT_ARTIFACT_DIR,
+    shrunk: Optional[FuzzCase] = None,
+    shrink_note: str = "",
+) -> Path:
+    """Persist one failure; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "format_version": ARTIFACT_VERSION,
+        "written_unix": time.time(),
+        "oracle": case.oracle,
+        "seed": case.seed,
+        "index": case.index,
+        "detail": detail,
+        "case": case.to_dict(),
+    }
+    if shrunk is not None:
+        payload["shrunk"] = shrunk.to_dict()
+        payload["shrink_note"] = shrink_note
+    path = directory / artifact_name(case)
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+def load_artifact(path) -> dict:
+    """Read and validate one artifact document."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"cannot read artifact {path}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != ARTIFACT_FORMAT
+    ):
+        raise ArtifactError(f"{path} is not a repro fuzz-failure artifact")
+    if payload.get("format_version") != ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"{path} has artifact version {payload.get('format_version')}; "
+            f"this build reads {ARTIFACT_VERSION}"
+        )
+    return payload
+
+
+def artifact_case(payload: dict, prefer_shrunk: bool = True) -> FuzzCase:
+    """The case stored in an artifact (minimized form when available)."""
+    raw = payload.get("shrunk") if prefer_shrunk else None
+    if raw is None:
+        raw = payload["case"]
+    return FuzzCase.from_dict(raw)
+
+
+def replay_artifact(path, prefer_shrunk: bool = True):
+    """Re-run an artifact's case through its oracle.
+
+    Returns:
+        (case, OracleResult) — ``result.ok`` is False when the failure
+        still reproduces on this build.
+    """
+    from .oracles import run_oracle
+
+    payload = load_artifact(path)
+    case = artifact_case(payload, prefer_shrunk=prefer_shrunk)
+    return case, run_oracle(case)

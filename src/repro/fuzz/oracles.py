@@ -1,0 +1,489 @@
+"""Differential oracles: each pairs a fast path with its reference.
+
+An oracle is a named check over one :class:`~repro.fuzz.case.FuzzCase`.
+The registered set covers every optimization the perf PRs introduced,
+plus a physical ground-truth check:
+
+* ``kernels``   — batched NumPy corner kernels vs. the scalar corner
+  search, across delay models, bit for bit;
+* ``memo``      — propagation-memo analyzer vs. memo-free, bit for bit;
+* ``itr``       — incremental refinement under a random decision
+  sequence, fast timing core vs. scalar reference;
+* ``atpg-jobs`` — fault-parallel ATPG (``jobs=2``) vs. the serial path:
+  statuses, vectors, backtrack counts, and merged stats;
+* ``char-jobs`` — pooled characterization (``jobs=2``) vs. serial,
+  comparing every fitted coefficient of the produced library;
+* ``spice``     — the V-shape model vs. a fresh transistor-level
+  simulation on a small gate, within a stated tolerance.
+
+Oracles are registered in :data:`ORACLES`; ``repro-sta fuzz --oracles``
+selects among them by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..atpg import AtpgConfig, CrosstalkAtpg
+from ..characterize import (
+    CellLibrary,
+    CharacterizationConfig,
+    characterize_library,
+)
+from ..itr import Conflict, ItrEngine, TwoFrame
+from ..models import InputEvent, VShapeModel
+from ..sta.analysis import PerfConfig, StaConfig, TimingAnalyzer
+from ..tech import GENERIC_05UM
+from . import generate as gen
+from .case import FuzzCase
+
+NS = 1e-9
+
+#: The scalar / uncached / serial reference configuration.
+SCALAR = PerfConfig(batched_kernels=False, memo_enabled=False)
+
+#: Model-vs-SPICE tolerance of the ``spice`` oracle: the paper reports
+#: a few percent typical error; the oracle flags gross breakage, not
+#: model drift, so the band is wide enough for characterization-fit
+#: error at off-grid transition times yet far below the 2x-scale errors
+#: a genuinely broken path produces.
+SPICE_ABS_TOL = 0.08 * NS
+SPICE_REL_TOL = 0.20
+
+_LIBRARY: Optional[CellLibrary] = None
+
+
+def shared_library() -> CellLibrary:
+    """The packaged characterized library, loaded once per process."""
+    global _LIBRARY
+    if _LIBRARY is None:
+        _LIBRARY = CellLibrary.load_default()
+    return _LIBRARY
+
+
+@dataclasses.dataclass
+class OracleResult:
+    """Outcome of one oracle check."""
+
+    ok: bool
+    detail: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Oracle:
+    """A registered differential check.
+
+    Args:
+        name: Registry key (CLI ``--oracles`` token).
+        description: One-line summary for ``--list-oracles``.
+        generate: Case generator (rng -> FuzzCase skeleton).
+        check: The differential check itself.
+        max_cases: Per-run case cap for heavy oracles (None = uncapped).
+        supports_pi_windows: Whether the check honors per-PI window
+            overrides (lets the shrinker preserve a deleted cone's
+            windows when promoting its root to a primary input).
+    """
+
+    name: str
+    description: str
+    generate: Callable[[random.Random], FuzzCase]
+    check: Callable[[FuzzCase], OracleResult]
+    max_cases: Optional[int] = None
+    supports_pi_windows: bool = False
+
+
+ORACLES: Dict[str, Oracle] = {}
+
+
+def register_oracle(oracle: Oracle) -> Oracle:
+    if oracle.name in ORACLES:
+        raise ValueError(f"oracle {oracle.name!r} already registered")
+    ORACLES[oracle.name] = oracle
+    return oracle
+
+
+def get_oracle(name: str) -> Oracle:
+    try:
+        return ORACLES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown oracle {name!r}; registered: {sorted(ORACLES)}"
+        ) from None
+
+
+def select_oracles(names: Optional[List[str]] = None) -> List[Oracle]:
+    """Resolve a name list (None = all) to registered oracles, in order."""
+    if names is None:
+        return [ORACLES[k] for k in ORACLES]
+    return [get_oracle(n) for n in names]
+
+
+def run_oracle(case: FuzzCase) -> OracleResult:
+    """Dispatch a case to its oracle's check."""
+    return get_oracle(case.oracle).check(case)
+
+
+# ----------------------------------------------------------------------
+# Window comparison
+# ----------------------------------------------------------------------
+def _window_mismatches(circuit, base, fast, limit: int = 4) -> List[str]:
+    """Describe lines whose windows differ bit-wise between two results."""
+    problems: List[str] = []
+    for line in circuit.lines:
+        a, b = base.line(line), fast.line(line)
+        for direction in ("rise", "fall"):
+            wa, wb = getattr(a, direction), getattr(b, direction)
+            if wa.state != wb.state:
+                problems.append(
+                    f"{line}.{direction}: state {wa.state} != {wb.state}"
+                )
+            elif wa.is_active and (
+                wa.a_s != wb.a_s or wa.a_l != wb.a_l
+                or wa.t_s != wb.t_s or wa.t_l != wb.t_l
+            ):
+                problems.append(
+                    f"{line}.{direction}: "
+                    f"A=[{wa.a_s!r},{wa.a_l!r}] T=[{wa.t_s!r},{wa.t_l!r}] != "
+                    f"A=[{wb.a_s!r},{wb.a_l!r}] T=[{wb.t_s!r},{wb.t_l!r}]"
+                )
+            if len(problems) >= limit:
+                return problems
+    return problems
+
+
+def _compare_sta(case: FuzzCase, fast_perf: PerfConfig) -> OracleResult:
+    """Scalar-reference STA vs. ``fast_perf`` STA over the case's models."""
+    circuit = case.build_circuit()
+    config = case.build_sta_config()
+    overrides = case.build_pi_overrides()
+    library = shared_library()
+    for name, model in case.build_models():
+        base = TimingAnalyzer(
+            circuit, library, model, config, perf=SCALAR
+        ).analyze(pi_overrides=overrides)
+        fast = TimingAnalyzer(
+            circuit, library, model, config, perf=fast_perf
+        ).analyze(pi_overrides=overrides)
+        problems = _window_mismatches(circuit, base, fast)
+        if problems:
+            return OracleResult(
+                False, f"model={name}: " + "; ".join(problems)
+            )
+    return OracleResult(True)
+
+
+# ----------------------------------------------------------------------
+# kernels: batched corner kernels vs. scalar corner search
+# ----------------------------------------------------------------------
+def _gen_kernels(rng: random.Random) -> FuzzCase:
+    return FuzzCase(
+        oracle="kernels",
+        circuit=gen.random_circuit_dict(rng),
+        sta=gen.random_sta_dict(rng),
+        models=gen.random_models(rng),
+        batch_min_fanin=rng.choice([2, 2, 3]),
+    )
+
+
+def _check_kernels(case: FuzzCase) -> OracleResult:
+    fanin = case.batch_min_fanin or 2
+    return _compare_sta(
+        case,
+        PerfConfig(
+            batched_kernels=True, memo_enabled=False, batch_min_fanin=fanin
+        ),
+    )
+
+
+register_oracle(Oracle(
+    name="kernels",
+    description="batched NumPy corner kernels vs. scalar corner search "
+                "(bit-identical STA windows)",
+    generate=_gen_kernels,
+    check=_check_kernels,
+    supports_pi_windows=True,
+))
+
+
+# ----------------------------------------------------------------------
+# memo: propagation memo vs. memo-free analyzer
+# ----------------------------------------------------------------------
+def _gen_memo(rng: random.Random) -> FuzzCase:
+    return FuzzCase(
+        oracle="memo",
+        circuit=gen.random_circuit_dict(rng),
+        sta=gen.random_sta_dict(rng),
+        models=gen.random_models(rng, k=1),
+    )
+
+
+def _check_memo(case: FuzzCase) -> OracleResult:
+    # A deliberately coarse quantum stresses hash-bucket collisions;
+    # exactness must come from tag verification, not key resolution.
+    return _compare_sta(
+        case,
+        PerfConfig(
+            batched_kernels=True,
+            memo_enabled=True,
+            memo_quantum=1e-12,
+        ),
+    )
+
+
+register_oracle(Oracle(
+    name="memo",
+    description="propagation-memo analyzer vs. memo-free "
+                "(coarse-quantum keys, tag-verified hits)",
+    generate=_gen_memo,
+    check=_check_memo,
+    supports_pi_windows=True,
+))
+
+
+# ----------------------------------------------------------------------
+# itr: incremental refinement, fast core vs. scalar reference
+# ----------------------------------------------------------------------
+def _gen_itr(rng: random.Random) -> FuzzCase:
+    circuit = gen.random_circuit_dict(rng, min_gates=6, max_gates=40)
+    return FuzzCase(
+        oracle="itr",
+        circuit=circuit,
+        sta=gen.random_sta_dict(rng),
+        decisions=gen.random_decisions(rng, circuit),
+    )
+
+
+def _check_itr(case: FuzzCase) -> OracleResult:
+    circuit = case.build_circuit()
+    config = case.build_sta_config()
+    library = shared_library()
+    base_eng = ItrEngine(circuit, library, config=config, perf=SCALAR)
+    fast_eng = ItrEngine(circuit, library, config=config, perf=PerfConfig())
+    base = base_eng.refine(base_eng.initial_values())
+    fast = fast_eng.refine(fast_eng.initial_values())
+    problems = _window_mismatches(circuit, base.sta, fast.sta)
+    if problems:
+        return OracleResult(False, "initial refine: " + "; ".join(problems))
+    for step, (line, literal) in enumerate(case.decisions or ()):
+        value = TwoFrame.parse(literal)
+        base_conflict = fast_conflict = False
+        try:
+            base = base_eng.refine_assign(base, line, value)
+        except Conflict:
+            base_conflict = True
+        try:
+            fast = fast_eng.refine_assign(fast, line, value)
+        except Conflict:
+            fast_conflict = True
+        if base_conflict != fast_conflict:
+            return OracleResult(
+                False,
+                f"decision {step} ({line}={literal}): conflict divergence "
+                f"(scalar={base_conflict}, fast={fast_conflict})",
+            )
+        if base_conflict:
+            break
+        problems = _window_mismatches(circuit, base.sta, fast.sta)
+        if problems:
+            return OracleResult(
+                False,
+                f"decision {step} ({line}={literal}): "
+                + "; ".join(problems),
+            )
+    return OracleResult(True)
+
+
+register_oracle(Oracle(
+    name="itr",
+    description="incremental timing refinement under random decision "
+                "sequences, fast core vs. scalar",
+    generate=_gen_itr,
+    check=_check_itr,
+))
+
+
+# ----------------------------------------------------------------------
+# atpg-jobs: fault-parallel ATPG vs. the serial path
+# ----------------------------------------------------------------------
+def _gen_atpg(rng: random.Random) -> FuzzCase:
+    circuit = gen.random_circuit_dict(rng, min_gates=10, max_gates=40)
+    return FuzzCase(
+        oracle="atpg-jobs",
+        circuit=circuit,
+        sta=gen.random_sta_dict(rng),
+        faults=gen.random_faults_dicts(rng, circuit),
+        atpg={
+            "backtrack_limit": rng.choice([8, 16, 32]),
+            "period_fraction": rng.uniform(0.7, 0.95),
+            "jobs": 2,
+        },
+    )
+
+
+def _build_atpg(case: FuzzCase, library) -> CrosstalkAtpg:
+    circuit = case.build_circuit()
+    sta_config = case.build_sta_config()
+    knobs = case.atpg or {}
+    period = (
+        TimingAnalyzer(circuit, library, VShapeModel(), sta_config)
+        .analyze()
+        .output_max_arrival()
+        * knobs.get("period_fraction", 0.85)
+    )
+    return CrosstalkAtpg(
+        circuit,
+        library,
+        sta_config=sta_config,
+        config=AtpgConfig(
+            use_itr=True,
+            backtrack_limit=knobs.get("backtrack_limit", 16),
+            period=period,
+        ),
+    )
+
+
+def _check_atpg_jobs(case: FuzzCase) -> OracleResult:
+    faults = case.build_faults()
+    if not faults:
+        return OracleResult(True, "no applicable faults")
+    library = shared_library()
+    jobs = (case.atpg or {}).get("jobs", 2)
+    serial = _build_atpg(case, library).run_all(faults, jobs=1)
+    par = _build_atpg(case, library).run_all(faults, jobs=jobs)
+    if len(serial.results) != len(par.results):
+        return OracleResult(
+            False,
+            f"result count {len(serial.results)} != {len(par.results)}",
+        )
+    for i, (a, b) in enumerate(zip(serial.results, par.results)):
+        for field in ("status", "vector", "backtracks", "reason"):
+            va, vb = getattr(a, field), getattr(b, field)
+            if va != vb:
+                return OracleResult(
+                    False,
+                    f"fault {i} ({a.fault.describe()}): {field} "
+                    f"{va!r} != {vb!r}",
+                )
+    if serial.stats != par.stats:
+        return OracleResult(
+            False, f"stats {serial.stats} != {par.stats}"
+        )
+    return OracleResult(True)
+
+
+register_oracle(Oracle(
+    name="atpg-jobs",
+    description="fault-parallel ATPG (jobs=2) vs. serial: statuses, "
+                "vectors, backtracks, merged stats",
+    generate=_gen_atpg,
+    check=_check_atpg_jobs,
+    max_cases=4,
+))
+
+
+# ----------------------------------------------------------------------
+# char-jobs: pooled characterization vs. serial
+# ----------------------------------------------------------------------
+def _gen_char(rng: random.Random) -> FuzzCase:
+    return FuzzCase(oracle="char-jobs", char=gen.random_char_dict(rng))
+
+
+def _check_char_jobs(case: FuzzCase) -> OracleResult:
+    spec = case.char or {}
+    config = CharacterizationConfig(
+        t_grid=tuple(spec["t_grid"]),
+        pair_t_grid=tuple(spec["pair_t_grid"]),
+        skews_per_side=spec["skews_per_side"],
+    )
+    cells = tuple((kind, n) for kind, n in spec["cells"])
+    serial = characterize_library(GENERIC_05UM, cells, config, jobs=1)
+    pooled = characterize_library(
+        GENERIC_05UM, cells, config, jobs=spec.get("jobs", 2)
+    )
+    a, b = serial.to_dict(), pooled.to_dict()
+    a.pop("meta", None)
+    b.pop("meta", None)
+    if a != b:
+        diff = [
+            name for name in a.get("cells", {})
+            if a["cells"].get(name) != b["cells"].get(name)
+        ]
+        return OracleResult(
+            False, f"library coefficients differ for cells {diff}"
+        )
+    return OracleResult(True)
+
+
+register_oracle(Oracle(
+    name="char-jobs",
+    description="pooled characterization (jobs=2) vs. serial: every "
+                "fitted coefficient of the produced library",
+    generate=_gen_char,
+    check=_check_char_jobs,
+    max_cases=1,
+))
+
+
+# ----------------------------------------------------------------------
+# spice: V-shape model vs. transistor-level simulation
+# ----------------------------------------------------------------------
+def _gen_spice(rng: random.Random) -> FuzzCase:
+    return FuzzCase(oracle="spice", gate=gen.random_gate_dict(rng))
+
+
+def _spice_pair(case: FuzzCase) -> Tuple[float, float]:
+    """(model delay, simulated delay) for the case's gate scenario."""
+    from ..spice import GateCell, RampStimulus, simulate_gate
+
+    spec = case.gate or {}
+    kind, n_inputs = spec["kind"], spec["n_inputs"]
+    t_p, t_q, skew = spec["t_p"], spec["t_q"], spec["skew"]
+    arrival = 2 * NS
+    cell = GateCell(kind, n_inputs, GENERIC_05UM)
+    timing = shared_library().cell(cell.name)
+    in_rising = cell.controlling_value == 1
+    stimuli = [
+        RampStimulus.transition(in_rising, arrival, t_p, GENERIC_05UM.vdd),
+        RampStimulus.transition(
+            in_rising, arrival + skew, t_q, GENERIC_05UM.vdd
+        ),
+    ]
+    stimuli += [
+        RampStimulus.steady(1 - cell.controlling_value, GENERIC_05UM.vdd)
+        for _ in range(n_inputs - 2)
+    ]
+    sim = simulate_gate(cell, stimuli)
+    events = [
+        InputEvent(0, arrival, t_p, in_rising),
+        InputEvent(1, arrival + skew, t_q, in_rising),
+    ]
+    predicted, _ = VShapeModel().controlling_response(
+        timing, events, timing.ref_load
+    )
+    return predicted, sim.delay_from_earliest()
+
+
+def _check_spice(case: FuzzCase) -> OracleResult:
+    predicted, measured = _spice_pair(case)
+    tolerance = max(SPICE_ABS_TOL, SPICE_REL_TOL * abs(measured))
+    error = predicted - measured
+    if abs(error) > tolerance:
+        return OracleResult(
+            False,
+            f"model {predicted / NS:.4f} ns vs spice "
+            f"{measured / NS:.4f} ns (err {error / NS:+.4f} ns, "
+            f"tol {tolerance / NS:.4f} ns)",
+        )
+    return OracleResult(True)
+
+
+register_oracle(Oracle(
+    name="spice",
+    description="V-shape model delay vs. fresh transistor-level "
+                "simulation on a small gate, within tolerance",
+    generate=_gen_spice,
+    check=_check_spice,
+    max_cases=10,
+))
