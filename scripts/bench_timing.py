@@ -13,6 +13,10 @@ refinement per fault, fresh faulty simulator per candidate vector):
 * **ATPG fault throughput** — ``run_all`` over a random fault list with
   ITR pruning on, seed-behavior serial baseline vs. optimized serial
   vs. fault-parallel.
+* **Monte Carlo STA** — ``repro.stat.run_mc`` sample throughput vs. the
+  naive alternative of one deterministic analyzer pass per sample (the
+  vectorized engine pushes a whole sample block through the batched
+  kernels in one pass per gate).
 
 All timings are best-of-N to damp scheduler noise.  Writes a
 machine-readable ``benchmarks/results/BENCH_timing.json`` with
@@ -48,6 +52,7 @@ from repro.itr.values import TwoFrame  # noqa: E402
 from repro.models import base as models_base  # noqa: E402
 from repro.sta import corners  # noqa: E402
 from repro.sta.analysis import PerfConfig, TimingAnalyzer  # noqa: E402
+from repro.stat import run_mc  # noqa: E402
 
 NS = 1e-9
 
@@ -311,6 +316,37 @@ def bench_atpg(circuit, library, n_faults, jobs, repeats):
     return out
 
 
+def bench_mc(circuit, library, samples, baseline_passes, repeats):
+    """Monte Carlo sample throughput vs. one-STA-pass-per-sample.
+
+    The baseline leg times a handful of fresh full analyzer passes (what
+    sampling would cost without the vectorized engine) and extrapolates
+    to per-sample cost; the MC leg runs the real ``run_mc`` serially so
+    the comparison is vectorization, not the process pool.
+    """
+    out = {
+        "circuit": circuit.name,
+        "samples": samples,
+        "baseline_passes": baseline_passes,
+        "baseline": "one fresh TimingAnalyzer.analyze() per sample "
+                    "(extrapolated from best-of timed passes)",
+    }
+
+    def one_pass():
+        return TimingAnalyzer(circuit, library).analyze()
+
+    base_pass_s, _ = _best_of(baseline_passes, one_pass)
+    mc_s, _ = _best_of(
+        repeats,
+        lambda: run_mc(circuit, library, samples=samples, seed=0, jobs=1),
+    )
+    out["baseline_s_per_sample"] = base_pass_s
+    out["mc_s"] = mc_s
+    out["mc_s_per_sample"] = mc_s / samples
+    out["speedup"] = out["baseline_s_per_sample"] / out["mc_s_per_sample"]
+    return out
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -330,6 +366,8 @@ def main():
     decisions = 8 if args.quick else 24
     n_faults = 6 if args.quick else 20
     repeats = 2 if args.quick else 3
+    mc_samples = 64 if args.quick else 256
+    mc_baseline_passes = 3 if args.quick else 8
 
     report = {
         "generated_unix": time.time(),
@@ -350,10 +388,14 @@ def main():
     report["atpg_with_itr"] = bench_atpg(
         itr_circuit, library, n_faults, args.jobs, repeats
     )
+    print("benchmarking Monte Carlo STA throughput ...", flush=True)
+    report["mc"] = bench_mc(
+        itr_circuit, library, mc_samples, mc_baseline_passes, repeats
+    )
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
-    for name in ("sta_full_pass", "itr_refine", "atpg_with_itr"):
+    for name in ("sta_full_pass", "itr_refine", "atpg_with_itr", "mc"):
         entry = report[name]
         speedup = entry.get("speedup", entry.get("speedup_serial"))
         print(f"  {name}: {speedup:.2f}x")

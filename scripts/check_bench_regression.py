@@ -17,9 +17,13 @@ Usage::
     python scripts/check_bench_regression.py \
         --current /tmp/BENCH_timing.json \
         [--baseline benchmarks/results/BENCH_timing.json] \
-        [--threshold 2.5]
+        [--threshold 2.5] [--allow-missing]
 
-Exits 1 when any gated metric exceeds ``threshold * baseline``.
+Exits 1 when any gated metric exceeds ``threshold * baseline`` — or is
+missing from either report, since a silently skipped metric would let a
+renamed key or a dropped bench section disable the gate forever
+(``--allow-missing`` restores the old SKIP behaviour while a new
+baseline lands).
 """
 
 from __future__ import annotations
@@ -37,10 +41,16 @@ GATED_METRICS = (
     ("sta_full_pass", "optimized_s_per_pass"),
     ("itr_refine", "optimized_s_per_decision"),
     ("atpg_with_itr", "s_per_fault_optimized"),
+    ("mc", "mc_s_per_sample"),
 )
 
 
-def check(baseline: dict, current: dict, threshold: float) -> int:
+def check(
+    baseline: dict,
+    current: dict,
+    threshold: float,
+    allow_missing: bool = False,
+) -> int:
     failures = 0
     print(f"bench regression gate (threshold {threshold:.2f}x baseline):")
     for section, key in GATED_METRICS:
@@ -48,7 +58,15 @@ def check(baseline: dict, current: dict, threshold: float) -> int:
         base = baseline.get(section, {}).get(key)
         cur = current.get(section, {}).get(key)
         if base is None or cur is None:
-            print(f"  {name:<40} SKIP (metric missing)")
+            # A silently skipped metric is a gate that stopped gating —
+            # a renamed key or a dropped bench section would otherwise
+            # pass CI forever.  Missing is a failure unless the caller
+            # explicitly opts out (e.g. while a new baseline lands).
+            if allow_missing:
+                print(f"  {name:<40} SKIP (metric missing, allowed)")
+            else:
+                print(f"  {name:<40} MISSING (gate cannot run)")
+                failures += 1
             continue
         ratio = cur / base if base > 0 else float("inf")
         verdict = "ok" if ratio <= threshold else "REGRESSION"
@@ -60,8 +78,8 @@ def check(baseline: dict, current: dict, threshold: float) -> int:
         )
     if failures:
         print(
-            f"FAIL: {failures} metric(s) slower than "
-            f"{threshold:.2f}x the committed baseline"
+            f"FAIL: {failures} metric(s) regressed past "
+            f"{threshold:.2f}x the committed baseline or went missing"
         )
         return 1
     print("PASS: no gated metric regressed past the threshold")
@@ -82,12 +100,19 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=2.5, metavar="X",
         help="fail when current > X * baseline (default: 2.5)",
     )
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="downgrade missing gated metrics from failure to SKIP "
+        "(escape hatch while a new baseline lands)",
+    )
     args = parser.parse_args(argv)
     if args.threshold <= 1.0:
         parser.error("threshold must be > 1.0")
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
-    return check(baseline, current, args.threshold)
+    return check(
+        baseline, current, args.threshold, allow_missing=args.allow_missing
+    )
 
 
 if __name__ == "__main__":

@@ -5,6 +5,8 @@ Subcommands:
 * ``sta``   — run static timing analysis on a ``.bench`` netlist and
   print per-output timing windows under the proposed and the pin-to-pin
   delay models;
+* ``mc``    — variation-aware Monte Carlo STA: delay distribution,
+  slack quantiles, and a per-output criticality histogram;
 * ``sim``   — timing-simulate one two-pattern vector;
 * ``atpg``  — run the crosstalk-delay-fault ATPG over a random fault
   list, with or without ITR pruning;
@@ -19,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import logging
 import os
 import re
@@ -59,6 +62,7 @@ from .sta import (
     TimingReporter,
     TimingSimulator,
 )
+from .stat import DEFAULT_BLOCK, MC_MODELS, VariationModel, run_mc
 
 NS = 1e-9
 
@@ -99,6 +103,77 @@ def _cmd_sta(args: argparse.Namespace) -> int:
     ratio = pin2pin.output_min_arrival() / proposed.output_min_arrival()
     print(f"  ratio              : {ratio:.3f}")
     print(f"  max-delay (both)   : {proposed.output_max_arrival() / NS:.4f}")
+    return 0
+
+
+def _parse_quantiles(spec: str) -> tuple:
+    qs = tuple(float(tok) for tok in spec.split(",") if tok.strip())
+    if not qs or any(not 0.0 < q < 1.0 for q in qs):
+        raise ValueError(f"quantiles must lie in (0, 1): {spec!r}")
+    return tuple(sorted(qs))
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    try:
+        qs = _parse_quantiles(args.quantiles)
+        variation = VariationModel(
+            sigma_corr=(
+                args.sigma_corr if args.sigma_corr is not None
+                else args.sigma
+            ),
+            sigma_ind=(
+                args.sigma_ind if args.sigma_ind is not None else args.sigma
+            ),
+        )
+        result = run_mc(
+            circuit,
+            model=args.model,
+            variation=variation,
+            samples=args.samples,
+            seed=args.seed,
+            jobs=args.jobs,
+            block=args.block,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    period = args.period * NS if args.period is not None else None
+    summary = result.summary(qs, period)
+    delay = result.delay
+    print(f"{circuit!r}")
+    print(
+        f"monte carlo [{args.model}]: {args.samples} samples, "
+        f"seed={args.seed}, block={args.block}, "
+        f"sigma=({variation.sigma_corr:g} corr, "
+        f"{variation.sigma_ind:g} ind)"
+    )
+    print(f"  nominal max-delay : {result.nominal_max / NS:8.4f} ns")
+    print(
+        f"  sampled max-delay : {delay.mean() / NS:8.4f} ns mean, "
+        f"{delay.std() / NS:.4f} ns std, "
+        f"[{delay.min() / NS:.4f}, {delay.max() / NS:.4f}] range"
+    )
+    for q in qs:
+        print(
+            f"  q{q:<5g}: delay {summary['quantiles_s'][str(q)] / NS:8.4f}"
+            f" ns   slack {summary['slack_quantiles_s'][str(q)] / NS:+8.4f}"
+            f" ns"
+        )
+    print(f"  period            : {summary['period_s'] / NS:8.4f} ns")
+    print("  criticality (top endpoints):")
+    ranked = sorted(
+        result.criticality().items(), key=lambda kv: -kv[1]
+    )
+    for name, frac in ranked[: args.max_outputs]:
+        if frac == 0.0:
+            break
+        print(f"    {name:>12}: {100 * frac:6.2f}%")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -392,6 +467,47 @@ def build_parser() -> argparse.ArgumentParser:
     sta.add_argument("circuit", help=".bench path or packaged name (c17...)")
     sta.add_argument("--max-outputs", type=int, default=8)
     sta.set_defaults(func=_cmd_sta)
+
+    mc = sub.add_parser(
+        "mc",
+        help="variation-aware Monte Carlo STA",
+        parents=[common],
+    )
+    mc.add_argument("circuit", help=".bench path or packaged name (c17...)")
+    mc.add_argument("--samples", type=int, default=256, metavar="N",
+                    help="Monte Carlo samples (default: 256)")
+    mc.add_argument("--seed", type=int, default=0,
+                    help="master RNG seed; with --block it fully "
+                         "determines every draw")
+    mc.add_argument("--sigma", type=float, default=0.05,
+                    help="relative sigma applied to both variation "
+                         "components (default: 0.05)")
+    mc.add_argument("--sigma-corr", type=float, default=None,
+                    metavar="S", help="override the per-cell-type "
+                    "correlated sigma")
+    mc.add_argument("--sigma-ind", type=float, default=None,
+                    metavar="S", help="override the per-gate "
+                    "independent sigma")
+    mc.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes over sample blocks "
+                         "(results are bit-identical at any value)")
+    mc.add_argument("--block", type=int, default=DEFAULT_BLOCK,
+                    metavar="B", help="sample-block size; part of the "
+                    "draw identity alongside --seed "
+                    f"(default: {DEFAULT_BLOCK})")
+    mc.add_argument("--quantiles", default="0.5,0.95,0.99",
+                    metavar="Q,...", help="delay/slack quantiles to "
+                    "report (default: 0.5,0.95,0.99)")
+    mc.add_argument("--model", choices=sorted(MC_MODELS),
+                    default="vshape", help="delay model (default: vshape)")
+    mc.add_argument("--period", type=float, default=None, metavar="NS",
+                    help="clock period for slack, ns (default: the "
+                         "nominal STA max arrival)")
+    mc.add_argument("--max-outputs", type=int, default=8,
+                    help="criticality table rows to print")
+    mc.add_argument("--json", default=None, metavar="PATH",
+                    help="write the JSON summary to PATH")
+    mc.set_defaults(func=_cmd_mc)
 
     sim = sub.add_parser("sim", help="two-pattern timing simulation",
                          parents=[common])

@@ -8,7 +8,7 @@ and the paper's reference values).  The pytest-benchmark harness under
 """
 
 from . import ablations, claims, fig01, fig02, fig05, fig10, fig11, fig12
-from . import nonctrl_ext, sec7, table2
+from . import mc_sta, nonctrl_ext, sec7, table2
 from .common import ExperimentResult, default_library
 
 #: All experiments in paper order (name -> module with a run() function).
@@ -24,6 +24,7 @@ ALL_EXPERIMENTS = {
     "claims-3.5": claims,
     "ablations": ablations,
     "extension-nonctrl": nonctrl_ext,
+    "extension-mc-sta": mc_sta,
 }
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "fig10",
     "fig11",
     "fig12",
+    "mc_sta",
     "nonctrl_ext",
     "sec7",
     "table2",

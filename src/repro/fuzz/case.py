@@ -49,6 +49,8 @@ class FuzzCase:
             ``t_p``, ``t_q``, ``skew`` — times in seconds).
         char: Characterization request (``cells``, ``t_grid``,
             ``pair_t_grid``, ``skews_per_side``, ``jobs``).
+        mc: Monte Carlo scenario (``samples``, ``sigma_corr``,
+            ``sigma_ind``, ``seed``, ``jobs``, ``block``).
         pi_windows: Per-PI window overrides,
             ``{line: {"rise"/"fall": [a_s, a_l, t_s, t_l, state]}}``.
             The shrinker uses these to preserve a deleted fan-in cone's
@@ -67,6 +69,7 @@ class FuzzCase:
     atpg: Optional[dict] = None
     gate: Optional[dict] = None
     char: Optional[dict] = None
+    mc: Optional[dict] = None
     pi_windows: Optional[Dict[str, dict]] = None
 
     # ------------------------------------------------------------------

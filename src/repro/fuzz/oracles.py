@@ -13,6 +13,9 @@ plus a physical ground-truth check:
   statuses, vectors, backtrack counts, and merged stats;
 * ``char-jobs`` — pooled characterization (``jobs=2``) vs. serial,
   comparing every fitted coefficient of the produced library;
+* ``mc``        — Monte Carlo STA: pooled sample blocks (``jobs=2``)
+  vs. serial, bit for bit, and a zero-sigma single sample vs. the
+  deterministic analyzer, bit for bit;
 * ``spice``     — the V-shape model vs. a fresh transistor-level
   simulation on a small gate, within a stated tolerance.
 
@@ -34,7 +37,8 @@ from ..characterize import (
 )
 from ..itr import Conflict, ItrEngine, TwoFrame
 from ..models import InputEvent, VShapeModel
-from ..sta.analysis import PerfConfig, StaConfig, TimingAnalyzer
+from ..sta.analysis import PerfConfig, StaConfig, StaResult, TimingAnalyzer
+from ..stat import MC_MODELS, MonteCarloEngine, VariationModel, run_mc
 from ..tech import GENERIC_05UM
 from . import generate as gen
 from .case import FuzzCase
@@ -423,6 +427,93 @@ register_oracle(Oracle(
     generate=_gen_char,
     check=_check_char_jobs,
     max_cases=1,
+))
+
+
+# ----------------------------------------------------------------------
+# mc: Monte Carlo STA — pooled vs. serial, and sigma-0 vs. deterministic
+# ----------------------------------------------------------------------
+def _gen_mc(rng: random.Random) -> FuzzCase:
+    return FuzzCase(
+        oracle="mc",
+        circuit=gen.random_circuit_dict(rng, min_gates=4, max_gates=24),
+        sta=gen.random_sta_dict(rng),
+        models=gen.random_models(rng, k=1),
+        mc={
+            "samples": rng.choice([5, 8, 13]),
+            "sigma_corr": rng.choice([0.0, 0.03, 0.08, 0.15]),
+            "sigma_ind": rng.choice([0.0, 0.02, 0.1]),
+            "seed": rng.randrange(2 ** 16),
+            "jobs": 2,
+            # Small blocks force several RNG streams and a real fan-out.
+            "block": rng.choice([2, 3, 4]),
+        },
+    )
+
+
+def _check_mc(case: FuzzCase) -> OracleResult:
+    import numpy as np
+
+    circuit = case.build_circuit()
+    config = case.build_sta_config()
+    library = shared_library()
+    spec = case.mc or {}
+    model_name = (case.models or ["vshape"])[0]
+    kwargs = dict(
+        model=model_name,
+        config=config,
+        variation=VariationModel(
+            sigma_corr=spec.get("sigma_corr", 0.05),
+            sigma_ind=spec.get("sigma_ind", 0.03),
+        ),
+        samples=spec.get("samples", 8),
+        seed=spec.get("seed", 0),
+        block=spec.get("block", 2),
+    )
+    serial = run_mc(circuit, library, jobs=1, **kwargs)
+    pooled = run_mc(circuit, library, jobs=spec.get("jobs", 2), **kwargs)
+    if not (
+        np.array_equal(serial.po_max, pooled.po_max)
+        and np.array_equal(serial.po_min, pooled.po_min)
+    ):
+        bad = int(
+            np.sum(serial.po_max != pooled.po_max)
+            + np.sum(serial.po_min != pooled.po_min)
+        )
+        return OracleResult(
+            False,
+            f"jobs={spec.get('jobs', 2)} diverges from serial on "
+            f"{bad} per-output sample values",
+        )
+    # A single zero-sigma sample must reproduce the deterministic STA
+    # windows bit-for-bit, on every line and direction.
+    engine = MonteCarloEngine(
+        circuit, library, MC_MODELS[model_name](), config
+    )
+    windows = engine.propagate(np.ones((engine.n_gates, 1)))
+    timings = {
+        line: engine.line_timing_at(windows, line, 0)
+        for line in circuit.lines
+    }
+    problems = _window_mismatches(
+        circuit, engine.nominal, StaResult(circuit, timings)
+    )
+    if problems:
+        return OracleResult(
+            False,
+            f"sigma=0 vs deterministic STA (model={model_name}): "
+            + "; ".join(problems),
+        )
+    return OracleResult(True)
+
+
+register_oracle(Oracle(
+    name="mc",
+    description="Monte Carlo STA: pooled blocks (jobs=2) vs. serial bit "
+                "for bit; zero-sigma sample vs. deterministic analyzer",
+    generate=_gen_mc,
+    check=_check_mc,
+    max_cases=3,
 ))
 
 

@@ -1,0 +1,666 @@
+"""Sample-axis vectorized Monte Carlo window propagation.
+
+One deterministic STA pass evaluates each gate's corner candidates once
+(:mod:`repro.sta.kernels`).  A naive Monte Carlo re-times the circuit N
+times, paying the full per-gate Python dispatch N times over.  This
+engine instead gives every numeric window field a trailing *sample axis*
+and pushes all N coefficient draws through the batched corner kernels in
+**one pass per gate**: candidate arrays grow from ``(combos,)`` to
+``(combos, N)``, and NumPy amortizes the dispatch across the block.
+
+The translation from :mod:`repro.sta.kernels` is mechanical — every
+scalar that depended on window values becomes an array over samples,
+every data-dependent Python branch becomes a mask — with two engine
+specific ingredients:
+
+* the per-gate variation factor ``F`` (see
+  :class:`repro.stat.variation.VariationModel`) multiplies every
+  time-valued characterized quantity at the anchor level, which is
+  exactly equivalent to scaling the fitted K-coefficients because each
+  surface is linear in them;
+* the window *states* (DEFINITE / POTENTIAL / IMPOSSIBLE) are
+  structural — they depend on the circuit and the library's arc table,
+  never on numeric window values — so they are computed once and shared
+  by every sample.
+
+Exactness contract: with ``F == 1.0`` the engine performs bit-for-bit
+the same float operations as the batched kernels (multiplying an IEEE
+double by 1.0 is the identity), which are themselves bit-identical to
+the scalar reference.  The ``mc`` fuzz oracle and the sigma-zero parity
+tests enforce this against :class:`repro.sta.analysis.TimingAnalyzer`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..characterize.formulas import cbrt_many
+from ..characterize.library import CellLibrary, CellTiming, pair_key
+from ..circuit.netlist import Circuit, Gate
+from ..models.base import DelayModel
+from ..models.vshape import _S_FLOOR, VShapeModel
+from ..sta import kernels
+from ..sta.analysis import StaConfig, StaResult, TimingAnalyzer
+from ..sta.corners import _multi_ratio
+from ..sta.kernels import (
+    _pair_combos,
+    _peak_delay,
+    _trans_v,
+    _v_delay,
+    quad_extremes_batch,
+)
+from ..sta.windows import (
+    DEFINITE,
+    IMPOSSIBLE,
+    POTENTIAL,
+    DirWindow,
+    LineTiming,
+)
+
+
+def _cbrt(values: np.ndarray) -> np.ndarray:
+    """Shape-preserving :func:`cbrt_many` (which only takes 1-D input)."""
+    arr = np.asarray(values, dtype=float)
+    return cbrt_many(arr.ravel()).reshape(arr.shape)
+
+
+@dataclasses.dataclass
+class SampleWindows:
+    """Per-sample window fields of one line direction.
+
+    The numeric fields are arrays of shape ``(n_samples,)``; ``state``
+    is a single int because window states are structural (shared by all
+    samples).  An IMPOSSIBLE direction carries no arrays.
+    """
+
+    a_s: Optional[np.ndarray]
+    a_l: Optional[np.ndarray]
+    t_s: Optional[np.ndarray]
+    t_l: Optional[np.ndarray]
+    state: int = POTENTIAL
+
+    @property
+    def is_active(self) -> bool:
+        return self.state != IMPOSSIBLE
+
+    @classmethod
+    def impossible(cls) -> "SampleWindows":
+        return cls(None, None, None, None, IMPOSSIBLE)
+
+    def at(self, sample: int) -> DirWindow:
+        """The one-sample :class:`DirWindow` (exact float round-trip)."""
+        if not self.is_active:
+            return DirWindow.impossible()
+        return DirWindow(
+            a_s=float(self.a_s[sample]),
+            a_l=float(self.a_l[sample]),
+            t_s=float(self.t_s[sample]),
+            t_l=float(self.t_l[sample]),
+            state=self.state,
+        )
+
+
+#: windows[line] -> (rise, fall)
+BlockWindows = Dict[str, Tuple[SampleWindows, SampleWindows]]
+
+
+def _overlap_depth(a_s_in: np.ndarray, a_l_in: np.ndarray) -> np.ndarray:
+    """Per-sample max arrival-window overlap depth.
+
+    Vectorized :func:`repro.sta.corners._overlap_count`: the sweep-line
+    maximum equals, for each sample, the largest number of windows
+    covering any window's start instant.  Fan-ins are tiny (<= 5), so
+    the O(k^2) pairwise formulation beats sorting per sample.
+    """
+    covers = (a_s_in[:, None, :] <= a_s_in[None, :, :]) & (
+        a_l_in[:, None, :] >= a_s_in[None, :, :]
+    )
+    return covers.sum(axis=0).max(axis=0)
+
+
+def _ratio_table(scales: dict, max_k: int) -> np.ndarray:
+    """Lookup table k -> multi-input ratio (1.0 for k <= 2)."""
+    return np.array(
+        [
+            1.0 if k <= 2 else _multi_ratio(scales, k)
+            for k in range(max_k + 1)
+        ],
+        dtype=float,
+    )
+
+
+# ----------------------------------------------------------------------
+# Anchor evaluation with the variation factor applied
+# ----------------------------------------------------------------------
+def _vshape_anchors(
+    cell: CellTiming,
+    t_lo: np.ndarray,
+    t_hi: np.ndarray,
+    scale: np.ndarray,
+    dr_lo: np.ndarray,
+    dr_hi: np.ndarray,
+    load: float,
+    f: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:meth:`VShapeModel.vshape_anchors_batch` scaled by ``f``.
+
+    ``dr_lo`` / ``dr_hi`` arrive already scaled; the surfaces are
+    evaluated at the *nominal* clamped transition times and their
+    time-valued outputs stretched by ``f``.
+    """
+    ctrl = cell.ctrl
+    load_adj = cell.load_adjusted_delay(ctrl.out_rising, load)
+    x, y = _cbrt(t_lo), _cbrt(t_hi)
+    d0 = (ctrl.d0.eval_roots(x, y) * scale + load_adj) * f
+    d0 = np.minimum(np.minimum(d0, dr_lo), dr_hi)
+    s_pos = np.maximum(ctrl.s_pos.eval_many(t_lo, t_hi), _S_FLOOR) * f
+    s_neg = np.maximum(ctrl.s_neg.eval_many(t_lo, t_hi), _S_FLOOR) * f
+    return d0, s_pos, s_neg
+
+
+def _trans_anchors(
+    cell: CellTiming,
+    t_lo: np.ndarray,
+    t_hi: np.ndarray,
+    tail_lo: np.ndarray,
+    tail_hi: np.ndarray,
+    load: float,
+    f: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:meth:`VShapeModel.trans_vshape_anchors_batch` scaled by ``f``."""
+    ctrl = cell.ctrl
+    load_adj = cell.load_adjusted_trans(ctrl.out_rising, load)
+    x, y = _cbrt(t_lo), _cbrt(t_hi)
+    vertex_value = (ctrl.t_vertex.eval_roots(x, y) + load_adj) * f
+    vertex_skew = ctrl.t_vertex_skew.eval_many(t_lo, t_hi) * f
+    s_pos = np.maximum(ctrl.s_pos.eval_many(t_lo, t_hi), _S_FLOOR) * f
+    s_neg = np.maximum(ctrl.s_neg.eval_many(t_lo, t_hi), _S_FLOOR) * f
+    vertex_skew = np.minimum(np.maximum(vertex_skew, -s_neg), s_pos)
+    vertex_value = np.minimum(np.minimum(vertex_value, tail_lo), tail_hi)
+    return vertex_skew, vertex_value, s_pos, s_neg
+
+
+def _peak_anchors(
+    cell: CellTiming,
+    t_lo: np.ndarray,
+    t_hi: np.ndarray,
+    scale: np.ndarray,
+    tail_lo: np.ndarray,
+    tail_hi: np.ndarray,
+    load: float,
+    f: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:meth:`NonCtrlAwareModel.peak_anchors_batch` scaled by ``f``."""
+    data = cell.nonctrl
+    load_adj = cell.load_adjusted_delay(data.out_rising, load)
+    x, y = _cbrt(t_lo), _cbrt(t_hi)
+    p0 = (data.d0.eval_roots(x, y) * scale + load_adj) * f
+    p0 = np.maximum(np.maximum(p0, tail_lo), tail_hi)
+    s_pos = np.maximum(data.s_pos.eval_many(t_lo, t_hi), _S_FLOOR) * f
+    s_neg = np.maximum(data.s_neg.eval_many(t_lo, t_hi), _S_FLOOR) * f
+    return p0, s_pos, s_neg
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class MonteCarloEngine:
+    """Propagates N perturbed timing samples per pass over the circuit.
+
+    Args:
+        circuit: Gate-level circuit under analysis.
+        library: Characterized cell library.
+        model: Delay model (defaults to the proposed V-shape model).
+        config: STA boundary conditions.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: CellLibrary,
+        model: Optional[DelayModel] = None,
+        config: Optional[StaConfig] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.library = library
+        self.model = model if model is not None else VShapeModel()
+        self.config = config or StaConfig()
+        self.analyzer = TimingAnalyzer(
+            circuit, library, self.model, self.config
+        )
+        #: Deterministic reference pass; also supplies the structural
+        #: window states shared by every sample.
+        self.nominal: StaResult = self.analyzer.analyze()
+        self._ctx = kernels.KernelContext()
+        #: Gate output lines in propagation order; row ``i`` of a factor
+        #: matrix perturbs ``gate_order[i]``.
+        self.gate_order: List[str] = circuit.topological_order()
+        self.cell_names: List[str] = sorted(
+            {circuit.gates[g].cell_name() for g in self.gate_order}
+        )
+        pos = {name: i for i, name in enumerate(self.cell_names)}
+        self.cell_index = np.array(
+            [pos[circuit.gates[g].cell_name()] for g in self.gate_order],
+            dtype=np.intp,
+        )
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gate_order)
+
+    # ------------------------------------------------------------------
+    # Forward propagation
+    # ------------------------------------------------------------------
+    def propagate(self, factors: np.ndarray) -> BlockWindows:
+        """One vectorized pass: all samples of a block, every line.
+
+        Args:
+            factors: Per-gate variation factors, shape
+                ``(n_gates, n_samples)`` aligned with ``gate_order``.
+
+        Returns:
+            ``{line: (rise, fall)}`` sample windows for every line.
+        """
+        if factors.shape[0] != self.n_gates:
+            raise ValueError(
+                f"factor rows ({factors.shape[0]}) != gates ({self.n_gates})"
+            )
+        n = factors.shape[1]
+        a_s, a_l = self.config.pi_arrival
+        t_s, t_l = self.config.pi_trans
+        windows: BlockWindows = {}
+        for pi in self.circuit.inputs:
+            nominal = self.nominal.line(pi)
+            windows[pi] = tuple(
+                SampleWindows(
+                    np.full(n, a_s), np.full(n, a_l),
+                    np.full(n, t_s), np.full(n, t_l),
+                    state=w.state,
+                )
+                if w.is_active else SampleWindows.impossible()
+                for w in (nominal.rise, nominal.fall)
+            )
+        for row, line in enumerate(self.gate_order):
+            windows[line] = self._propagate_gate(
+                self.circuit.gates[line], windows, factors[row]
+            )
+        return windows
+
+    def _propagate_gate(
+        self, gate: Gate, windows: BlockWindows, f: np.ndarray
+    ) -> Tuple[SampleWindows, SampleWindows]:
+        """Sample-axis mirror of ``TimingAnalyzer._propagate_windows``."""
+        cell = self.analyzer.cell_of(gate)
+        load = self.analyzer.load(gate.output)
+        if cell.controlling_value is not None and cell.n_inputs >= 2:
+            ctrl_in_rising = cell.controlling_value == 1
+            ctrl_ins = [
+                (pin, _dir(windows[line], ctrl_in_rising))
+                for pin, line in enumerate(gate.inputs)
+            ]
+            nonctrl_ins = [
+                (pin, _dir(windows[line], not ctrl_in_rising))
+                for pin, line in enumerate(gate.inputs)
+            ]
+            ctrl_w = self._ctrl_window(cell, ctrl_ins, load, f)
+            nonctrl_w = self._nonctrl_window(cell, nonctrl_ins, load, f)
+            if cell.ctrl.out_rising:
+                return (ctrl_w, nonctrl_w)
+            return (nonctrl_w, ctrl_w)
+        # inv / buf / xor: per-arc propagation.
+        result = []
+        for out_rising in (True, False):
+            arcs = [
+                (pin, in_rising, _dir(windows[line], in_rising))
+                for pin, line in enumerate(gate.inputs)
+                for in_rising in (True, False)
+                if cell.has_arc(pin, in_rising, out_rising)
+            ]
+            result.append(self._arc_window(cell, arcs, out_rising, load, f))
+        return (result[0], result[1])
+
+    # -- to-controlling response (mirror of kernels.ctrl_response_window)
+    def _ctrl_window(
+        self,
+        cell: CellTiming,
+        inputs: Sequence[Tuple[int, SampleWindows]],
+        load: float,
+        f: np.ndarray,
+    ) -> SampleWindows:
+        ctrl = cell.ctrl
+        active = [(pin, w) for pin, w in inputs if w.is_active]
+        if not active:
+            return SampleWindows.impossible()
+        out_rising = ctrl.out_rising
+        pack = self._ctx.ctrl_pack(cell)
+        pins = np.array([pin for pin, _ in active], dtype=np.intp)
+        t_s_in = np.stack([w.t_s for _, w in active])  # (P, N)
+        t_l_in = np.stack([w.t_l for _, w in active])
+        a_s_in = np.stack([w.a_s for _, w in active])
+        a_l_in = np.stack([w.a_l for _, w in active])
+        definite = np.array(
+            [w.state == DEFINITE for _, w in active], dtype=bool
+        )
+
+        arc_lo = pack.t_lo[pins][:, None]
+        arc_hi = pack.t_hi[pins][:, None]
+        c_lo = np.minimum(np.maximum(t_s_in, arc_lo), arc_hi)
+        c_hi = np.minimum(np.maximum(t_l_in, arc_lo), arc_hi)
+        b_hi = np.maximum(c_hi, c_lo)
+
+        d_adj = cell.load_adjusted_delay(out_rising, load)
+        r_adj = cell.load_adjusted_trans(out_rising, load)
+        qa2 = pack.q_a2[:, pins][:, :, None]
+        qa1 = pack.q_a1[:, pins][:, :, None]
+        qa0 = pack.q_a0[:, pins][:, :, None]
+        mins, maxs = quad_extremes_batch(qa2, qa1, qa0, c_lo, b_hi)
+        d_min = (mins[0] + d_adj) * f
+        d_max = (maxs[0] + d_adj) * f
+        r_min = (mins[1] + r_adj) * f
+        r_max = (maxs[1] + r_adj) * f
+
+        upper = a_l_in + d_max
+        has_definite = bool(definite.any())
+        if has_definite:
+            a_l = upper[definite].min(axis=0)
+        else:
+            a_l = upper.max(axis=0)
+        a_s = (a_s_in + d_min).min(axis=0)
+        t_s = r_min.min(axis=0)
+        t_l = r_max.max(axis=0)
+        merge = (
+            getattr(self.model, "supports_pair_merge", False)
+            and len(active) >= 2
+        )
+        if merge:
+            # The overlap depth and the k-input ratios vary per sample.
+            overlap_k = _overlap_depth(a_s_in, a_l_in)
+            ratio = _ratio_table(ctrl.multi_scale, len(active))[overlap_k]
+            t_ratio = _ratio_table(
+                ctrl.trans_multi_scale, len(active)
+            )[overlap_k]
+            tc = np.stack([c_lo, c_hi], axis=1)  # (P, 2, N)
+            qa2e = pack.q_a2[:, pins][:, :, None, None]
+            qa1e = pack.q_a1[:, pins][:, :, None, None]
+            qa0e = pack.q_a0[:, pins][:, :, None, None]
+            drtr = (qa2e * tc + qa1e) * tc + qa0e  # (2, P, 2, N)
+            dr = (drtr[0] + d_adj) * f
+            tr = (drtr[1] + r_adj) * f
+            ii, jj, ki, kj, pairs = _pair_combos(len(active))
+            scale_c = np.repeat(
+                np.array(
+                    [
+                        ctrl.pair_scale.get(
+                            pair_key(active[a][0], active[b][0]), 1.0
+                        )
+                        for a, b in pairs
+                    ],
+                    dtype=float,
+                ),
+                4,
+            )
+            t_lo_c = tc[ii, ki]  # (C, N)
+            t_hi_c = tc[jj, kj]
+            dr_lo = dr[ii, ki]
+            dr_hi = dr[jj, kj]
+            d0, s_pos, s_neg = _vshape_anchors(
+                cell, t_lo_c, t_hi_c, scale_c[:, None],
+                dr_lo, dr_hi, load, f,
+            )
+            asi, asj = a_s_in[ii], a_s_in[jj]
+            ali, alj = a_l_in[ii], a_l_in[jj]
+            blo = asj - ali
+            bhi = alj - asi
+            delta = np.stack(
+                [blo, bhi, asj - asi, np.zeros_like(blo), s_pos, -s_neg],
+                axis=1,
+            )  # (C, 6, N)
+            valid = (blo[:, None] <= delta) & (delta <= bhi[:, None])
+            dval = _v_delay(
+                delta, d0[:, None], s_pos[:, None], s_neg[:, None],
+                dr_lo[:, None], dr_hi[:, None],
+            )
+            floor = (
+                np.maximum(asi[:, None], asj[:, None] - delta)
+                + np.minimum(0.0, delta)
+            )
+            cand = np.where(valid, floor + dval, np.inf)
+            a_s = np.minimum(a_s, cand.min(axis=(0, 1)))
+            pa = np.array([a for a, _ in pairs], dtype=np.intp)
+            pb = np.array([b for _, b in pairs], dtype=np.intp)
+            pair_ov = (a_s_in[pa] <= a_l_in[pb]) & (
+                a_s_in[pb] <= a_l_in[pa]
+            )  # (pairs, N)
+            first = np.arange(len(pairs), dtype=np.intp) * 4
+            pair_floor = np.maximum(a_s_in[pa], a_s_in[pb])
+            extra = np.where(
+                pair_ov & (ratio < 1.0),
+                pair_floor + d0[first] * ratio,
+                np.inf,
+            )
+            a_s = np.minimum(a_s, extra.min(axis=0))
+
+            # ---- transition-time merge (SK_t,min rule) ----
+            vskew, vval, sp_t, sn_t = _trans_anchors(
+                cell, t_lo_c, t_hi_c, tr[ii, ki], tr[jj, kj], load, f
+            )
+            delta_t = np.minimum(np.maximum(vskew, blo), bhi)
+            tval = _trans_v(
+                delta_t, vskew, vval, sp_t, sn_t, tr[ii, ki], tr[jj, kj]
+            )
+            combo_ov = np.repeat(pair_ov, 4, axis=0)
+            tval = np.where(
+                combo_ov & (t_ratio < 1.0),
+                np.minimum(tval, vval * t_ratio),
+                tval,
+            )
+            t_s = np.minimum(t_s, tval.min(axis=0))
+        a_s = np.minimum(a_s, a_l)
+        t_s = np.minimum(t_s, t_l)
+        state = DEFINITE if has_definite else POTENTIAL
+        return SampleWindows(a_s, a_l, t_s, t_l, state)
+
+    # -- to-non-controlling (mirror of kernels.nonctrl_response_window)
+    def _nonctrl_window(
+        self,
+        cell: CellTiming,
+        inputs: Sequence[Tuple[int, SampleWindows]],
+        load: float,
+        f: np.ndarray,
+    ) -> SampleWindows:
+        active = [(pin, w) for pin, w in inputs if w.is_active]
+        if not active:
+            return SampleWindows.impossible()
+        out_rising = not cell.ctrl.out_rising
+        pack = self._ctx.nonctrl_pack(cell)
+        pins = np.array([pin for pin, _ in active], dtype=np.intp)
+        t_s_in = np.stack([w.t_s for _, w in active])
+        t_l_in = np.stack([w.t_l for _, w in active])
+        a_s_in = np.stack([w.a_s for _, w in active])
+        a_l_in = np.stack([w.a_l for _, w in active])
+        definite = np.array(
+            [w.state == DEFINITE for _, w in active], dtype=bool
+        )
+
+        arc_lo = pack.t_lo[pins][:, None]
+        arc_hi = pack.t_hi[pins][:, None]
+        c_lo = np.minimum(np.maximum(t_s_in, arc_lo), arc_hi)
+        c_hi = np.minimum(np.maximum(t_l_in, arc_lo), arc_hi)
+        b_hi = np.maximum(c_hi, c_lo)
+        d_adj = cell.load_adjusted_delay(out_rising, load)
+        r_adj = cell.load_adjusted_trans(out_rising, load)
+        mins, maxs = quad_extremes_batch(
+            pack.q_a2[:, pins][:, :, None],
+            pack.q_a1[:, pins][:, :, None],
+            pack.q_a0[:, pins][:, :, None],
+            c_lo, b_hi,
+        )
+        d_min = (mins[0] + d_adj) * f
+        d_max = (maxs[0] + d_adj) * f
+        r_min = (mins[1] + r_adj) * f
+        r_max = (maxs[1] + r_adj) * f
+
+        lows = a_s_in + d_min
+        highs = a_l_in + d_max
+        if definite.any():
+            a_s = lows[definite].max(axis=0)
+        else:
+            a_s = lows.min(axis=0)
+        a_l = highs.max(axis=0)
+
+        uses_peak = (
+            hasattr(self.model, "nonctrl_shape")
+            and getattr(cell, "nonctrl", None) is not None
+        )
+        if uses_peak and len(active) >= 2:
+            data = cell.nonctrl
+            ppack = self._ctx.peak_pack(cell)
+            p_adj = cell.load_adjusted_delay(data.out_rising, load)
+            p_lo = ppack.t_lo[pins][:, None]
+            p_hi = ppack.t_hi[pins][:, None]
+            tc = np.stack(
+                [
+                    np.minimum(np.maximum(t_s_in, p_lo), p_hi),
+                    np.minimum(np.maximum(t_l_in, p_lo), p_hi),
+                ],
+                axis=1,
+            )  # (P, 2, N)
+            tails = (
+                (ppack.d_a2[pins][:, None, None] * tc
+                 + ppack.d_a1[pins][:, None, None]) * tc
+                + ppack.d_a0[pins][:, None, None]
+                + p_adj
+            ) * f
+            ii, jj, ki, kj, pairs = _pair_combos(len(active))
+            scale_c = np.repeat(
+                np.array(
+                    [
+                        data.pair_scale.get(
+                            pair_key(active[a][0], active[b][0]), 1.0
+                        )
+                        for a, b in pairs
+                    ],
+                    dtype=float,
+                ),
+                4,
+            )
+            tail_lo = tails[ii, ki]
+            tail_hi = tails[jj, kj]
+            p0, s_pos, s_neg = _peak_anchors(
+                cell, tc[ii, ki], tc[jj, kj], scale_c[:, None],
+                tail_lo, tail_hi, load, f,
+            )
+            asi, asj = a_s_in[ii], a_s_in[jj]
+            ali, alj = a_l_in[ii], a_l_in[jj]
+            blo = asj - ali
+            bhi = alj - asi
+            delta = np.stack(
+                [blo, bhi, alj - ali, np.zeros_like(blo), s_pos, -s_neg],
+                axis=1,
+            )
+            valid = (blo[:, None] <= delta) & (delta <= bhi[:, None])
+            dval = _peak_delay(
+                delta, p0[:, None], s_pos[:, None], s_neg[:, None],
+                tail_lo[:, None], tail_hi[:, None],
+            )
+            ceiling = (
+                np.minimum(ali[:, None], alj[:, None] - delta)
+                + np.maximum(0.0, delta)
+            )
+            cand = np.where(valid, ceiling + dval, -np.inf)
+            a_l = np.maximum(a_l, cand.max(axis=(0, 1)))
+        a_s = np.minimum(a_s, a_l)
+        state = DEFINITE if definite.any() else POTENTIAL
+        return SampleWindows(
+            a_s, a_l, r_min.min(axis=0), r_max.max(axis=0), state
+        )
+
+    # -- inv / buf / xor arcs (mirror of kernels.arc_fanin_window)
+    def _arc_window(
+        self,
+        cell: CellTiming,
+        arcs: Sequence[Tuple[int, bool, SampleWindows]],
+        out_rising: bool,
+        load: float,
+        f: np.ndarray,
+    ) -> SampleWindows:
+        active = [(p, d, w) for (p, d, w) in arcs if w.is_active]
+        if not active:
+            return SampleWindows.impossible()
+        index, pack = self._ctx.fanin_pack(cell, out_rising)
+        sel = np.array([index[(p, d)] for (p, d, _) in active], dtype=np.intp)
+        t_s_in = np.stack([w.t_s for *_, w in active])
+        t_l_in = np.stack([w.t_l for *_, w in active])
+        a_s_in = np.stack([w.a_s for *_, w in active])
+        a_l_in = np.stack([w.a_l for *_, w in active])
+
+        arc_lo = pack.t_lo[sel][:, None]
+        arc_hi = pack.t_hi[sel][:, None]
+        c_lo = np.minimum(np.maximum(t_s_in, arc_lo), arc_hi)
+        c_hi = np.minimum(np.maximum(t_l_in, arc_lo), arc_hi)
+        b_hi = np.maximum(c_hi, c_lo)
+        d_adj = cell.load_adjusted_delay(out_rising, load)
+        r_adj = cell.load_adjusted_trans(out_rising, load)
+        mins, maxs = quad_extremes_batch(
+            pack.q_a2[:, sel][:, :, None],
+            pack.q_a1[:, sel][:, :, None],
+            pack.q_a0[:, sel][:, :, None],
+            c_lo, b_hi,
+        )
+        any_definite = any(w.state == DEFINITE for *_, w in active)
+        state = DEFINITE if any_definite and len(active) == 1 else POTENTIAL
+        return SampleWindows(
+            a_s=(a_s_in + (mins[0] + d_adj) * f).min(axis=0),
+            a_l=(a_l_in + (maxs[0] + d_adj) * f).max(axis=0),
+            t_s=((mins[1] + r_adj) * f).min(axis=0),
+            t_l=((maxs[1] + r_adj) * f).max(axis=0),
+            state=state,
+        )
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def po_extremes(
+        self, windows: BlockWindows
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-output (latest, earliest) arrivals across the block.
+
+        Returns:
+            ``(po_max, po_min)`` of shape ``(n_outputs, n_samples)``.
+            An output with no active transition (cannot normally happen)
+            contributes -inf/+inf rather than poisoning the reduction.
+        """
+        outputs = self.circuit.outputs
+        n = next(
+            w.a_l.shape[0]
+            for pair in windows.values() for w in pair if w.is_active
+        )
+        po_max = np.full((len(outputs), n), -np.inf)
+        po_min = np.full((len(outputs), n), np.inf)
+        any_active = False
+        for k, po in enumerate(outputs):
+            for w in windows[po]:
+                if not w.is_active:
+                    continue
+                any_active = True
+                po_max[k] = np.maximum(po_max[k], w.a_l)
+                po_min[k] = np.minimum(po_min[k], w.a_s)
+        if not any_active:
+            raise ValueError("no active output transitions")
+        return po_max, po_min
+
+    def line_timing_at(
+        self, windows: BlockWindows, line: str, sample: int
+    ) -> LineTiming:
+        """One line's :class:`LineTiming` at a single sample index."""
+        rise, fall = windows[line]
+        return LineTiming(rise=rise.at(sample), fall=fall.at(sample))
+
+
+def _dir(
+    pair: Tuple[SampleWindows, SampleWindows], rising: bool
+) -> SampleWindows:
+    return pair[0] if rising else pair[1]

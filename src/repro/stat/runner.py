@@ -1,0 +1,220 @@
+"""Monte Carlo driver: block decomposition, pool fan-out, reassembly.
+
+The sample space is cut into fixed-size blocks ``[0, B), [B, 2B), ...``
+**before** any parallelism decision: each block's variation draws are
+keyed by ``(seed, block_start)`` and its windows are one vectorized
+:meth:`MonteCarloEngine.propagate` pass.  Workers receive block
+coordinates, never RNG state, and the parent reassembles per-output
+arrays by block start — so the result is bit-identical at any ``jobs``
+(the same idiom as the characterization pool and fault-parallel ATPG,
+enforced here by the ``mc`` fuzz oracle).
+
+Changing ``block`` changes which samples share an RNG stream and
+therefore the drawn factors; it is part of the experiment's identity
+alongside ``seed``, while ``jobs`` is pure execution strategy.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..characterize.library import CellLibrary
+from ..circuit.netlist import Circuit
+from ..models import NonCtrlAwareModel, PinToPinModel, VShapeModel
+from ..obs import get_registry
+from ..obs.registry import disable as _disable_obs
+from ..sta.analysis import StaConfig
+from .aggregate import McResult
+from .engine import MonteCarloEngine
+from .variation import VariationModel
+
+#: Delay models the MC subcommand / fuzz oracle can name.
+MC_MODELS = {
+    "vshape": VShapeModel,
+    "pin2pin": PinToPinModel,
+    "nonctrl": NonCtrlAwareModel,
+}
+
+#: Default sample-block size.  Large enough that NumPy amortizes the
+#: per-gate dispatch, small enough that a few blocks exist to fan out.
+DEFAULT_BLOCK = 128
+
+
+def plan_blocks(samples: int, block: int) -> List[Tuple[int, int]]:
+    """``(start, size)`` of each sample block, in sample order."""
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    if block <= 0:
+        raise ValueError("block size must be positive")
+    return [
+        (start, min(block, samples - start))
+        for start in range(0, samples, block)
+    ]
+
+
+def _run_block(
+    engine: MonteCarloEngine,
+    variation: VariationModel,
+    seed: int,
+    start: int,
+    size: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    factors = variation.factors_for_block(
+        seed, start, engine.cell_index, len(engine.cell_names), size
+    )
+    return engine.po_extremes(engine.propagate(factors))
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+_WORKER: Optional[Dict] = None
+
+
+def _pool_init(
+    circuit_dict: dict,
+    library_dict: Optional[dict],
+    model_name: str,
+    sta_fields: tuple,
+    variation_fields: dict,
+    seed: int,
+) -> None:
+    """Build one engine per worker process (per-block work reuses it)."""
+    _disable_obs()  # never inherit the parent's live registry handles
+    global _WORKER
+    circuit = Circuit.from_dict(circuit_dict)
+    library = (
+        CellLibrary.from_dict(library_dict)
+        if library_dict is not None
+        else CellLibrary.load_default()
+    )
+    pi_arrival, pi_trans, po_load, dangling_load = sta_fields
+    config = StaConfig(
+        pi_arrival=tuple(pi_arrival),
+        pi_trans=tuple(pi_trans),
+        po_load=po_load,
+        dangling_load=dangling_load,
+    )
+    _WORKER = {
+        "engine": MonteCarloEngine(
+            circuit, library, MC_MODELS[model_name](), config
+        ),
+        "variation": VariationModel.from_dict(variation_fields),
+        "seed": seed,
+    }
+
+
+def _pool_block(start: int, size: int):
+    t0 = time.perf_counter()
+    po_max, po_min = _run_block(
+        _WORKER["engine"], _WORKER["variation"], _WORKER["seed"], start, size
+    )
+    return start, po_max, po_min, time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_mc(
+    circuit: Circuit,
+    library: Optional[CellLibrary] = None,
+    model: str = "vshape",
+    config: Optional[StaConfig] = None,
+    variation: Optional[VariationModel] = None,
+    samples: int = 256,
+    seed: int = 0,
+    jobs: int = 1,
+    block: int = DEFAULT_BLOCK,
+) -> McResult:
+    """Variation-aware Monte Carlo STA over ``samples`` draws.
+
+    Args:
+        circuit: Circuit under analysis.
+        library: Characterized library (packaged default when None).
+        model: Delay-model name (key of :data:`MC_MODELS`).
+        config: STA boundary conditions.
+        variation: Perturbation sigmas (defaults to
+            :class:`VariationModel`'s defaults).
+        samples: Number of Monte Carlo samples.
+        seed: Master RNG seed.
+        jobs: Worker processes; results are bit-identical at any value.
+        block: Sample-block size (part of the result's identity — see
+            the module docstring).
+
+    Returns:
+        Aggregated per-output delay distributions.
+    """
+    if model not in MC_MODELS:
+        raise ValueError(f"unknown delay model {model!r}")
+    shipped_library = library
+    if library is None:
+        library = CellLibrary.load_default()
+    variation = variation or VariationModel()
+    config = config or StaConfig()
+    blocks = plan_blocks(samples, block)
+    obs = get_registry()
+    obs.counter("stat.mc.samples").inc(samples)
+    obs.counter("stat.mc.blocks").inc(len(blocks))
+    block_hist = obs.histogram("stat.mc.block_s")
+
+    engine = MonteCarloEngine(circuit, library, MC_MODELS[model](), config)
+    pieces: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    with obs.timer("stat.mc.wall_s"):
+        if jobs <= 1 or len(blocks) == 1:
+            for start, size in blocks:
+                t0 = time.perf_counter()
+                pieces[start] = _run_block(
+                    engine, variation, seed, start, size
+                )
+                block_hist.observe(time.perf_counter() - t0)
+        else:
+            initargs = (
+                circuit.to_dict(),
+                shipped_library.to_dict()
+                if shipped_library is not None
+                else None,
+                model,
+                (
+                    config.pi_arrival,
+                    config.pi_trans,
+                    config.po_load,
+                    config.dangling_load,
+                ),
+                variation.to_dict(),
+                seed,
+            )
+            workers = min(jobs, len(blocks))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_init,
+                initargs=initargs,
+            ) as pool:
+                futures = [
+                    pool.submit(_pool_block, start, size)
+                    for start, size in blocks
+                ]
+                for future in as_completed(futures):
+                    start, po_max, po_min, elapsed = future.result()
+                    pieces[start] = (po_max, po_min)
+                    block_hist.observe(elapsed)
+    # Reassemble in sample order regardless of completion order.
+    starts = sorted(pieces)
+    po_max = np.concatenate([pieces[s][0] for s in starts], axis=1)
+    po_min = np.concatenate([pieces[s][1] for s in starts], axis=1)
+    return McResult(
+        circuit_name=circuit.name,
+        outputs=list(circuit.outputs),
+        samples=samples,
+        seed=seed,
+        block=block,
+        model=model,
+        variation=variation,
+        nominal_max=engine.nominal.output_max_arrival(),
+        nominal_min=engine.nominal.output_min_arrival(),
+        po_max=po_max,
+        po_min=po_min,
+    )

@@ -1,0 +1,105 @@
+"""Tests for the CI bench-regression gate script.
+
+The gate's job is to fail loudly; the historical bug it guards against
+is the opposite — a gated metric going *missing* (renamed key, dropped
+bench section) used to print SKIP and pass, silently disabling the gate.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = (
+    Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "check_bench_regression.py"
+)
+
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def full_report(scale=1.0):
+    """A report carrying every gated metric, optionally slowed down."""
+    return {
+        section: {key: 1e-3 * scale}
+        for section, key in gate.GATED_METRICS
+    }
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_clean_run_passes():
+    assert gate.check(full_report(), full_report(1.5), threshold=2.5) == 0
+
+
+def test_regression_fails():
+    assert gate.check(full_report(), full_report(3.0), threshold=2.5) == 1
+
+
+def test_missing_metric_fails(capsys):
+    current = full_report()
+    del current["sta_full_pass"]
+    assert gate.check(full_report(), current, threshold=2.5) == 1
+    out = capsys.readouterr().out
+    assert "MISSING" in out
+    assert "SKIP" not in out
+
+
+def test_missing_metric_in_baseline_fails():
+    baseline = full_report()
+    baseline["mc"].pop("mc_s_per_sample")
+    assert gate.check(baseline, full_report(), threshold=2.5) == 1
+
+
+def test_allow_missing_downgrades_to_skip(capsys):
+    current = full_report()
+    del current["mc"]
+    rc = gate.check(
+        full_report(), current, threshold=2.5, allow_missing=True
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "SKIP (metric missing, allowed)" in out
+
+
+def test_main_wires_allow_missing_flag(tmp_path):
+    baseline = write(tmp_path, "base.json", full_report())
+    current = write(tmp_path, "cur.json", {"sta_full_pass": {}})
+    argv = ["--current", current, "--baseline", baseline]
+    assert gate.main(argv) == 1
+    assert gate.main(argv + ["--allow-missing"]) == 0
+
+
+def test_mc_metric_is_gated():
+    assert ("mc", "mc_s_per_sample") in gate.GATED_METRICS
+
+
+def test_committed_baseline_carries_every_gated_metric():
+    """The repo's own baseline must never trip the missing-metric gate."""
+    baseline_path = (
+        Path(__file__).resolve().parent.parent
+        / "benchmarks"
+        / "results"
+        / "BENCH_timing.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    for section, key in gate.GATED_METRICS:
+        assert key in baseline.get(section, {}), f"{section}.{key}"
+
+
+@pytest.mark.parametrize("threshold", [0.5, 1.0])
+def test_threshold_must_exceed_one(tmp_path, threshold):
+    baseline = write(tmp_path, "base.json", full_report())
+    with pytest.raises(SystemExit):
+        gate.main(
+            ["--current", baseline, "--baseline", baseline,
+             "--threshold", str(threshold)]
+        )

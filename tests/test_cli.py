@@ -120,6 +120,47 @@ class TestCommands:
         assert "efficiency" in out
 
 
+class TestMcCommand:
+    def test_mc_parser_defaults(self):
+        args = build_parser().parse_args(["mc", "c17"])
+        assert args.samples == 256
+        assert args.seed == 0
+        assert args.jobs == 1
+        assert args.model == "vshape"
+        assert args.quantiles == "0.5,0.95,0.99"
+
+    def test_mc_on_c17_writes_summary(self, capsys, tmp_path):
+        out_path = tmp_path / "mc.json"
+        code = main([
+            "mc", "c17", "--samples", "32", "--seed", "7", "--block", "16",
+            "--sigma", "0.08", "--json", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "monte carlo [vshape]" in out
+        assert "criticality" in out
+        summary = json.loads(out_path.read_text())
+        assert summary["samples"] == 32
+        assert summary["seed"] == 7
+        q = {float(k): v for k, v in summary["quantiles_s"].items()}
+        assert q[0.5] <= q[0.95] <= q[0.99]
+
+    def test_mc_rejects_bad_quantiles(self, capsys):
+        assert main(["mc", "c17", "--quantiles", "1.5"]) == 2
+        assert "quantiles" in capsys.readouterr().err
+
+    def test_mc_rejects_negative_sigma(self, capsys):
+        assert main(["mc", "c17", "--sigma", "-0.1"]) == 2
+
+    def test_mc_sigma_overrides(self):
+        args = build_parser().parse_args([
+            "mc", "c17", "--sigma", "0.2", "--sigma-ind", "0.01",
+        ])
+        assert args.sigma == 0.2
+        assert args.sigma_corr is None
+        assert args.sigma_ind == 0.01
+
+
 class TestCharacterizeCommand:
     ARGS = [
         "characterize", "--cells", "inv",

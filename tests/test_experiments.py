@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import ALL_EXPERIMENTS, fig01, fig02, table2
+from repro.experiments import ALL_EXPERIMENTS, fig01, fig02, mc_sta, table2
 from repro.experiments.common import (
     ExperimentResult,
     max_abs_error,
@@ -54,7 +54,7 @@ class TestRegistry:
         expected = {
             "figure-1", "figure-2", "figure-5", "figure-10", "figure-11",
             "figure-12", "table-2", "section-7", "claims-3.5", "ablations",
-            "extension-nonctrl",
+            "extension-nonctrl", "extension-mc-sta",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
@@ -75,6 +75,14 @@ class TestFastRuns:
         result = fig02.run(n_skews=5)
         assert result.findings["min_delay_at_zero_skew"]
         assert len(result.rows) == 5
+
+    def test_mc_sta_small(self):
+        result = mc_sta.run(bench="c17", samples=16)
+        assert result.experiment == "extension-mc-sta"
+        assert result.findings["sigma0_matches_deterministic"]
+        assert result.findings["jobs_bit_identical"]
+        delays = [row[1] for row in result.rows]
+        assert delays == sorted(delays)
 
     def test_table2_single_circuit(self):
         result = table2.run(circuits=["c17"])
