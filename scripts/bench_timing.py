@@ -51,6 +51,12 @@ from repro.itr.refine import ItrEngine  # noqa: E402
 from repro.itr.values import TwoFrame  # noqa: E402
 from repro.models import base as models_base  # noqa: E402
 from repro.sta import corners  # noqa: E402
+from repro.obs.manifest import (  # noqa: E402
+    attach_manifest,
+    current_manifest,
+    library_content_hash,
+    set_run_context,
+)
 from repro.sta.analysis import PerfConfig, TimingAnalyzer  # noqa: E402
 from repro.stat import run_mc  # noqa: E402
 
@@ -358,6 +364,7 @@ def main():
                         default=REPO_ROOT / "benchmarks" / "results"
                         / "BENCH_timing.json")
     args = parser.parse_args()
+    set_run_context(command="bench_timing", args=sys.argv[1:])
 
     library = CellLibrary.load_default()
     sta_circuit = load_packaged_bench("c880s")
@@ -393,6 +400,13 @@ def main():
         itr_circuit, library, mc_samples, mc_baseline_passes, repeats
     )
 
+    attach_manifest(
+        report,
+        current_manifest(
+            library_hash=library_content_hash(library),
+            jobs=args.jobs,
+        ),
+    )
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     for name in ("sta_full_pass", "itr_refine", "atpg_with_itr", "mc"):

@@ -24,6 +24,12 @@ missing from either report, since a silently skipped metric would let a
 renamed key or a dropped bench section disable the gate forever
 (``--allow-missing`` restores the old SKIP behaviour while a new
 baseline lands).
+
+Both reports carry a ``run_manifest`` provenance block (see
+``repro.obs.manifest``); the gate prints the current run's provenance,
+requires the block to be present (unless ``--allow-missing``), and notes
+— without failing — environment differences against the baseline that
+would explain timing deltas.
 """
 
 from __future__ import annotations
@@ -44,6 +50,53 @@ GATED_METRICS = (
     ("mc", "mc_s_per_sample"),
 )
 
+#: Manifest fields printed for provenance when comparing reports.
+_MANIFEST_SHOW = (
+    "command",
+    "package_version",
+    "python_version",
+    "numpy_version",
+    "jobs",
+    "wall_s",
+)
+
+
+def check_manifest(
+    baseline: dict,
+    current: dict,
+    allow_missing: bool = False,
+) -> int:
+    """Compare the run-provenance blocks of the two reports.
+
+    The current report must carry one (``bench_timing.py`` always writes
+    it); a committed baseline predating manifests is tolerated with a
+    note.  Environment mismatches (python/numpy version) are printed but
+    never fail the gate — they explain timing deltas, they don't cause
+    them here.
+    """
+    cur = current.get("run_manifest")
+    base = baseline.get("run_manifest")
+    if cur is None:
+        if allow_missing:
+            print("  run_manifest: SKIP (missing from current, allowed)")
+            return 0
+        print("  run_manifest: MISSING from current report")
+        return 1
+    print("  provenance (current):")
+    for field in _MANIFEST_SHOW:
+        print(f"    {field:<16} {cur.get(field)}")
+    if base is None:
+        print("  note: baseline predates run manifests; nothing to compare")
+        return 0
+    for field in ("python_version", "numpy_version", "package_version"):
+        if base.get(field) != cur.get(field):
+            print(
+                f"  note: {field} differs from baseline "
+                f"({base.get(field)} -> {cur.get(field)}) — expect "
+                "timing noise"
+            )
+    return 0
+
 
 def check(
     baseline: dict,
@@ -53,6 +106,7 @@ def check(
 ) -> int:
     failures = 0
     print(f"bench regression gate (threshold {threshold:.2f}x baseline):")
+    failures += check_manifest(baseline, current, allow_missing)
     for section, key in GATED_METRICS:
         name = f"{section}.{key}"
         base = baseline.get(section, {}).get(key)

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validate metrics-trace artifacts (CI obs-smoke gate).
+
+Checks a JSON-lines trace written by ``--trace-json`` against the
+format contract of :mod:`repro.obs.emit`:
+
+* a leading ``meta`` event with a supported version;
+* a ``manifest`` event carrying every field of ``MANIFEST_FIELDS``
+  (version-2 traces; v1 files are accepted without one);
+* well-typed ``span`` / ``counter`` / ``gauge`` / ``histogram`` events
+  and nothing else;
+* span lanes are non-negative integers and lane 0 (the parent) exists.
+
+With ``--chrome FILE`` also validates a Chrome trace-event export: the
+``traceEvents`` structure, one ``thread_name`` metadata event per lane,
+and ``X`` events whose ``tid`` matches a declared lane.
+
+Options ``--expect-lanes N`` (exactly N worker lanes beyond the parent)
+and ``--expect-manifest`` (fail v1 traces) tighten the gate for
+instrumented multi-worker CI runs.
+
+Usage::
+
+    python scripts/validate_trace.py trace.jsonl \
+        [--chrome trace.chrome.json] [--expect-lanes N] \
+        [--expect-manifest]
+
+Exits 0 when every check passes, 1 with one line per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.emit import TRACE_VERSION, read_trace  # noqa: E402
+from repro.obs.manifest import MANIFEST_FIELDS  # noqa: E402
+
+_SPAN_FIELDS = {
+    "name": str,
+    "path": str,
+    "start_s": (int, float),
+    "elapsed_s": (int, float),
+    "depth": int,
+}
+_HIST_SUMMARY_FIELDS = ("count", "total", "min", "max", "mean",
+                        "p50", "p90", "p99")
+_EVENT_TYPES = ("meta", "manifest", "span", "counter", "gauge", "histogram")
+
+
+def validate_trace(path: Path, expect_manifest: bool = False) -> list:
+    """All format violations in one JSON-lines trace (empty = valid)."""
+    errors = []
+    try:
+        events = read_trace(path)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace: {exc}"]
+    if not events:
+        return ["empty trace"]
+    meta = events[0]
+    if meta.get("type") != "meta":
+        errors.append(f"first event must be meta, got {meta.get('type')!r}")
+        version = None
+    else:
+        version = meta.get("version")
+        if not isinstance(version, int) or not 1 <= version <= TRACE_VERSION:
+            errors.append(f"unsupported trace version {version!r}")
+    manifests = [e for e in events if e.get("type") == "manifest"]
+    if version == TRACE_VERSION and not manifests:
+        errors.append("version-2 trace has no manifest event")
+    if expect_manifest and not manifests:
+        errors.append("manifest required (--expect-manifest) but absent")
+    for event in manifests:
+        manifest = event.get("manifest")
+        if not isinstance(manifest, dict):
+            errors.append("manifest event carries no dict")
+            continue
+        for field in MANIFEST_FIELDS:
+            if field not in manifest:
+                errors.append(f"manifest missing field {field!r}")
+    for i, event in enumerate(events):
+        kind = event.get("type")
+        if kind not in _EVENT_TYPES:
+            errors.append(f"event {i}: unknown type {kind!r}")
+        elif kind == "span":
+            for field, types in _SPAN_FIELDS.items():
+                if not isinstance(event.get(field), types):
+                    errors.append(
+                        f"event {i}: span field {field!r} is "
+                        f"{event.get(field)!r}"
+                    )
+            lane = event.get("lane", 0)
+            if not isinstance(lane, int) or lane < 0:
+                errors.append(f"event {i}: bad span lane {lane!r}")
+        elif kind in ("counter", "gauge"):
+            if not isinstance(event.get("name"), str):
+                errors.append(f"event {i}: {kind} without a name")
+            value = event.get("value")
+            if kind == "counter" and not isinstance(value, int):
+                errors.append(f"event {i}: counter value {value!r}")
+            if kind == "gauge" and not isinstance(value, (int, float)):
+                errors.append(f"event {i}: gauge value {value!r}")
+        elif kind == "histogram":
+            summary = event.get("summary")
+            if not isinstance(summary, dict):
+                errors.append(f"event {i}: histogram without a summary")
+                continue
+            for field in _HIST_SUMMARY_FIELDS:
+                if not isinstance(summary.get(field), (int, float)):
+                    errors.append(
+                        f"event {i}: histogram summary field {field!r} is "
+                        f"{summary.get(field)!r}"
+                    )
+    return errors
+
+
+def trace_lanes(path: Path) -> set:
+    """The set of span lanes present in a trace file."""
+    return {
+        event.get("lane", 0)
+        for event in read_trace(path)
+        if event.get("type") == "span"
+    }
+
+
+def validate_chrome(path: Path) -> list:
+    """All format violations in a Chrome trace-event export."""
+    errors = []
+    try:
+        trace = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable chrome trace: {exc}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["chrome trace has no traceEvents list"]
+    named_lanes = set()
+    for event in events:
+        if event.get("ph") == "M":
+            if event.get("name") != "thread_name":
+                errors.append(f"unexpected metadata event {event!r}")
+                continue
+            named_lanes.add(event.get("tid"))
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            errors.append(f"chrome event {i}: unexpected phase {ph!r}")
+            continue
+        if event.get("tid") not in named_lanes:
+            errors.append(
+                f"chrome event {i}: tid {event.get('tid')!r} has no "
+                "thread_name lane"
+            )
+        for field in ("ts", "dur"):
+            if not isinstance(event.get(field), (int, float)):
+                errors.append(
+                    f"chrome event {i}: {field} is {event.get(field)!r}"
+                )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSON-lines trace from --trace-json")
+    parser.add_argument(
+        "--chrome", default=None, metavar="FILE",
+        help="also validate a Chrome trace-event export of the same run",
+    )
+    parser.add_argument(
+        "--expect-lanes", type=int, default=None, metavar="N",
+        help="require exactly N worker lanes beyond the parent lane",
+    )
+    parser.add_argument(
+        "--expect-manifest", action="store_true",
+        help="fail traces without an embedded run manifest",
+    )
+    args = parser.parse_args(argv)
+    errors = validate_trace(
+        Path(args.trace), expect_manifest=args.expect_manifest
+    )
+    if not errors and args.expect_lanes is not None:
+        workers = {lane for lane in trace_lanes(Path(args.trace)) if lane}
+        if len(workers) != args.expect_lanes:
+            errors.append(
+                f"expected {args.expect_lanes} worker lane(s), trace has "
+                f"{len(workers)}: {sorted(workers)}"
+            )
+    if args.chrome:
+        errors += validate_chrome(Path(args.chrome))
+    for error in errors:
+        print(f"INVALID: {error}", file=sys.stderr)
+    if errors:
+        print(f"{args.trace}: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ from ..itr.refine import ItrEngine
 from ..itr.values import TwoFrame
 from ..models.base import DelayModel
 from ..obs import get_registry
-from ..obs.registry import disable as _disable_obs
+from ..obs.merge import capture_and_reset, init_worker_obs, merge_payloads
 from ..sta.analysis import PerfConfig, StaConfig
 from ..sta.simulate import PiStimulus, TimingSimulator
 from .excite import check_excitation, transition_literal
@@ -138,26 +138,41 @@ class AtpgSummary:
 _WORKER_ATPG: Optional["CrosstalkAtpg"] = None
 
 
-def _atpg_worker_init(circuit, library, model, sta_config, config, perf):
+def _atpg_worker_init(
+    circuit, library, model, sta_config, config, perf, obs_enabled=False
+):
     """Build the per-process test generator for the fault pool.
 
-    Workers run with instrumentation disabled (the parent mirrors the
-    merged search-effort deltas into its own registry afterwards).
+    When the parent run is instrumented the worker gets a real registry
+    and each fault's metrics ride back with its result; otherwise the
+    null registry keeps the worker zero-overhead.  Construction-time
+    metrics (the generator's own STA pass, the shared base-ITR
+    refinement) are captured and discarded so per-fault payloads carry
+    only search effort — the parent performs that one-time work itself,
+    exactly as a serial run would, keeping ``--jobs N`` counter totals
+    identical to ``--jobs 1``.
     """
     global _WORKER_ATPG
-    _disable_obs()
+    registry = init_worker_obs(obs_enabled)
     _WORKER_ATPG = CrosstalkAtpg(
         circuit, library, model, sta_config, config, perf
     )
+    if config is not None and config.use_itr:
+        engine = _WORKER_ATPG.engine
+        _WORKER_ATPG._base_itr = engine.refine(engine.initial_values())
+    capture_and_reset(registry)
 
 
 def _atpg_worker_run(index, fault):
-    """Generate a test for one fault; returns (index, result, delta, s)."""
+    """One fault's test generation; (index, result, delta, s, payload)."""
+    registry = get_registry()
     before = dataclasses.replace(_WORKER_ATPG.stats)
     start = time.perf_counter()
-    result = _WORKER_ATPG.generate(fault)
+    with registry.span("atpg.fault"):
+        result = _WORKER_ATPG.generate(fault)
     elapsed = time.perf_counter() - start
-    return index, result, _WORKER_ATPG.stats - before, elapsed
+    delta = _WORKER_ATPG.stats - before
+    return index, result, delta, elapsed, capture_and_reset(registry)
 
 
 class CrosstalkAtpg:
@@ -402,10 +417,24 @@ class CrosstalkAtpg:
         obs = get_registry()
         obs.counter("atpg.pool.faults_dispatched").inc(len(faults))
         job_hist = obs.histogram("atpg.pool.job_s")
+        # The serial path computes the shared base-ITR result lazily on
+        # the first fault that reaches _prune (the victim must be
+        # observable); do the same one-time work here (workers precompute
+        # and discard their own) so instrumented counter totals match a
+        # --jobs 1 run.
+        if (
+            self.config.use_itr
+            and self._base_itr is None
+            and any(
+                self._po_depths().get(f.victim, -1) >= 0 for f in faults
+            )
+        ):
+            self._base_itr = self.engine.refine(self.engine.initial_values())
         # Share the parent-resolved period so every worker checks the
         # same setup threshold without re-deriving it from its own STA.
         cfg = dataclasses.replace(self.config, period=self.period)
         results: List[Optional[FaultResult]] = [None] * len(faults)
+        payloads: List[Optional[dict]] = [None] * len(faults)
         merged = AtpgStats()
         with obs.timer("atpg.pool.wall_s"):
             with ProcessPoolExecutor(
@@ -413,7 +442,7 @@ class CrosstalkAtpg:
                 initializer=_atpg_worker_init,
                 initargs=(
                     self.circuit, self.library, self.model,
-                    self.sta_config, cfg, self.perf,
+                    self.sta_config, cfg, self.perf, obs.enabled,
                 ),
             ) as pool:
                 futures = {
@@ -421,21 +450,16 @@ class CrosstalkAtpg:
                     for i, fault in enumerate(faults)
                 }
                 for future in as_completed(futures):
-                    index, result, delta, elapsed = future.result()
+                    index, result, delta, elapsed, payload = future.result()
                     results[index] = result
+                    payloads[index] = payload
                     merged.accumulate(delta)
                     job_hist.observe(elapsed)
         self.stats.accumulate(merged)
-        # Workers run with instrumentation disabled; mirror their merged
-        # search effort into the parent registry so run reports carry
-        # the same counters as a serial run.
-        self._m_faults.inc(merged.faults)
-        self._m_decisions.inc(merged.decisions)
-        self._m_backtracks.inc(merged.backtracks)
-        self._m_prunes.inc(merged.itr_prunes)
-        self._m_status[DETECTED].inc(merged.detected)
-        self._m_status[UNTESTABLE].inc(merged.untestable)
-        self._m_status[ABORTED].inc(merged.aborted)
+        # Fold the per-fault worker registries back in (fault order, so
+        # the merge is deterministic): counters sum, histograms keep
+        # exact percentiles, spans land on worker/<lane> timelines.
+        merge_payloads(obs, payloads)
         return AtpgSummary(list(results), stats=merged)
 
     # ------------------------------------------------------------------

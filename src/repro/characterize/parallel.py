@@ -39,7 +39,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs import get_registry
-from ..obs.registry import disable as _disable_obs
+from ..obs.merge import capture_and_reset, init_worker_obs, merge_payloads
 from ..spice import GateCell
 from ..tech import Technology
 from .cache import SweepCache, content_key
@@ -168,32 +168,24 @@ def decode_points(job: SweepJob, raw: list) -> list:
     return [SkewPoint(skew=r[0], delay=r[1], trans=r[2]) for r in raw]
 
 
-def _note_batch_result(job: SweepJob, n_simulations: int) -> None:
-    """Mirror the counters the serial sweep functions would have bumped.
+def _pool_execute(
+    job: SweepJob, tech: Technology
+) -> Tuple[list, int, float, Optional[dict]]:
+    """Worker entry point: run one job, return its result and telemetry.
 
-    Pool workers run with a fresh (null) registry, so the parent
-    re-records each collected job exactly as the in-process sweep code
-    in :mod:`repro.characterize.sweep` would have.
+    The worker registry was installed by :func:`init_worker_obs` in the
+    pool initializer (a real registry when the parent is instrumented,
+    the null registry otherwise — so the job's sweep code records
+    exactly what the serial in-process path would).  The captured
+    payload rides back with the result; ``capture_and_reset`` leaves the
+    registry clean for the worker's next job.
     """
-    obs = get_registry()
-    obs.counter("characterize.simulations").inc(n_simulations)
-    if job.op == OP_MULTI:
-        return  # multi_switch_delay counts but records no sweep histogram
-    hist = obs.histogram("characterize.sweep_points")
-    if job.op == OP_LOAD:
-        # load_sweep runs one single-point pin-to-pin sweep per load.
-        for _ in range(n_simulations):
-            hist.observe(1)
-    else:
-        hist.observe(n_simulations)
-
-
-def _pool_execute(job: SweepJob, tech: Technology) -> Tuple[list, int, float]:
-    """Worker entry point: run a job, return (points, n_sim, seconds)."""
-    _disable_obs()  # never inherit the parent's live registry handles
+    registry = get_registry()
     started = time.perf_counter()
-    points, n_simulations = execute_job(job, tech)
-    return points, n_simulations, time.perf_counter() - started
+    with registry.span(f"characterize.{job.op}"):
+        points, n_simulations = execute_job(job, tech)
+    elapsed = time.perf_counter() - started
+    return points, n_simulations, elapsed, capture_and_reset(registry)
 
 
 class SweepRunner:
@@ -411,24 +403,31 @@ class ParallelSweepRunner(SweepRunner):
         if not pending:
             return
         obs.counter("characterize.pool.jobs_dispatched").inc(len(pending))
-        results: Dict[SweepJob, Tuple[list, int, float]] = {}
+        results: Dict[SweepJob, Tuple[list, int, float, Optional[dict]]] = {}
         with obs.timer("characterize.pool.wall_s"):
             workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=init_worker_obs,
+                initargs=(obs.enabled,),
+            ) as pool:
                 futures = {
                     pool.submit(_pool_execute, job, self.tech): job
                     for job in pending
                 }
                 for future in as_completed(futures):
                     results[futures[future]] = future.result()
-        # Record and cache in submission order: metrics and cache
-        # contents come out identical no matter how the pool scheduled.
+        # Record, merge, and cache in submission order: metrics and
+        # cache contents come out identical no matter how the pool
+        # scheduled.  The merged worker payloads carry the same
+        # counters/histograms the serial in-process sweeps would have
+        # recorded, so --jobs N totals match --jobs 1 exactly.
         for job in pending:
-            points, n_simulations, elapsed = results[job]
-            _note_batch_result(job, n_simulations)
+            points, n_simulations, elapsed, _payload = results[job]
             obs.histogram("characterize.pool.job_s").observe(elapsed)
             self._cache_record(job, points, n_simulations)
             self._store[job] = points
+        merge_payloads(obs, [results[job][3] for job in pending])
 
 
 def make_runner(

@@ -14,6 +14,9 @@ Subcommands:
   cached transistor-level sweeps);
 * ``fuzz`` — differential fuzzing of the optimized timing paths against
   their reference implementations, with failure shrinking and replay;
+* ``obs``  — inspect, diff, and export metrics traces written with
+  ``--trace-json`` (Chrome/Perfetto export, self-time profile,
+  Prometheus text exposition, run-provenance manifest);
 * ``bench`` — list the benchmark circuits shipped with the package.
 """
 
@@ -51,11 +54,21 @@ from .tech import GENERIC_05UM
 from .models import PinToPinModel, VShapeModel
 from .obs import (
     MetricsRegistry,
+    current_manifest,
+    format_profile,
     format_summary,
     get_registry,
+    manifest_from_trace,
+    read_trace,
+    self_time_profile,
     set_registry,
+    set_run_context,
+    snapshot_from_trace,
+    snapshot_to_prom,
+    write_chrome_trace,
     write_trace,
 )
+from .obs.manifest import MANIFEST_FIELDS, attach_manifest
 from .sta import (
     PiStimulus,
     TimingAnalyzer,
@@ -170,6 +183,14 @@ def _cmd_mc(args: argparse.Namespace) -> int:
             break
         print(f"    {name:>12}: {100 * frac:6.2f}%")
     if args.json:
+        attach_manifest(
+            summary,
+            current_manifest(
+                seeds=[args.seed],
+                circuit=circuit.name,
+                jobs=args.jobs,
+            ),
+        )
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -415,6 +436,147 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _format_snapshot(snapshot: dict) -> str:
+    """Fixed-width rendering of a trace's metric snapshot."""
+    lines = ["== metrics =="]
+    for kind in ("counters", "gauges"):
+        table = snapshot.get(kind) or {}
+        if table:
+            lines.append(f"{kind}:")
+            width = max(len(name) for name in table)
+            for name, value in sorted(table.items()):
+                lines.append(f"  {name:<{width}}  {value}")
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name, digest in sorted(histograms.items()):
+            extra = (
+                f"  overflow={digest['overflow']}"
+                if digest.get("overflow") else ""
+            )
+            lines.append(
+                f"  {name:<{width}}  n={digest['count']}"
+                f"  mean={digest['mean']:.6g}  p50={digest['p50']:.6g}"
+                f"  p90={digest['p90']:.6g}  max={digest['max']:.6g}"
+                f"  total={digest['total']:.6g}{extra}"
+            )
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def _format_manifest(manifest) -> str:
+    if not manifest:
+        return "run manifest: (absent — version-1 trace)"
+    lines = ["run manifest:"]
+    width = max(len(field) for field in MANIFEST_FIELDS)
+    for field in MANIFEST_FIELDS:
+        value = manifest.get(field)
+        if field == "args" and value is not None:
+            value = " ".join(value)
+        lines.append(f"  {field:<{width}}  {value}")
+    return "\n".join(lines)
+
+
+def _obs_show(args: argparse.Namespace, events: list) -> int:
+    print(_format_manifest(manifest_from_trace(events)))
+    print()
+    print(_format_snapshot(snapshot_from_trace(events)))
+    profile = self_time_profile(events, top_k=args.top)
+    print()
+    print(f"self-time profile (top {args.top} by exclusive time):")
+    print(format_profile(profile))
+    return 0
+
+
+def _obs_diff(args: argparse.Namespace, events: list) -> int:
+    if args.other is None:
+        print("error: obs diff needs two trace files", file=sys.stderr)
+        return 2
+    try:
+        other_events = read_trace(Path(args.other))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.other}: {exc}",
+              file=sys.stderr)
+        return 2
+    old = snapshot_from_trace(events)
+    new = snapshot_from_trace(other_events)
+    printed = False
+    for kind, describe in (
+        ("counters", lambda v: v),
+        ("gauges", lambda v: v),
+        ("histograms", lambda v: (v or {}).get("count", 0)),
+    ):
+        a, b = old.get(kind) or {}, new.get(kind) or {}
+        rows = []
+        for name in sorted(set(a) | set(b)):
+            va, vb = describe(a.get(name)), describe(b.get(name))
+            if va != vb:
+                delta = ""
+                if isinstance(va, (int, float)) and isinstance(
+                    vb, (int, float)
+                ):
+                    delta = f"  ({vb - va:+g})"
+                rows.append(f"  {name}: {va} -> {vb}{delta}")
+        if rows:
+            label = (
+                f"{kind} (by count)" if kind == "histograms" else kind
+            )
+            print(f"{label}:")
+            print("\n".join(rows))
+            printed = True
+    man_a = manifest_from_trace(events) or {}
+    man_b = manifest_from_trace(other_events) or {}
+    man_rows = [
+        f"  {field}: {man_a.get(field)} -> {man_b.get(field)}"
+        for field in MANIFEST_FIELDS
+        if field not in ("wall_s", "started_unix")
+        and man_a.get(field) != man_b.get(field)
+    ]
+    if man_rows:
+        print("manifest:")
+        print("\n".join(man_rows))
+        printed = True
+    if not printed:
+        print("traces are metric-identical")
+    return 0
+
+
+def _obs_export_chrome(args: argparse.Namespace, events: list) -> int:
+    out = (
+        Path(args.out)
+        if args.out
+        else Path(args.trace).with_suffix(".chrome.json")
+    )
+    write_chrome_trace(events, out, manifest=manifest_from_trace(events))
+    lanes = sorted({e.get("lane", 0) for e in events
+                    if e.get("type") == "span"})
+    print(
+        f"wrote {out} ({len(lanes)} lane"
+        f"{'s' if len(lanes) != 1 else ''}; load it at "
+        "https://ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    try:
+        events = read_trace(Path(args.trace))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.trace}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.action == "show":
+        return _obs_show(args, events)
+    if args.action == "diff":
+        return _obs_diff(args, events)
+    if args.action == "export-chrome":
+        return _obs_export_chrome(args, events)
+    print(snapshot_to_prom(snapshot_from_trace(events)), end="")
+    return 0
+
+
 def _cmd_bench(_args: argparse.Namespace) -> int:
     print("packaged benchmark circuits:")
     print("  c17      (real ISCAS85 netlist)")
@@ -635,6 +797,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.set_defaults(func=_cmd_fuzz)
 
+    obs = sub.add_parser(
+        "obs",
+        help="inspect, diff, and export --trace-json metric traces",
+        parents=[common],
+    )
+    obs.add_argument(
+        "action", choices=("show", "diff", "export-chrome", "prom"),
+        help="show: manifest + metrics + self-time profile; "
+             "diff: metric deltas between two traces; "
+             "export-chrome: Perfetto-loadable trace-event JSON; "
+             "prom: Prometheus text exposition",
+    )
+    obs.add_argument("trace", help="JSON-lines trace from --trace-json")
+    obs.add_argument("other", nargs="?", default=None,
+                     help="second trace (diff only)")
+    obs.add_argument("-o", "--out", default=None, metavar="PATH",
+                     help="export-chrome output path "
+                          "(default: TRACE with .chrome.json suffix)")
+    obs.add_argument("--top", type=int, default=10, metavar="K",
+                     help="self-time profile rows (default: 10)")
+    obs.set_defaults(func=_cmd_obs)
+
     report = sub.add_parser("report", help="critical/shortest path report",
                             parents=[common])
     report.add_argument("circuit")
@@ -650,6 +834,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    set_run_context(
+        command=f"repro-sta {args.command}",
+        args=list(argv) if argv is not None else sys.argv[1:],
+    )
     verbosity = min(getattr(args, "verbose", 0), 2)
     logging.basicConfig(
         level=(logging.WARNING, logging.INFO, logging.DEBUG)[verbosity],
@@ -669,7 +857,19 @@ def main(argv=None) -> int:
     finally:
         set_registry(previous)
         if trace_path is not None:
-            write_trace(registry, trace_path)
+            write_trace(
+                registry,
+                trace_path,
+                manifest=current_manifest(
+                    seeds=(
+                        [args.seed]
+                        if getattr(args, "seed", None) is not None
+                        else None
+                    ),
+                    circuit=getattr(args, "circuit", None),
+                    jobs=getattr(args, "jobs", None),
+                ),
+            )
         if stats:
             print()
             print(format_summary(registry))

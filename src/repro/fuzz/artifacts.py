@@ -18,6 +18,7 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from ..obs.manifest import attach_manifest, current_manifest
 from .case import FuzzCase
 
 ARTIFACT_FORMAT = "repro-fuzz-failure"
@@ -58,6 +59,7 @@ def write_artifact(
     if shrunk is not None:
         payload["shrunk"] = shrunk.to_dict()
         payload["shrink_note"] = shrink_note
+    attach_manifest(payload, current_manifest(seeds=[case.seed]))
     path = directory / artifact_name(case)
     path.write_text(json.dumps(payload, indent=1) + "\n")
     return path

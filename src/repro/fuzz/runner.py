@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -235,6 +236,19 @@ class FuzzRunner:
         return outcomes
 
     def _run_parallel(self, started: float) -> List[CaseOutcome]:
+        if self._obs.enabled:
+            # Unlike the characterize/ATPG/MC pools, fuzz workers run
+            # whole oracle checks (some spawn pools of their own) with
+            # instrumentation off and report no metric payloads.  Say so
+            # instead of letting --stats silently under-report.
+            warnings.warn(
+                "fuzz --jobs > 1 runs oracle checks in uninstrumented "
+                "worker processes; --stats/--trace-json cover only "
+                "parent-side scheduling and shrinking, not worker "
+                "metrics. Use --jobs 1 for complete fuzz metrics.",
+                RuntimeWarning,
+                stacklevel=4,
+            )
         outcomes: List[CaseOutcome] = []
         schedule = self._schedule()
         max_workers = self.config.jobs

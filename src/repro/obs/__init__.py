@@ -26,13 +26,36 @@ construction time, install the registry *before* building the objects
 you want measured.
 """
 
+from .chrome import (
+    chrome_trace,
+    format_profile,
+    self_time_profile,
+    span_records,
+    write_chrome_trace,
+)
 from .emit import (
     format_summary,
+    manifest_from_trace,
     read_trace,
     snapshot_from_trace,
     trace_events,
     write_trace,
 )
+from .manifest import (
+    MANIFEST_KEY,
+    attach_manifest,
+    build_manifest,
+    current_manifest,
+    library_content_hash,
+    set_run_context,
+)
+from .merge import (
+    capture_and_reset,
+    capture_registry,
+    init_worker_obs,
+    merge_payloads,
+)
+from .prom import snapshot_to_prom
 from .registry import (
     Counter,
     Gauge,
@@ -52,18 +75,35 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MANIFEST_KEY",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
     "SpanRecord",
+    "attach_manifest",
+    "build_manifest",
+    "capture_and_reset",
+    "capture_registry",
+    "chrome_trace",
+    "current_manifest",
     "disable",
     "enable",
+    "format_profile",
     "format_summary",
     "get_registry",
+    "init_worker_obs",
+    "library_content_hash",
+    "manifest_from_trace",
+    "merge_payloads",
     "read_trace",
+    "self_time_profile",
     "set_registry",
+    "set_run_context",
     "snapshot_from_trace",
+    "snapshot_to_prom",
+    "span_records",
     "trace_events",
     "use_registry",
+    "write_chrome_trace",
     "write_trace",
 ]

@@ -1,0 +1,196 @@
+"""Chrome trace-event rendering and self-time profiling of span trees.
+
+:func:`chrome_trace` converts the span records of a (possibly merged)
+registry — or the ``span`` events of a JSON-lines trace file — into the
+Chrome trace-event format (the ``{"traceEvents": [...]}`` JSON object),
+loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+Each execution lane becomes one named thread row: ``parent`` for lane 0
+and ``worker/<n>`` for every merged pool worker, so a ``--jobs 4`` run
+renders as a parent timeline plus four worker timelines.
+
+Worker span timestamps are relative to each worker registry's own epoch
+(its construction), not the parent's — lanes show per-worker activity,
+not a globally aligned wall clock.
+
+:func:`self_time_profile` reduces the same span records to a top-k table
+of phases by *exclusive* time (a span's elapsed minus its direct
+children's), the first place to look for where a run actually went.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .registry import MetricsRegistry
+
+#: Microseconds per second (trace-event timestamps are in µs).
+_US = 1e6
+
+
+def span_records(
+    source: Union[MetricsRegistry, List[dict]],
+) -> List[dict]:
+    """Normalize spans to plain dicts from a registry or trace events.
+
+    Accepts a :class:`MetricsRegistry` (uses its ``spans`` list) or a
+    parsed JSON-lines trace (uses its ``span`` events).  Version-1
+    traces predate lanes; their spans land on lane 0.
+    """
+    if isinstance(source, MetricsRegistry):
+        return [
+            {
+                "name": s.name,
+                "path": s.path,
+                "start_s": s.start,
+                "elapsed_s": s.elapsed,
+                "depth": s.depth,
+                "lane": s.lane,
+            }
+            for s in source.spans
+        ]
+    return [
+        {
+            "name": e["name"],
+            "path": e["path"],
+            "start_s": e["start_s"],
+            "elapsed_s": e["elapsed_s"],
+            "depth": e.get("depth", 0),
+            "lane": e.get("lane", 0),
+        }
+        for e in source
+        if e.get("type") == "span"
+    ]
+
+
+def lane_label(lane: int) -> str:
+    return "parent" if lane == 0 else f"worker/{lane}"
+
+
+def chrome_trace(
+    source: Union[MetricsRegistry, List[dict]],
+    manifest: Optional[dict] = None,
+) -> dict:
+    """The Chrome trace-event JSON object for ``source``'s spans.
+
+    One process (pid 0), one thread per lane, complete (``"ph": "X"``)
+    events with µs timestamps, plus thread-name metadata so Perfetto
+    labels the rows.  ``manifest`` lands under ``metadata`` when given.
+    """
+    spans = span_records(source)
+    lanes = sorted({s["lane"] for s in spans})
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": lane,
+            "name": "thread_name",
+            "args": {"name": lane_label(lane)},
+        }
+        for lane in lanes
+    ]
+    # Lanes render in tid order; lane numbering already puts the parent
+    # first and workers after it.
+    for span in spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": span["lane"],
+                "name": span["name"],
+                "cat": "obs",
+                "ts": span["start_s"] * _US,
+                "dur": span["elapsed_s"] * _US,
+                "args": {"path": span["path"]},
+            }
+        )
+    trace: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if manifest is not None:
+        trace["metadata"] = {"run_manifest": manifest}
+    return trace
+
+
+def write_chrome_trace(
+    source: Union[MetricsRegistry, List[dict]],
+    path: Union[str, Path],
+    manifest: Optional[dict] = None,
+) -> Path:
+    """Write the Chrome trace JSON for ``source`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(source, manifest)) + "\n")
+    return path
+
+
+def self_time_profile(
+    source: Union[MetricsRegistry, List[dict]],
+    top_k: int = 10,
+) -> List[dict]:
+    """Top-k phases by exclusive (self) time, across all lanes.
+
+    A span's self time is its elapsed minus the elapsed of its *direct*
+    children — same lane, one level deeper, path nested under it, and
+    time-contained (which disambiguates repeated spans sharing a path).
+    Rows aggregate by span path and are sorted by self time descending.
+    """
+    spans = span_records(source)
+    self_s = [s["elapsed_s"] for s in spans]
+    for i, parent in enumerate(spans):
+        p_start = parent["start_s"]
+        p_end = p_start + parent["elapsed_s"]
+        prefix = parent["path"] + "/"
+        for child in spans:
+            if (
+                child["lane"] == parent["lane"]
+                and child["depth"] == parent["depth"] + 1
+                and child["path"].startswith(prefix)
+                and p_start <= child["start_s"]
+                and child["start_s"] + child["elapsed_s"] <= p_end + 1e-12
+            ):
+                self_s[i] -= child["elapsed_s"]
+    rows: Dict[str, dict] = {}
+    for span, self_time in zip(spans, self_s):
+        row = rows.get(span["path"])
+        if row is None:
+            row = rows[span["path"]] = {
+                "path": span["path"],
+                "name": span["name"],
+                "lane": span["lane"],
+                "count": 0,
+                "total_s": 0.0,
+                "self_s": 0.0,
+            }
+        row["count"] += 1
+        row["total_s"] += span["elapsed_s"]
+        row["self_s"] += max(self_time, 0.0)
+    ranked = sorted(rows.values(), key=lambda r: -r["self_s"])
+    return ranked[:top_k]
+
+
+def format_profile(rows: List[dict]) -> str:
+    """Fixed-width rendering of a :func:`self_time_profile` table."""
+    if not rows:
+        return "(no spans recorded)"
+    width = max(len(r["path"]) for r in rows)
+    lines = [
+        f"  {'phase':<{width}}  {'lane':>6}  {'n':>5}  "
+        f"{'self':>10}  {'total':>10}"
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['path']:<{width}}  {lane_label(row['lane']):>6}  "
+            f"{row['count']:>5}  {row['self_s'] * 1e3:>8.3f}ms  "
+            f"{row['total_s'] * 1e3:>8.3f}ms"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "chrome_trace",
+    "format_profile",
+    "lane_label",
+    "self_time_profile",
+    "span_records",
+    "write_chrome_trace",
+]

@@ -10,17 +10,26 @@ Two output formats share one source of truth (the registry snapshot):
   self-describing (a leading ``meta`` line) and round-trips:
   :func:`snapshot_from_trace` rebuilds the exact
   :meth:`~repro.obs.registry.MetricsRegistry.snapshot` dictionary.
+
+Trace format version 2 adds two things to every file: a ``manifest``
+event right after ``meta`` (the run-provenance block of
+:mod:`repro.obs.manifest`) and a ``lane`` field on span events, so
+merged multi-process registries keep one timeline per worker
+(``repro-sta obs export-chrome`` renders them as Perfetto threads).
+Version-1 traces still read back fine: missing lanes default to the
+parent lane and the manifest is simply absent.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
+from .manifest import current_manifest
 from .registry import MetricsRegistry
 
-TRACE_VERSION = 1
+TRACE_VERSION = 2
 
 
 def _format_seconds(value: float) -> str:
@@ -89,11 +98,21 @@ def format_summary(registry: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
-def trace_events(registry: MetricsRegistry) -> List[Dict[str, object]]:
-    """The JSON-lines trace of ``registry`` as a list of plain dicts."""
+def trace_events(
+    registry: MetricsRegistry,
+    manifest: Optional[dict] = None,
+) -> List[Dict[str, object]]:
+    """The JSON-lines trace of ``registry`` as a list of plain dicts.
+
+    ``manifest`` is the run-provenance block to embed; by default the
+    process's current manifest (see :mod:`repro.obs.manifest`).
+    """
     events: List[Dict[str, object]] = [
         {"type": "meta", "version": TRACE_VERSION}
     ]
+    if manifest is None:
+        manifest = current_manifest()
+    events.append({"type": "manifest", "manifest": manifest})
     for span in registry.spans:
         events.append(
             {
@@ -103,6 +122,7 @@ def trace_events(registry: MetricsRegistry) -> List[Dict[str, object]]:
                 "start_s": span.start,
                 "elapsed_s": span.elapsed,
                 "depth": span.depth,
+                "lane": span.lane,
             }
         )
     snapshot = registry.snapshot()
@@ -116,13 +136,15 @@ def trace_events(registry: MetricsRegistry) -> List[Dict[str, object]]:
 
 
 def write_trace(
-    registry: MetricsRegistry, path: Union[str, Path]
+    registry: MetricsRegistry,
+    path: Union[str, Path],
+    manifest: Optional[dict] = None,
 ) -> Path:
     """Write the registry's trace to ``path`` as JSON lines."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as handle:
-        for event in trace_events(registry):
+        for event in trace_events(registry, manifest=manifest):
             handle.write(json.dumps(event) + "\n")
     return path
 
@@ -161,3 +183,13 @@ def snapshot_from_trace(
         elif kind == "histogram":
             snapshot["histograms"][event["name"]] = event["summary"]
     return snapshot
+
+
+def manifest_from_trace(
+    events: List[Dict[str, object]],
+) -> Optional[Dict[str, object]]:
+    """The run manifest embedded in a parsed trace (None for v1 files)."""
+    for event in events:
+        if event.get("type") == "manifest":
+            return event.get("manifest")
+    return None

@@ -1,0 +1,179 @@
+"""Run provenance manifests: how every JSON artifact was produced.
+
+Every artifact the repo writes — metric traces, ``repro-sta mc --json``
+summaries, fuzz-failure artifacts, ``BENCH_timing.json``,
+``experiments.json`` — embeds a ``run_manifest`` block answering "what
+exact invocation produced this file": the command and its arguments, the
+seed(s), a content hash of the characterized library, the circuit name,
+the package/Python/NumPy versions, the worker count, and the wall time.
+
+Two entry points:
+
+* :func:`build_manifest` constructs a manifest dict from explicit
+  fields (scripts call this directly);
+* the CLI registers its invocation once via :func:`set_run_context`,
+  after which :func:`current_manifest` builds a manifest anywhere in the
+  process (the fuzz artifact writer uses this — it has no line of sight
+  to the command line).
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import List, Optional, Sequence, Union
+
+MANIFEST_VERSION = 1
+
+#: Key artifacts embed the manifest under.
+MANIFEST_KEY = "run_manifest"
+
+#: Fields every manifest carries (validation and diffing rely on this).
+MANIFEST_FIELDS = (
+    "manifest_version",
+    "command",
+    "args",
+    "seeds",
+    "library_hash",
+    "circuit",
+    "package_version",
+    "python_version",
+    "numpy_version",
+    "jobs",
+    "wall_s",
+    "started_unix",
+)
+
+_RUN_CONTEXT: dict = {}
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        return None
+    return numpy.__version__
+
+
+def library_content_hash(library) -> str:
+    """SHA-256 content address of a characterized library.
+
+    A pure function of the library's cells and coefficients — metadata
+    like ``build_seconds`` or the builder's job count is excluded, so
+    the same physics hashes the same no matter how it was built.
+    """
+    from ..characterize.cache import content_key
+
+    payload = library.to_dict()
+    payload = {k: v for k, v in payload.items() if k != "meta"}
+    return content_key(payload)
+
+
+def build_manifest(
+    command: Optional[str] = None,
+    args: Optional[Sequence[str]] = None,
+    seeds: Optional[Union[int, Sequence[int]]] = None,
+    circuit: Optional[str] = None,
+    library_hash: Optional[str] = None,
+    jobs: Optional[int] = None,
+    wall_s: Optional[float] = None,
+    started_unix: Optional[float] = None,
+) -> dict:
+    """A complete provenance manifest as a plain JSON-able dict.
+
+    Every field of :data:`MANIFEST_FIELDS` is present; unknown values
+    are ``None`` rather than omitted, so consumers can rely on shape.
+    """
+    if seeds is None:
+        seed_list: Optional[List[int]] = None
+    elif isinstance(seeds, int):
+        seed_list = [seeds]
+    else:
+        seed_list = [int(s) for s in seeds]
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "command": command,
+        "args": list(args) if args is not None else None,
+        "seeds": seed_list,
+        "library_hash": library_hash,
+        "circuit": circuit,
+        "package_version": _package_version(),
+        "python_version": platform.python_version(),
+        "numpy_version": _numpy_version(),
+        "jobs": jobs,
+        "wall_s": wall_s,
+        "started_unix": (
+            started_unix
+            if started_unix is not None
+            else _RUN_CONTEXT.get("started_unix")
+        ),
+    }
+
+
+def set_run_context(
+    command: Optional[str] = None, args: Optional[Sequence[str]] = None
+) -> None:
+    """Register the process's invocation for :func:`current_manifest`.
+
+    The CLI calls this once after parsing; long scripts call it at
+    startup.  Also stamps the start time, from which later manifests
+    derive their wall clock.
+    """
+    _RUN_CONTEXT.clear()
+    _RUN_CONTEXT.update(
+        command=command,
+        args=list(args) if args is not None else None,
+        started_unix=time.time(),
+        started_perf=time.perf_counter(),
+    )
+
+
+def current_manifest(**overrides) -> dict:
+    """Manifest for the registered run context, with field overrides.
+
+    Falls back to ``sys.argv`` when no context was registered (library
+    use outside the CLI), so artifacts are never silently unattributed.
+    """
+    context = _RUN_CONTEXT
+    fields = {
+        "command": context.get("command"),
+        "args": context.get("args"),
+        "started_unix": context.get("started_unix"),
+    }
+    if fields["command"] is None:
+        argv = sys.argv
+        fields["command"] = argv[0].rsplit("/", 1)[-1] if argv else None
+        fields["args"] = argv[1:] if len(argv) > 1 else []
+    if "wall_s" not in overrides and context.get("started_perf") is not None:
+        fields["wall_s"] = round(
+            time.perf_counter() - context["started_perf"], 6
+        )
+    fields.update(overrides)
+    return build_manifest(**fields)
+
+
+def attach_manifest(payload: dict, manifest: Optional[dict] = None) -> dict:
+    """Embed a manifest into an artifact dict (in place; returned)."""
+    payload[MANIFEST_KEY] = (
+        manifest if manifest is not None else current_manifest()
+    )
+    return payload
+
+
+__all__ = [
+    "MANIFEST_FIELDS",
+    "MANIFEST_KEY",
+    "MANIFEST_VERSION",
+    "attach_manifest",
+    "build_manifest",
+    "current_manifest",
+    "library_content_hash",
+    "set_run_context",
+]

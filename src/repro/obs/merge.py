@@ -1,0 +1,199 @@
+"""Cross-process metric capture and deterministic merge.
+
+The parallel paths (``characterize --jobs``, ``atpg --jobs``,
+``mc --jobs``) fan work out over ``ProcessPoolExecutor`` workers, where
+the parent's live registry does not exist.  This module carries the
+telemetry across the process boundary:
+
+* **Worker side** — the pool initializer calls :func:`init_worker_obs`
+  with the parent's enabled flag.  When the parent is instrumented the
+  worker installs a real :class:`~repro.obs.registry.MetricsRegistry`;
+  otherwise it installs the null registry, keeping the disabled path
+  zero-overhead.  After each unit of work the worker calls
+  :func:`capture_and_reset`, which snapshots every metric (counters,
+  gauges, raw histogram observations, spans) into a small picklable
+  payload and zeroes the registry in place — construction-time handles
+  stay valid for the next unit.
+* **Parent side** — :func:`merge_payloads` folds the collected payloads
+  back into the parent registry deterministically:
+
+  - **counters** sum;
+  - **gauges** are last-write-by-worker-lane (payloads are merged in
+    ascending lane order, so the highest reporting lane wins);
+  - **histograms** concatenate raw observations, preserving the exact
+    percentile semantics a serial run would have had (reservoir
+    overflow counts/sums add);
+  - **spans** are re-rooted under a ``worker/<lane>`` path and tagged
+    with the lane number, so trace exporters can draw one timeline per
+    worker.
+
+Worker lanes are dense integers ``1..N`` assigned from the sorted set of
+reporting worker PIDs; lane 0 is the parent.  Counter and histogram
+merge results are independent of pool scheduling, which is what makes a
+``--jobs 4`` run report totals identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional
+
+from .registry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    SpanRecord,
+    get_registry,
+    set_registry,
+)
+
+#: Payload schema version (bumped when the capture format changes).
+PAYLOAD_VERSION = 1
+
+#: Span-path prefix worker spans are re-rooted under.
+WORKER_LANE_PREFIX = "worker"
+
+
+def init_worker_obs(enabled: bool) -> MetricsRegistry:
+    """Install the right registry inside a pool worker.
+
+    Call from the ``ProcessPoolExecutor`` initializer, *before* any
+    instrumented object is constructed.  ``enabled`` is the parent's
+    ``get_registry().enabled``: workers of an uninstrumented run get the
+    null registry and pay nothing.
+    """
+    if enabled:
+        return set_registry(MetricsRegistry())
+    return set_registry(NULL_REGISTRY)
+
+
+def capture_registry(
+    registry: Optional[MetricsRegistry] = None,
+) -> Optional[dict]:
+    """Snapshot a registry into a picklable payload (None when disabled).
+
+    The payload carries raw histogram observations — not summaries — so
+    the parent-side merge preserves exact percentiles.
+    """
+    if registry is None:
+        registry = get_registry()
+    if not registry.enabled:
+        return None
+    return {
+        "version": PAYLOAD_VERSION,
+        "pid": os.getpid(),
+        "counters": {
+            name: c.value for name, c in registry.counters.items() if c.value
+        },
+        "gauges": {
+            name: g.value
+            for name, g in registry.gauges.items()
+            if g.value is not None
+        },
+        "histograms": {
+            name: {
+                "values": list(h.values),
+                "cap": h.cap,
+                "overflow_count": h.overflow_count,
+                "overflow_total": h.overflow_total,
+                "lo": h._lo,
+                "hi": h._hi,
+            }
+            for name, h in registry.histograms.items()
+            if h.count
+        },
+        "spans": [
+            (s.name, s.path, s.start, s.elapsed, s.depth)
+            for s in registry.spans
+        ],
+    }
+
+
+def capture_and_reset(
+    registry: Optional[MetricsRegistry] = None,
+) -> Optional[dict]:
+    """Capture a payload, then zero the registry in place.
+
+    The reset keeps construction-time metric handles valid (see
+    :meth:`MetricsRegistry.reset`), so per-task payloads from a
+    long-lived worker are disjoint deltas.
+    """
+    if registry is None:
+        registry = get_registry()
+    payload = capture_registry(registry)
+    if payload is not None:
+        registry.reset()
+    return payload
+
+
+def assign_lanes(payloads: Iterable[Optional[dict]]) -> Dict[int, int]:
+    """Map reporting worker PIDs to dense lanes ``1..N`` (sorted order)."""
+    pids = sorted({p["pid"] for p in payloads if p})
+    return {pid: lane for lane, pid in enumerate(pids, start=1)}
+
+
+def merge_payloads(
+    registry: MetricsRegistry,
+    payloads: List[Optional[dict]],
+) -> int:
+    """Fold worker payloads into ``registry``; returns the lane count.
+
+    ``payloads`` should be in a deterministic order (submission order);
+    ``None`` entries (from disabled or empty workers) are skipped.  Safe
+    to call with the null registry — it is a no-op then.
+    """
+    if not registry.enabled:
+        return 0
+    live = [p for p in payloads if p]
+    if not live:
+        return 0
+    lanes = assign_lanes(live)
+    # Gauges: last-write-by-worker-lane — group each payload by lane and
+    # apply in ascending lane order so the winner is scheduler-independent
+    # whenever each gauge is set by a single lane.
+    for payload in sorted(live, key=lambda p: lanes[p["pid"]]):
+        for name, value in payload["gauges"].items():
+            registry.gauge(name).set(value)
+    for payload in live:
+        lane = lanes[payload["pid"]]
+        for name, value in payload["counters"].items():
+            registry.counter(name).inc(value)
+        for name, raw in payload["histograms"].items():
+            hist = registry.histogram(name, cap=raw.get("cap"))
+            for value in raw["values"]:
+                hist.observe(value)
+            hist.overflow_count += raw.get("overflow_count", 0)
+            hist.overflow_total += raw.get("overflow_total", 0.0)
+            for bound, attr in ((raw.get("lo"), "_lo"), (raw.get("hi"), "_hi")):
+                if bound is None:
+                    continue
+                current = getattr(hist, attr)
+                if current is None:
+                    setattr(hist, attr, bound)
+                elif attr == "_lo":
+                    hist._lo = min(current, bound)
+                else:
+                    hist._hi = max(current, bound)
+        root = f"{WORKER_LANE_PREFIX}/{lane}"
+        for name, path, start, elapsed, depth in payload["spans"]:
+            registry.spans.append(
+                SpanRecord(
+                    name,
+                    f"{root}/{path}",
+                    start,
+                    elapsed,
+                    depth + 1,
+                    lane=lane,
+                )
+            )
+    return len(lanes)
+
+
+__all__ = [
+    "PAYLOAD_VERSION",
+    "WORKER_LANE_PREFIX",
+    "assign_lanes",
+    "capture_and_reset",
+    "capture_registry",
+    "init_worker_obs",
+    "merge_payloads",
+]

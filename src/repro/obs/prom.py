@@ -1,0 +1,72 @@
+"""Prometheus-style text exposition of a registry snapshot.
+
+:func:`snapshot_to_prom` renders the plain snapshot dict (the output of
+:meth:`MetricsRegistry.snapshot` or
+:func:`~repro.obs.emit.snapshot_from_trace`) in the Prometheus text
+format (version 0.0.4): one ``# TYPE`` header per family, dotted metric
+names mapped to underscores, histograms exposed as Prometheus summaries
+(``_count``/``_sum`` plus ``quantile``-labelled samples).  This is the
+exposition endpoint the future ``repro-sta serve`` daemon will return
+from ``/metrics``; today the CLI prints it via ``repro-sta obs prom``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Histogram-summary percentile keys mapped to Prometheus quantiles.
+_QUANTILES = (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99"))
+
+NAMESPACE = "repro"
+
+
+def prom_name(name: str, suffix: str = "") -> str:
+    """A valid Prometheus metric name for a dotted registry name."""
+    return f"{NAMESPACE}_{_NAME_RE.sub('_', name)}{suffix}"
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def snapshot_to_prom(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """The Prometheus text exposition of a registry snapshot."""
+    lines = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = prom_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        metric = prom_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for key, quantile in _QUANTILES:
+            if key in summary:
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} '
+                    f"{_format_value(summary[key])}"
+                )
+        lines.append(
+            f"{metric}_count {_format_value(summary.get('count', 0))}"
+        )
+        lines.append(f"{metric}_sum {_format_value(summary.get('total', 0))}")
+        if summary.get("overflow"):
+            overflow = prom_name(name, "_overflow_total")
+            lines.append(f"# TYPE {overflow} counter")
+            lines.append(f"{overflow} {_format_value(summary['overflow'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+__all__ = ["NAMESPACE", "prom_name", "snapshot_to_prom"]

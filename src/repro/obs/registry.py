@@ -54,33 +54,61 @@ class Gauge:
 class Histogram:
     """Distribution metric over raw observations.
 
-    Runs here are short (at most a few hundred thousand observations per
-    process), so the histogram keeps every sample and reports *exact*
-    percentiles instead of bucketed approximations.
+    Typical runs are short (at most a few hundred thousand observations
+    per process), so by default the histogram keeps every sample and
+    reports *exact* percentiles instead of bucketed approximations.
+
+    An optional reservoir ``cap`` bounds memory for unbounded workloads
+    (million-observation Monte Carlo runs): the first ``cap`` samples
+    are stored exactly, later observations only accumulate into the
+    count/sum/min/max aggregates, and ``summary()`` reports how many
+    overflowed.  Percentiles stay exact below the cap and degrade to
+    stored-sample estimates above it.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = (
+        "name", "values", "cap",
+        "overflow_count", "overflow_total", "_lo", "_hi",
+    )
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, cap: Optional[int] = None) -> None:
+        if cap is not None and cap < 1:
+            raise ValueError("histogram cap must be positive")
         self.name = name
         self.values: List[float] = []
+        self.cap = cap
+        self.overflow_count = 0
+        self.overflow_total = 0.0
+        self._lo: Optional[float] = None
+        self._hi: Optional[float] = None
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        if self.cap is not None and len(self.values) >= self.cap:
+            self.overflow_count += 1
+            self.overflow_total += value
+            if self._lo is None or value < self._lo:
+                self._lo = value
+            if self._hi is None or value > self._hi:
+                self._hi = value
+            return
+        self.values.append(value)
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return len(self.values) + self.overflow_count
 
     @property
     def total(self) -> float:
-        return sum(self.values)
+        return sum(self.values) + self.overflow_total
 
     def mean(self) -> float:
-        return self.total / len(self.values) if self.values else 0.0
+        count = self.count
+        return self.total / count if count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Exact q-th percentile (linear interpolation between samples)."""
+        """q-th percentile over the stored samples (exact below the cap,
+        linear interpolation between samples)."""
         if not self.values:
             return 0.0
         ordered = sorted(self.values)
@@ -94,33 +122,54 @@ class Histogram:
 
     def summary(self) -> Dict[str, float]:
         """Scalar digest used by the emitters and snapshots."""
-        if not self.values:
+        if not self.count:
             return {"count": 0}
-        return {
-            "count": len(self.values),
+        lo = min(self.values) if self.values else self._lo
+        hi = max(self.values) if self.values else self._hi
+        if self._lo is not None:
+            lo = min(lo, self._lo)
+        if self._hi is not None:
+            hi = max(hi, self._hi)
+        digest = {
+            "count": self.count,
             "total": self.total,
-            "min": min(self.values),
-            "max": max(self.values),
+            "min": lo,
+            "max": hi,
             "mean": self.mean(),
             "p50": self.percentile(50.0),
             "p90": self.percentile(90.0),
             "p99": self.percentile(99.0),
         }
+        if self.overflow_count:
+            digest["overflow"] = self.overflow_count
+        return digest
 
 
 class SpanRecord:
-    """One completed span: a named, nested phase with wall-clock timing."""
+    """One completed span: a named, nested phase with wall-clock timing.
 
-    __slots__ = ("name", "path", "start", "elapsed", "depth")
+    ``lane`` identifies the execution stream the span belongs to: 0 is
+    the parent process, ``1..N`` are merged worker lanes (see
+    :mod:`repro.obs.merge`).  Spans recorded locally are always lane 0.
+    """
+
+    __slots__ = ("name", "path", "start", "elapsed", "depth", "lane")
 
     def __init__(
-        self, name: str, path: str, start: float, elapsed: float, depth: int
+        self,
+        name: str,
+        path: str,
+        start: float,
+        elapsed: float,
+        depth: int,
+        lane: int = 0,
     ) -> None:
         self.name = name
         self.path = path
         self.start = start
         self.elapsed = elapsed
         self.depth = depth
+        self.lane = lane
 
 
 class _NullCounter:
@@ -265,10 +314,15 @@ class MetricsRegistry:
             metric = self.gauges[name] = Gauge(name)
         return metric
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, cap: Optional[int] = None) -> Histogram:
+        """The histogram named ``name``.
+
+        ``cap`` (first caller wins) bounds the stored-sample reservoir;
+        see :class:`Histogram`.  Metrics already created keep their cap.
+        """
         metric = self.histograms.get(name)
         if metric is None:
-            metric = self.histograms[name] = Histogram(name)
+            metric = self.histograms[name] = Histogram(name, cap=cap)
         return metric
 
     # ------------------------------------------------------------------
@@ -311,6 +365,10 @@ class MetricsRegistry:
             gauge.value = None
         for histogram in self.histograms.values():
             histogram.values.clear()
+            histogram.overflow_count = 0
+            histogram.overflow_total = 0.0
+            histogram._lo = None
+            histogram._hi = None
         self.spans.clear()
         self._span_stack.clear()
         self._t0 = time.perf_counter()
@@ -327,7 +385,7 @@ class NullRegistry(MetricsRegistry):
     def gauge(self, name: str) -> Gauge:
         return NULL_GAUGE  # type: ignore[return-value]
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, cap: Optional[int] = None) -> Histogram:
         return NULL_HISTOGRAM  # type: ignore[return-value]
 
     def timer(self, name: str) -> _Timer:

@@ -26,7 +26,7 @@ from ..characterize.library import CellLibrary
 from ..circuit.netlist import Circuit
 from ..models import NonCtrlAwareModel, PinToPinModel, VShapeModel
 from ..obs import get_registry
-from ..obs.registry import disable as _disable_obs
+from ..obs.merge import capture_and_reset, init_worker_obs, merge_payloads
 from ..sta.analysis import StaConfig
 from .aggregate import McResult
 from .engine import MonteCarloEngine
@@ -82,9 +82,18 @@ def _pool_init(
     sta_fields: tuple,
     variation_fields: dict,
     seed: int,
+    obs_enabled: bool = False,
 ) -> None:
-    """Build one engine per worker process (per-block work reuses it)."""
-    _disable_obs()  # never inherit the parent's live registry handles
+    """Build one engine per worker process (per-block work reuses it).
+
+    With the parent instrumented the worker runs a real registry whose
+    per-block deltas ride back with each result; construction-time
+    metrics (the engine's own nominal STA pass, which the parent already
+    performed once, as serial does) are captured and discarded so
+    ``--jobs N`` counter totals equal ``--jobs 1``.  Otherwise the null
+    registry keeps the worker zero-overhead.
+    """
+    registry = init_worker_obs(obs_enabled)
     global _WORKER
     circuit = Circuit.from_dict(circuit_dict)
     library = (
@@ -106,14 +115,19 @@ def _pool_init(
         "variation": VariationModel.from_dict(variation_fields),
         "seed": seed,
     }
+    capture_and_reset(registry)
 
 
 def _pool_block(start: int, size: int):
+    registry = get_registry()
     t0 = time.perf_counter()
-    po_max, po_min = _run_block(
-        _WORKER["engine"], _WORKER["variation"], _WORKER["seed"], start, size
-    )
-    return start, po_max, po_min, time.perf_counter() - t0
+    with registry.span("mc.block"):
+        po_max, po_min = _run_block(
+            _WORKER["engine"], _WORKER["variation"], _WORKER["seed"],
+            start, size,
+        )
+    elapsed = time.perf_counter() - t0
+    return start, po_max, po_min, elapsed, capture_and_reset(registry)
 
 
 # ----------------------------------------------------------------------
@@ -186,8 +200,10 @@ def run_mc(
                 ),
                 variation.to_dict(),
                 seed,
+                obs.enabled,
             )
             workers = min(jobs, len(blocks))
+            payloads: Dict[int, Optional[dict]] = {}
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_pool_init,
@@ -198,9 +214,15 @@ def run_mc(
                     for start, size in blocks
                 ]
                 for future in as_completed(futures):
-                    start, po_max, po_min, elapsed = future.result()
+                    start, po_max, po_min, elapsed, payload = future.result()
                     pieces[start] = (po_max, po_min)
+                    payloads[start] = payload
                     block_hist.observe(elapsed)
+            # Fold worker registries back in, ordered by block start so
+            # the merge is deterministic at any completion order.
+            merge_payloads(
+                obs, [payloads[s] for s in sorted(payloads)]
+            )
     # Reassemble in sample order regardless of completion order.
     starts = sorted(pieces)
     po_max = np.concatenate([pieces[s][0] for s in starts], axis=1)

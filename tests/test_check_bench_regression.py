@@ -22,12 +22,22 @@ gate = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(gate)
 
 
-def full_report(scale=1.0):
+def full_report(scale=1.0, python="3.11.0"):
     """A report carrying every gated metric, optionally slowed down."""
-    return {
+    report = {
         section: {key: 1e-3 * scale}
         for section, key in gate.GATED_METRICS
     }
+    report["run_manifest"] = {
+        "manifest_version": 1,
+        "command": "bench_timing",
+        "package_version": "1.0.0",
+        "python_version": python,
+        "numpy_version": "1.26.0",
+        "jobs": 4,
+        "wall_s": 1.0,
+    }
+    return report
 
 
 def write(tmp_path, name, payload):
@@ -93,6 +103,38 @@ def test_committed_baseline_carries_every_gated_metric():
     baseline = json.loads(baseline_path.read_text())
     for section, key in gate.GATED_METRICS:
         assert key in baseline.get(section, {}), f"{section}.{key}"
+
+
+def test_missing_current_manifest_fails(capsys):
+    current = full_report()
+    del current["run_manifest"]
+    assert gate.check(full_report(), current, threshold=2.5) == 1
+    assert "run_manifest: MISSING" in capsys.readouterr().out
+
+
+def test_allow_missing_tolerates_absent_manifest():
+    current = full_report()
+    del current["run_manifest"]
+    rc = gate.check(
+        full_report(), current, threshold=2.5, allow_missing=True
+    )
+    assert rc == 0
+
+
+def test_baseline_without_manifest_is_tolerated(capsys):
+    baseline = full_report()
+    del baseline["run_manifest"]
+    assert gate.check(baseline, full_report(1.2), threshold=2.5) == 0
+    assert "baseline predates run manifests" in capsys.readouterr().out
+
+
+def test_environment_mismatch_notes_but_passes(capsys):
+    baseline = full_report(python="3.10.0")
+    current = full_report(1.2, python="3.12.0")
+    assert gate.check(baseline, current, threshold=2.5) == 0
+    out = capsys.readouterr().out
+    assert "python_version differs" in out
+    assert "3.10.0 -> 3.12.0" in out
 
 
 @pytest.mark.parametrize("threshold", [0.5, 1.0])

@@ -261,3 +261,99 @@ class TestInstrumentationFlags:
         assert "effort:" not in captured.out
         assert "effort:" not in captured.err
         logging.basicConfig(level=logging.WARNING, force=True)
+
+
+class TestObsCommand:
+    @pytest.fixture()
+    def trace(self, tmp_path):
+        path = tmp_path / "atpg-trace.jsonl"
+        assert main([
+            "atpg", "c17", "--faults", "2", "--no-spice-check",
+            "--trace-json", str(path),
+        ]) == 0
+        return path
+
+    def test_obs_parser(self):
+        args = build_parser().parse_args(["obs", "show", "t.jsonl"])
+        assert args.action == "show"
+        assert args.trace == "t.jsonl"
+        assert args.top == 10
+        args = build_parser().parse_args(
+            ["obs", "diff", "a.jsonl", "b.jsonl"]
+        )
+        assert args.other == "b.jsonl"
+
+    def test_show_prints_manifest_metrics_profile(self, trace, capsys):
+        capsys.readouterr()
+        assert main(["obs", "show", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest:" in out
+        assert "repro-sta atpg" in out
+        assert "== metrics ==" in out
+        assert "atpg.decisions" in out
+        assert "self-time profile" in out
+        assert "cli.atpg" in out
+
+    def test_prom_exposition(self, trace, capsys):
+        capsys.readouterr()
+        assert main(["obs", "prom", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_atpg_decisions_total counter" in out
+        assert "# TYPE repro_sta_window_width_s summary" in out
+        assert 'repro_sta_window_width_s{quantile="0.5"}' in out
+
+    def test_export_chrome_default_path(self, trace, capsys):
+        capsys.readouterr()
+        assert main(["obs", "export-chrome", str(trace)]) == 0
+        out_path = trace.with_suffix(".chrome.json")
+        assert "perfetto" in capsys.readouterr().out.lower()
+        chrome = json.loads(out_path.read_text())
+        assert chrome["metadata"]["run_manifest"]["command"] == (
+            "repro-sta atpg"
+        )
+        names = [e["name"] for e in chrome["traceEvents"]
+                 if e["ph"] == "X"]
+        assert "cli.atpg" in names
+
+    def test_diff_of_identical_traces(self, trace, capsys):
+        capsys.readouterr()
+        assert main(["obs", "diff", str(trace), str(trace)]) == 0
+        assert "metric-identical" in capsys.readouterr().out
+
+    def test_diff_of_different_runs(self, trace, tmp_path, capsys):
+        other = tmp_path / "bigger.jsonl"
+        assert main([
+            "atpg", "c17", "--faults", "4", "--no-spice-check",
+            "--trace-json", str(other),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", str(trace), str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "atpg.faults: 2 -> 4  (+2)" in out
+        assert "manifest:" in out  # --faults differs in args
+
+    def test_diff_requires_second_trace(self, trace, capsys):
+        assert main(["obs", "diff", str(trace)]) == 2
+        assert "two trace files" in capsys.readouterr().err
+
+    def test_unreadable_trace_errors(self, tmp_path, capsys):
+        assert main(["obs", "show", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_unreadable_second_trace_errors(self, trace, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["obs", "diff", str(trace), str(missing)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_mc_json_embeds_run_manifest(self, tmp_path):
+        out_path = tmp_path / "mc.json"
+        assert main([
+            "mc", "c17", "--samples", "16", "--seed", "3", "--block", "8",
+            "--json", str(out_path),
+        ]) == 0
+        summary = json.loads(out_path.read_text())
+        manifest = summary["run_manifest"]
+        assert manifest["command"] == "repro-sta mc"
+        assert manifest["seeds"] == [3]
+        assert manifest["circuit"] == "c17"

@@ -140,6 +140,31 @@ class TestCampaign:
         key = lambda r: sorted((o.oracle, o.index, o.ok) for o in r.outcomes)  # noqa: E731
         assert key(serial) == key(parallel)
 
+    def test_parallel_warns_that_workers_are_uninstrumented(self, tmp_path):
+        from repro.obs import use_registry
+
+        config = FuzzConfig(
+            oracles=("kernels",), cases=2, seed=5, jobs=2,
+            artifact_dir=tmp_path,
+        )
+        with use_registry():
+            with pytest.warns(RuntimeWarning, match="uninstrumented"):
+                run_fuzz(config)
+
+    def test_serial_instrumented_run_does_not_warn(self, tmp_path):
+        import warnings
+
+        from repro.obs import use_registry
+
+        config = FuzzConfig(
+            oracles=("kernels",), cases=2, seed=5,
+            artifact_dir=tmp_path,
+        )
+        with use_registry():
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                run_fuzz(config)
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             FuzzConfig(cases=None, time_budget=None)

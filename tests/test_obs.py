@@ -154,7 +154,8 @@ class TestEmitters:
         # Every line parses as standalone JSON.
         lines = path.read_text().strip().splitlines()
         events = [json.loads(line) for line in lines]
-        assert events[0] == {"type": "meta", "version": 1}
+        assert events[0] == {"type": "meta", "version": 2}
+        assert events[1]["type"] == "manifest"
         assert snapshot_from_trace(read_trace(path)) == reg.snapshot()
 
     def test_trace_contains_spans(self):
