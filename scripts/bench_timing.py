@@ -8,6 +8,9 @@ refinement per fault, fresh faulty simulator per candidate vector):
 
 * **STA full pass** — ``TimingAnalyzer.analyze()`` over a benchmark
   circuit (batched NumPy corner kernels vs. the scalar reference).
+* **STA full pass, level engine** — the level-compiled
+  structure-of-arrays pass (``repro.sta.compile``) vs. the scalar
+  reference on the two largest packaged circuits.
 * **ITR per-decision refine** — ``refine_incremental`` over a decision
   sequence (the gate-propagation memo makes the untouched cone free).
 * **ATPG fault throughput** — ``run_all`` over a random fault list with
@@ -219,6 +222,47 @@ def bench_sta(circuit, library, passes):
     return out
 
 
+def bench_sta_level(circuits, library, passes):
+    """Full-pass STA: level-compiled SoA engine vs. the seed scalar path.
+
+    The baseline leg times fresh seed-structure scalar analyzers (one
+    full pass each); the level leg compiles once per circuit and times
+    the compiled forward pass, which is how the engine is used (compile
+    cost is reported separately as ``compile_s``).  Results are
+    bit-identical — the ``test_sta_compile`` parity suite and the
+    ``level`` fuzz oracle enforce that; this only measures time.
+    """
+    from repro.sta.compile import LevelCompiledAnalyzer
+
+    out = {"passes": passes, "circuits": {}}
+    total_base = total_level = 0.0
+    for circuit in circuits:
+        def scalar_pass(circuit=circuit):
+            return TimingAnalyzer(
+                circuit, library, perf=BASELINE
+            ).analyze()
+
+        with _seed_scalar_layer():
+            base_s, _ = _best_of(passes, scalar_pass)
+        started = time.perf_counter()
+        analyzer = LevelCompiledAnalyzer(circuit, library)
+        compile_s = time.perf_counter() - started
+        level_s, _ = _best_of(passes, analyzer.analyze)
+        entry = {
+            "baseline_s_per_pass": base_s,
+            "level_s_per_pass": level_s,
+            "compile_s": compile_s,
+            "speedup": base_s / level_s,
+        }
+        out["circuits"][circuit.name] = entry
+        total_base += base_s
+        total_level += level_s
+    out["baseline_s_per_pass"] = total_base
+    out["level_s_per_pass"] = total_level
+    out["speedup"] = total_base / total_level
+    return out
+
+
 def bench_itr(circuit, library, decisions, repeats):
     """Per-decision incremental refinement, search-style.
 
@@ -389,6 +433,13 @@ def main():
     }
     print("benchmarking STA full pass ...", flush=True)
     report["sta_full_pass"] = bench_sta(sta_circuit, library, passes)
+    print("benchmarking STA full pass (level engine) ...", flush=True)
+    level_circuits = [
+        load_packaged_bench(name) for name in ("c5315s", "c7552s")
+    ]
+    report["sta_full_pass_level"] = bench_sta_level(
+        level_circuits, library, passes
+    )
     print("benchmarking ITR per-decision refine ...", flush=True)
     report["itr_refine"] = bench_itr(itr_circuit, library, decisions, repeats)
     print("benchmarking ATPG fault throughput ...", flush=True)
@@ -409,7 +460,10 @@ def main():
     )
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
-    for name in ("sta_full_pass", "itr_refine", "atpg_with_itr", "mc"):
+    for name in (
+        "sta_full_pass", "sta_full_pass_level", "itr_refine",
+        "atpg_with_itr", "mc",
+    ):
         entry = report[name]
         speedup = entry.get("speedup", entry.get("speedup_serial"))
         print(f"  {name}: {speedup:.2f}x")

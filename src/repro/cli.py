@@ -70,6 +70,7 @@ from .obs import (
 )
 from .obs.manifest import MANIFEST_FIELDS, attach_manifest
 from .sta import (
+    PerfConfig,
     PiStimulus,
     TimingAnalyzer,
     TimingReporter,
@@ -94,9 +95,10 @@ def _cmd_sta(args: argparse.Namespace) -> int:
     library = CellLibrary.load_default()
     print(f"{circuit!r}")
     rows = []
+    perf = PerfConfig(engine=getattr(args, "engine", "gate"))
     for label, model in (("proposed", VShapeModel()),
                          ("pin2pin", PinToPinModel())):
-        result = TimingAnalyzer(circuit, library, model).analyze()
+        result = TimingAnalyzer(circuit, library, model, perf=perf).analyze()
         rows.append((label, result))
         print(f"\n[{label}] per-output windows (ns):")
         for po in circuit.outputs[: args.max_outputs]:
@@ -147,6 +149,7 @@ def _cmd_mc(args: argparse.Namespace) -> int:
             seed=args.seed,
             jobs=args.jobs,
             block=args.block,
+            engine=getattr(args, "engine", "gate"),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -628,6 +631,9 @@ def build_parser() -> argparse.ArgumentParser:
                          parents=[common])
     sta.add_argument("circuit", help=".bench path or packaged name (c17...)")
     sta.add_argument("--max-outputs", type=int, default=8)
+    sta.add_argument("--engine", choices=("gate", "level"), default="gate",
+                     help="forward-pass engine: per-gate kernels or the "
+                     "level-compiled SoA pass (bit-identical results)")
     sta.set_defaults(func=_cmd_sta)
 
     mc = sub.add_parser(
@@ -660,6 +666,9 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--quantiles", default="0.5,0.95,0.99",
                     metavar="Q,...", help="delay/slack quantiles to "
                     "report (default: 0.5,0.95,0.99)")
+    mc.add_argument("--engine", choices=("gate", "level"), default="gate",
+                    help="per-block forward-pass engine (bit-identical "
+                    "results either way)")
     mc.add_argument("--model", choices=sorted(MC_MODELS),
                     default="vshape", help="delay model (default: vshape)")
     mc.add_argument("--period", type=float, default=None, metavar="NS",

@@ -7,6 +7,9 @@ plus a physical ground-truth check:
 * ``kernels``   — batched NumPy corner kernels vs. the scalar corner
   search, across delay models, bit for bit;
 * ``memo``      — propagation-memo analyzer vs. memo-free, bit for bit;
+* ``level``     — the level-compiled structure-of-arrays pass
+  (``PerfConfig(engine="level")``) vs. the scalar corner search, bit
+  for bit;
 * ``itr``       — incremental refinement under a random decision
   sequence, fast timing core vs. scalar reference;
 * ``atpg-jobs`` — fault-parallel ATPG (``jobs=2``) vs. the serial path:
@@ -242,6 +245,32 @@ register_oracle(Oracle(
                 "(coarse-quantum keys, tag-verified hits)",
     generate=_gen_memo,
     check=_check_memo,
+    supports_pi_windows=True,
+))
+
+
+# ----------------------------------------------------------------------
+# level: level-compiled SoA pass vs. scalar corner search
+# ----------------------------------------------------------------------
+def _gen_level(rng: random.Random) -> FuzzCase:
+    return FuzzCase(
+        oracle="level",
+        circuit=gen.random_circuit_dict(rng),
+        sta=gen.random_sta_dict(rng),
+        models=gen.random_models(rng),
+    )
+
+
+def _check_level(case: FuzzCase) -> OracleResult:
+    return _compare_sta(case, PerfConfig(engine="level"))
+
+
+register_oracle(Oracle(
+    name="level",
+    description="level-compiled structure-of-arrays pass vs. scalar "
+                "corner search (bit-identical STA windows)",
+    generate=_gen_level,
+    check=_check_level,
     supports_pi_windows=True,
 ))
 

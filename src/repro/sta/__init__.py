@@ -8,6 +8,11 @@ from .analysis import (
     Violation,
 )
 from .cache import PropagationCache
+from .compile import (
+    CompiledCircuit,
+    CompiledWindows,
+    LevelCompiledAnalyzer,
+)
 from .corners import (
     CtrlInput,
     arc_fanin_window,
@@ -29,10 +34,13 @@ from .windows import (
 )
 
 __all__ = [
+    "CompiledCircuit",
+    "CompiledWindows",
     "CtrlInput",
     "DEFINITE",
     "DirWindow",
     "IMPOSSIBLE",
+    "LevelCompiledAnalyzer",
     "LineRequired",
     "LineTiming",
     "POTENTIAL",

@@ -81,6 +81,12 @@ class PerfConfig:
         memo_quantum: Quantization step (seconds) for memo hash keys;
             exactness is guaranteed by tag verification, so this only
             affects hash bucketing.
+        engine: Forward-pass engine: ``"gate"`` walks the circuit one
+            gate at a time (required by ITR/ATPG incremental use);
+            ``"level"`` compiles the circuit into the level-ordered
+            structure-of-arrays form of :mod:`repro.sta.compile` and
+            evaluates each level in a handful of NumPy ops — the same
+            windows, bit for bit, at a fraction of the full-pass cost.
     """
 
     batched_kernels: bool = True
@@ -88,6 +94,36 @@ class PerfConfig:
     memo_enabled: bool = True
     memo_max_entries: int = 100_000
     memo_quantum: float = 1e-15
+    engine: str = "gate"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("gate", "level"):
+            raise ValueError(f"unknown STA engine {self.engine!r}")
+
+
+def compute_loads(
+    circuit: Circuit, library: CellLibrary, config: StaConfig
+) -> Dict[str, float]:
+    """Capacitive load per line: fan-in caps plus PO/dangling loads.
+
+    Shared by :class:`TimingAnalyzer` and the level-compiled engine so
+    both see bit-identical load values.
+    """
+    loads: Dict[str, float] = {}
+    outputs = set(circuit.outputs)
+    for line in circuit.lines:
+        total = 0.0
+        for sink in circuit.fanouts(line):
+            cell = library.cell(sink.cell_name())
+            for pin, inp in enumerate(sink.inputs):
+                if inp == line:
+                    total += cell.input_caps[pin]
+        if line in outputs:
+            total += config.po_load
+        elif not circuit.fanouts(line):
+            total += config.dangling_load
+        loads[line] = total
+    return loads
 
 
 @dataclasses.dataclass
@@ -175,6 +211,7 @@ class TimingAnalyzer:
             else None
         )
         self._loads = self._compute_loads()
+        self._level = None  # lazily-built LevelCompiledAnalyzer
         self._cells: Dict[str, CellTiming] = {}
         for gate in circuit.gates.values():
             name = gate.cell_name()
@@ -185,21 +222,7 @@ class TimingAnalyzer:
     # Structure helpers
     # ------------------------------------------------------------------
     def _compute_loads(self) -> Dict[str, float]:
-        loads: Dict[str, float] = {}
-        outputs = set(self.circuit.outputs)
-        for line in self.circuit.lines:
-            total = 0.0
-            for sink in self.circuit.fanouts(line):
-                cell = self.library.cell(sink.cell_name())
-                for pin, inp in enumerate(sink.inputs):
-                    if inp == line:
-                        total += cell.input_caps[pin]
-            if line in outputs:
-                total += self.config.po_load
-            elif not self.circuit.fanouts(line):
-                total += self.config.dangling_load
-            loads[line] = total
-        return loads
+        return compute_loads(self.circuit, self.library, self.config)
 
     def load(self, line: str) -> float:
         """Capacitive load on ``line``, farads."""
@@ -224,8 +247,6 @@ class TimingAnalyzer:
         self, gate: Gate, timings: Dict[str, LineTiming]
     ) -> LineTiming:
         """Compute the output windows of one gate from its input windows."""
-        self._m_gates.inc()
-        self._m_corners.inc(2)  # one corner search per output direction
         cell = self.cell_of(gate)
         load = self.load(gate.output)
         if self._memo is None:
@@ -235,6 +256,9 @@ class TimingAnalyzer:
         )
         cached = self._memo.lookup(key, tag)
         if cached is not None:
+            # Memo hit: no corner search ran.  The work counters stay
+            # put; the hit itself is counted by ``sta.memo.hits`` inside
+            # the cache (consistent with the cross-worker merge rules).
             return cached
         result = self._propagate_windows(gate, cell, load, timings)
         self._memo.store(key, tag, result)
@@ -248,6 +272,8 @@ class TimingAnalyzer:
         timings: Dict[str, LineTiming],
     ) -> LineTiming:
         """The corner searches of one gate (batched or scalar path)."""
+        self._m_gates.inc()
+        self._m_corners.inc(2)  # one corner search per output direction
         ctx = self._kernels
         if ctx is not None and len(gate.inputs) < self.perf.batch_min_fanin:
             ctx = None  # narrow gate: scalar beats the array overhead
@@ -310,6 +336,15 @@ class TimingAnalyzer:
         Returns:
             Windows for every line in the circuit.
         """
+        if self.perf.engine == "level":
+            if self._level is None:
+                # Imported lazily: compile.py depends on this module.
+                from .compile import LevelCompiledAnalyzer
+
+                self._level = LevelCompiledAnalyzer(
+                    self.circuit, self.library, self.model, self.config
+                )
+            return self._level.analyze(pi_overrides=pi_overrides)
         timings: Dict[str, LineTiming] = {}
         with self._obs.timer("sta.forward_s"):
             default = self.pi_timing()

@@ -1,0 +1,1217 @@
+"""Level-compiled structure-of-arrays STA: the whole-circuit fast pass.
+
+:class:`repro.sta.analysis.TimingAnalyzer` walks the circuit one gate at
+a time; even with the batched corner kernels the full pass pays Python
+dispatch, window (un)boxing and memo bookkeeping per gate.  This module
+compiles circuit + library **once** into a level-ordered
+structure-of-arrays form and then evaluates each *level* in a handful of
+NumPy ops:
+
+* every line direction becomes one row of four big ``(2 * n_lines, B)``
+  arrays (``A_S`` / ``A_L`` / ``T_S`` / ``T_L``) plus a structural
+  ``(2 * n_lines,)`` state vector — rise rows first, fall rows offset by
+  ``n_lines``;
+* gates are grouped per level by *shape* (fan-in count and arc-table
+  layout, not cell name): per-cell coefficients — quadratic arc packs,
+  V-shape / Λ-peak surface coefficients, pair scales, multi-input ratio
+  tables — are stacked into per-gate columns, so a NAND2 and a NOR2 at
+  the same level ride through the same kernel invocation;
+* a forward pass gathers each group's input windows ``(P, G, B)``,
+  evaluates the DR / D0R / SR corner-candidate surfaces for all ``G``
+  gates at once — the same candidate sets as
+  :mod:`repro.sta.kernels`, with inactive fan-in lanes carried as NaN
+  and masked out of every reduction — and scatters the output windows.
+
+The trailing axis ``B`` generalizes the Monte Carlo engine's trailing
+sample axis (:mod:`repro.stat.engine`): it batches MC samples (via
+per-gate variation ``factors``) *and* boundary-condition scenarios (via
+``boundaries``) through the very same compiled pass.
+
+Exactness contract: the pass is **bit-identical** to the scalar
+reference and to :class:`TimingAnalyzer`.  Cube roots go through
+:func:`~repro.sta.kernels.cbrt_grid`; masked reductions pad with
+``±inf`` (identity under min/max); stacked surface evaluation repeats
+the exact expression of :mod:`repro.characterize.formulas` with
+per-gate coefficient columns (same IEEE ops per element); the
+pair-overlap predicate uses the exact ``a_s <= a_l + OVERLAP_TOL`` form
+of :meth:`~repro.sta.windows.DirWindow.overlaps_arrivals`; and every
+load adjustment is precomputed with the same scalar arithmetic the
+gate-level path uses.  The ``test_sta_compile`` parity suite and the
+``level`` fuzz oracle enforce this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..characterize.library import (
+    CellLibrary,
+    CellTiming,
+    SimultaneousTiming,
+    pair_key,
+)
+from ..circuit.netlist import Circuit, Gate
+from ..models.base import DelayModel
+from ..models.vshape import VShapeModel
+from ..obs import get_registry
+from .analysis import StaConfig, StaResult, compute_loads
+from .kernels import (
+    KernelContext,
+    _pair_combos,
+    _peak_delay,
+    _trans_v,
+    _v_delay,
+    cbrt_grid,
+    overlap_depth,
+    peak_anchor_surfaces,
+    quad_extremes_batch,
+    ratio_table,
+    trans_anchor_surfaces,
+    vshape_anchor_surfaces,
+)
+from .windows import (
+    DEFINITE,
+    IMPOSSIBLE,
+    OVERLAP_TOL,
+    POTENTIAL,
+    DirWindow,
+    LineTiming,
+)
+
+#: One boundary scenario: ((a_s, a_l), (t_s, t_l)) applied to every PI.
+Boundary = Tuple[Tuple[float, float], Tuple[float, float]]
+
+
+# ----------------------------------------------------------------------
+# Stacked surfaces: per-gate coefficient columns
+# ----------------------------------------------------------------------
+def _col(values: Sequence[float]) -> np.ndarray:
+    """(G, 1) coefficient column — broadcasts against (..., G, B)."""
+    return np.array(values, dtype=float)[:, None]
+
+
+@dataclasses.dataclass(frozen=True)
+class _StackedRoots:
+    """Per-gate columns of :class:`CubeRootSurface` coefficients.
+
+    ``eval_roots`` repeats the source expression verbatim, so each
+    element sees the exact float ops of its own cell's surface.
+    """
+
+    k_xy: np.ndarray
+    k_x: np.ndarray
+    k_y: np.ndarray
+    k_c: np.ndarray
+
+    def eval_roots(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.k_xy * x * y + self.k_x * x + self.k_y * y + self.k_c
+
+
+@dataclasses.dataclass(frozen=True)
+class _StackedQuad2:
+    """Per-gate columns of :class:`QuadForm2` coefficients."""
+
+    k0: np.ndarray
+    k1: np.ndarray
+    k2: np.ndarray
+    k3: np.ndarray
+    k4: np.ndarray
+    k5: np.ndarray
+
+    def eval_many(self, txs: np.ndarray, tys: np.ndarray) -> np.ndarray:
+        return (
+            self.k0 * txs * txs
+            + self.k1 * tys * tys
+            + self.k2 * txs * tys
+            + self.k3 * txs
+            + self.k4 * tys
+            + self.k5
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class _StackedLin2:
+    """Per-gate columns of :class:`LinForm2` coefficients."""
+
+    c0: np.ndarray
+    c1: np.ndarray
+    c2: np.ndarray
+
+    def eval_many(self, txs: np.ndarray, tys: np.ndarray) -> np.ndarray:
+        return self.c0 + self.c1 * txs + self.c2 * tys
+
+
+@dataclasses.dataclass(frozen=True)
+class _StackedShape:
+    """Per-gate columns of a :class:`SimultaneousTiming` record.
+
+    Duck-types the attribute surface the anchor primitives of
+    :mod:`repro.sta.kernels` touch (``d0`` / ``s_pos`` / ``s_neg`` /
+    ``t_vertex`` / ``t_vertex_skew``).
+    """
+
+    d0: _StackedRoots
+    s_pos: _StackedQuad2
+    s_neg: _StackedQuad2
+    t_vertex: _StackedRoots
+    t_vertex_skew: _StackedLin2
+
+    @classmethod
+    def from_shapes(cls, shapes: Sequence[SimultaneousTiming]) -> "_StackedShape":
+        return cls(
+            d0=_StackedRoots(
+                _col([s.d0.k_xy for s in shapes]),
+                _col([s.d0.k_x for s in shapes]),
+                _col([s.d0.k_y for s in shapes]),
+                _col([s.d0.k_c for s in shapes]),
+            ),
+            s_pos=_StackedQuad2(
+                *(
+                    _col([getattr(s.s_pos, k) for s in shapes])
+                    for k in ("k0", "k1", "k2", "k3", "k4", "k5")
+                )
+            ),
+            s_neg=_StackedQuad2(
+                *(
+                    _col([getattr(s.s_neg, k) for s in shapes])
+                    for k in ("k0", "k1", "k2", "k3", "k4", "k5")
+                )
+            ),
+            t_vertex=_StackedRoots(
+                _col([s.t_vertex.k_xy for s in shapes]),
+                _col([s.t_vertex.k_x for s in shapes]),
+                _col([s.t_vertex.k_y for s in shapes]),
+                _col([s.t_vertex.k_c for s in shapes]),
+            ),
+            t_vertex_skew=_StackedLin2(
+                _col([s.t_vertex_skew.c0 for s in shapes]),
+                _col([s.t_vertex_skew.c1 for s in shapes]),
+                _col([s.t_vertex_skew.c2 for s in shapes]),
+            ),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class _StackedPack:
+    """Per-gate columns of an :class:`~repro.sta.kernels.ArcPack`.
+
+    ``t_lo`` / ``t_hi`` are ``(A, G)``; the stacked quadratic families
+    ``q_*`` are ``(2, A, G)`` (delay row 0, transition row 1).
+    """
+
+    t_lo: np.ndarray
+    t_hi: np.ndarray
+    q_a2: np.ndarray
+    q_a1: np.ndarray
+    q_a0: np.ndarray
+    d_a2: np.ndarray
+    d_a1: np.ndarray
+    d_a0: np.ndarray
+
+    @classmethod
+    def from_packs(cls, packs: Sequence) -> "_StackedPack":
+        return cls(
+            t_lo=np.stack([p.t_lo for p in packs], axis=-1),
+            t_hi=np.stack([p.t_hi for p in packs], axis=-1),
+            q_a2=np.stack([p.q_a2 for p in packs], axis=-1),
+            q_a1=np.stack([p.q_a1 for p in packs], axis=-1),
+            q_a0=np.stack([p.q_a0 for p in packs], axis=-1),
+            d_a2=np.stack([p.d_a2 for p in packs], axis=-1),
+            d_a1=np.stack([p.d_a1 for p in packs], axis=-1),
+            d_a0=np.stack([p.d_a0 for p in packs], axis=-1),
+        )
+
+
+# ----------------------------------------------------------------------
+# Compiled gate groups
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class _CtrlGroup:
+    """Same-shape controlling-value gates of one level.
+
+    Gather/scatter arrays hold *rows* of the global SoA arrays; the
+    leading axis is the pin, the trailing axis the gate.
+    """
+
+    n_pins: int
+    pack: _StackedPack          # to-controlling arcs
+    npack: _StackedPack         # to-non-controlling arcs
+    ppack: Optional[_StackedPack]  # Λ-peak tails (None without peak data)
+    shape: Optional[_StackedShape]    # V-shape surfaces (None w/o merge)
+    peak: Optional[_StackedShape]     # Λ-peak surfaces
+    ctrl_rows: np.ndarray     # (P, G) input rows, controlling direction
+    nonctrl_rows: np.ndarray  # (P, G) input rows, non-controlling direction
+    out_ctrl: np.ndarray      # (G,) output rows of the ctrl response
+    out_nonctrl: np.ndarray   # (G,)
+    order_idx: np.ndarray     # (G,) rows into the MC factor matrix
+    gate_idx: np.ndarray      # (G, 1) arange(G) column for table lookups
+    d_adj_c: np.ndarray       # (G,) load-adjust terms (ctrl delay)
+    r_adj_c: np.ndarray
+    d_adj_n: np.ndarray
+    r_adj_n: np.ndarray
+    p_adj: Optional[np.ndarray]
+    scale_c: Optional[np.ndarray]   # (C, G) V-shape pair scales
+    pscale_c: Optional[np.ndarray]  # (C, G) Λ-peak pair scales
+    rt: Optional[np.ndarray]        # (P+1, G) multi-input delay ratios
+    rt_t: Optional[np.ndarray]      # (P+1, G) multi-input trans ratios
+    pa: Optional[np.ndarray]        # (pairs,) first member pin
+    pb: Optional[np.ndarray]        # (pairs,) second member pin
+
+
+@dataclasses.dataclass
+class _ArcDir:
+    """One output direction of an arc-table (inv/buf/xor) group."""
+
+    pack: _StackedPack    # (A, G) arc rows feeding this direction
+    in_rows: np.ndarray   # (A, G) input rows (pin + input direction)
+    out_rows: np.ndarray  # (G,)
+    d_adj: np.ndarray     # (G,)
+    r_adj: np.ndarray     # (G,)
+
+
+@dataclasses.dataclass
+class _ArcGroup:
+    """Same-shape arc-table gates of one level."""
+
+    order_idx: np.ndarray  # (G,)
+    dirs: Tuple[Optional[_ArcDir], Optional[_ArcDir]]  # (rise, fall)
+    no_arc_rows: np.ndarray  # output rows with no producing arc at all
+
+
+# ----------------------------------------------------------------------
+# Compiled circuit
+# ----------------------------------------------------------------------
+class CompiledCircuit:
+    """Circuit + library compiled into level-ordered SoA form.
+
+    Args:
+        circuit: Gate-level circuit under analysis.
+        library: Characterized cell library.
+        model: Delay model — decides whether the pair-merge layout and
+            the Λ-peak tail packs are compiled in.
+        config: STA boundary conditions (fixes the load vector).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: CellLibrary,
+        model: DelayModel,
+        config: StaConfig,
+    ) -> None:
+        self.circuit = circuit
+        self.lines: List[str] = circuit.lines
+        self.n_lines = len(self.lines)
+        self.line_index: Dict[str, int] = {
+            line: i for i, line in enumerate(self.lines)
+        }
+        order = circuit.topological_order()
+        self.n_gates = len(order)
+        order_pos = {line: i for i, line in enumerate(order)}
+        level_of = circuit.levelize()
+        loads = compute_loads(circuit, library, config)
+        self._merge = bool(getattr(model, "supports_pair_merge", False))
+        self._peak = hasattr(model, "nonctrl_shape")
+        ctx = KernelContext()
+        cells: Dict[str, CellTiming] = {}
+        for gate in circuit.gates.values():
+            name = gate.cell_name()
+            if name not in cells:
+                cells[name] = library.cell(name)
+
+        # Group gates per level by *shape*, not cell: every per-cell
+        # quantity is stacked into per-gate columns, so unlike cells
+        # with the same fan-in layout share one kernel invocation.
+        grouped: Dict[int, Dict[tuple, List[Gate]]] = {}
+        for out in order:
+            gate = circuit.gates[out]
+            cell = cells[gate.cell_name()]
+            if cell.controlling_value is not None and cell.n_inputs >= 2:
+                uses_peak = (
+                    self._peak and getattr(cell, "nonctrl", None) is not None
+                )
+                key = ("ctrl", cell.n_inputs, uses_peak)
+            else:
+                arcs_t = sum(
+                    1
+                    for pin in range(cell.n_inputs)
+                    for d in (True, False)
+                    if cell.has_arc(pin, d, True)
+                )
+                arcs_f = sum(
+                    1
+                    for pin in range(cell.n_inputs)
+                    for d in (True, False)
+                    if cell.has_arc(pin, d, False)
+                )
+                key = ("arc", cell.n_inputs, arcs_t, arcs_f)
+            grouped.setdefault(level_of[out], {}).setdefault(key, []).append(
+                gate
+            )
+        self.levels: List[List[Union[_CtrlGroup, _ArcGroup]]] = []
+        for lvl in sorted(grouped):
+            level_groups: List[Union[_CtrlGroup, _ArcGroup]] = []
+            for key in sorted(grouped[lvl]):
+                gates = grouped[lvl][key]
+                if key[0] == "ctrl":
+                    group: Union[_CtrlGroup, _ArcGroup] = self._build_ctrl(
+                        key, gates, cells, order_pos, loads, ctx
+                    )
+                else:
+                    group = self._build_arc(
+                        gates, cells, order_pos, loads, ctx
+                    )
+                level_groups.append(group)
+            self.levels.append(level_groups)
+        self.n_levels = len(self.levels)
+        self.n_groups = sum(len(groups) for groups in self.levels)
+
+    # ------------------------------------------------------------------
+    def row(self, line: str, rising: bool) -> int:
+        """Row of one line direction in the global SoA arrays."""
+        idx = self.line_index[line]
+        return idx if rising else idx + self.n_lines
+
+    def _build_ctrl(
+        self,
+        key: tuple,
+        gates: List[Gate],
+        cells: Dict[str, CellTiming],
+        order_pos: Dict[str, int],
+        loads: Dict[str, float],
+        ctx: KernelContext,
+    ) -> _CtrlGroup:
+        _, n_pins, uses_peak = key
+        gcells = [cells[g.cell_name()] for g in gates]
+        ctrl_rows = np.array(
+            [
+                [
+                    self.row(g.inputs[p], c.controlling_value == 1)
+                    for g, c in zip(gates, gcells)
+                ]
+                for p in range(n_pins)
+            ],
+            dtype=np.intp,
+        )
+        nonctrl_rows = np.array(
+            [
+                [
+                    self.row(g.inputs[p], c.controlling_value != 1)
+                    for g, c in zip(gates, gcells)
+                ]
+                for p in range(n_pins)
+            ],
+            dtype=np.intp,
+        )
+        # The per-gate load adjustments reuse the scalar arithmetic of
+        # the gate-at-a-time path, value for value.
+        gate_loads = [loads[g.output] for g in gates]
+        d_adj_c = np.array(
+            [
+                c.load_adjusted_delay(c.ctrl.out_rising, v)
+                for c, v in zip(gcells, gate_loads)
+            ]
+        )
+        r_adj_c = np.array(
+            [
+                c.load_adjusted_trans(c.ctrl.out_rising, v)
+                for c, v in zip(gcells, gate_loads)
+            ]
+        )
+        d_adj_n = np.array(
+            [
+                c.load_adjusted_delay(not c.ctrl.out_rising, v)
+                for c, v in zip(gcells, gate_loads)
+            ]
+        )
+        r_adj_n = np.array(
+            [
+                c.load_adjusted_trans(not c.ctrl.out_rising, v)
+                for c, v in zip(gcells, gate_loads)
+            ]
+        )
+        scale_c = pscale_c = rt = rt_t = pa = pb = None
+        shape = peak = None
+        p_adj = ppack = None
+        _, _, _, _, pairs = _pair_combos(n_pins)
+        if uses_peak:
+            ppack = _StackedPack.from_packs(
+                [ctx.peak_pack(c) for c in gcells]
+            )
+            peak = _StackedShape.from_shapes([c.nonctrl for c in gcells])
+            p_adj = np.array(
+                [
+                    c.load_adjusted_delay(c.nonctrl.out_rising, v)
+                    for c, v in zip(gcells, gate_loads)
+                ]
+            )
+            pscale_c = np.repeat(
+                np.array(
+                    [
+                        [
+                            c.nonctrl.pair_scale.get(pair_key(a, b), 1.0)
+                            for c in gcells
+                        ]
+                        for a, b in pairs
+                    ],
+                    dtype=float,
+                ),
+                4,
+                axis=0,
+            )
+        if self._merge:
+            shape = _StackedShape.from_shapes([c.ctrl for c in gcells])
+            scale_c = np.repeat(
+                np.array(
+                    [
+                        [
+                            c.ctrl.pair_scale.get(pair_key(a, b), 1.0)
+                            for c in gcells
+                        ]
+                        for a, b in pairs
+                    ],
+                    dtype=float,
+                ),
+                4,
+                axis=0,
+            )
+            rt = np.stack(
+                [ratio_table(c.ctrl.multi_scale, n_pins) for c in gcells],
+                axis=-1,
+            )
+            rt_t = np.stack(
+                [
+                    ratio_table(c.ctrl.trans_multi_scale, n_pins)
+                    for c in gcells
+                ],
+                axis=-1,
+            )
+            pa = np.array([a for a, _ in pairs], dtype=np.intp)
+            pb = np.array([b for _, b in pairs], dtype=np.intp)
+        return _CtrlGroup(
+            n_pins=n_pins,
+            pack=_StackedPack.from_packs([ctx.ctrl_pack(c) for c in gcells]),
+            npack=_StackedPack.from_packs(
+                [ctx.nonctrl_pack(c) for c in gcells]
+            ),
+            ppack=ppack,
+            shape=shape,
+            peak=peak,
+            ctrl_rows=ctrl_rows,
+            nonctrl_rows=nonctrl_rows,
+            out_ctrl=np.array(
+                [
+                    self.row(g.output, c.ctrl.out_rising)
+                    for g, c in zip(gates, gcells)
+                ],
+                dtype=np.intp,
+            ),
+            out_nonctrl=np.array(
+                [
+                    self.row(g.output, not c.ctrl.out_rising)
+                    for g, c in zip(gates, gcells)
+                ],
+                dtype=np.intp,
+            ),
+            order_idx=np.array(
+                [order_pos[g.output] for g in gates], dtype=np.intp
+            ),
+            gate_idx=np.arange(len(gates), dtype=np.intp)[:, None],
+            d_adj_c=d_adj_c,
+            r_adj_c=r_adj_c,
+            d_adj_n=d_adj_n,
+            r_adj_n=r_adj_n,
+            p_adj=p_adj,
+            scale_c=scale_c,
+            pscale_c=pscale_c,
+            rt=rt,
+            rt_t=rt_t,
+            pa=pa,
+            pb=pb,
+        )
+
+    def _build_arc(
+        self,
+        gates: List[Gate],
+        cells: Dict[str, CellTiming],
+        order_pos: Dict[str, int],
+        loads: Dict[str, float],
+        ctx: KernelContext,
+    ) -> _ArcGroup:
+        gcells = [cells[g.cell_name()] for g in gates]
+        gate_loads = [loads[g.output] for g in gates]
+        dirs: List[Optional[_ArcDir]] = []
+        no_arc: List[int] = []
+        for out_rising in (True, False):
+            # Per gate: the pack rows and (pin, in_rising) arcs feeding
+            # this output direction, in arc-table enumeration order.
+            per_gate = []
+            for g, c in zip(gates, gcells):
+                index, pack = ctx.fanin_pack(c, out_rising)
+                arcs = sorted(index.items(), key=lambda kv: kv[1])
+                per_gate.append((g, c, pack, arcs))
+            n_arcs = len(per_gate[0][3])
+            if n_arcs == 0:
+                no_arc.extend(
+                    self.row(g.output, out_rising) for g in gates
+                )
+                dirs.append(None)
+                continue
+            in_rows = np.array(
+                [
+                    [
+                        self.row(g.inputs[pin], in_rising)
+                        for (g, _, _, arcs) in per_gate
+                        for (pin, in_rising), _ in [arcs[a]]
+                    ]
+                    for a in range(n_arcs)
+                ],
+                dtype=np.intp,
+            )
+            dirs.append(
+                _ArcDir(
+                    pack=_StackedPack.from_packs(
+                        [p for _, _, p, _ in per_gate]
+                    ),
+                    in_rows=in_rows,
+                    out_rows=np.array(
+                        [self.row(g.output, out_rising) for g in gates],
+                        dtype=np.intp,
+                    ),
+                    d_adj=np.array(
+                        [
+                            c.load_adjusted_delay(out_rising, v)
+                            for c, v in zip(gcells, gate_loads)
+                        ]
+                    ),
+                    r_adj=np.array(
+                        [
+                            c.load_adjusted_trans(out_rising, v)
+                            for c, v in zip(gcells, gate_loads)
+                        ]
+                    ),
+                )
+            )
+        return _ArcGroup(
+            order_idx=np.array(
+                [order_pos[g.output] for g in gates], dtype=np.intp
+            ),
+            dirs=(dirs[0], dirs[1]),
+            no_arc_rows=np.array(no_arc, dtype=np.intp),
+        )
+
+
+# ----------------------------------------------------------------------
+# Compiled pass output
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class CompiledWindows:
+    """SoA windows of one compiled pass.
+
+    Rows index line x direction (rise rows first), columns index the
+    batch axis (MC samples or boundary scenarios).  ``states`` is
+    structural and shared by every column.
+    """
+
+    a_s: np.ndarray
+    a_l: np.ndarray
+    t_s: np.ndarray
+    t_l: np.ndarray
+    states: np.ndarray
+    line_index: Dict[str, int]
+    n_lines: int
+
+    @property
+    def n_columns(self) -> int:
+        return self.a_s.shape[1]
+
+    def row(self, line: str, rising: bool) -> int:
+        idx = self.line_index[line]
+        return idx if rising else idx + self.n_lines
+
+    def window(self, line: str, rising: bool, column: int = 0) -> DirWindow:
+        """One direction's :class:`DirWindow` (exact float round-trip)."""
+        r = self.row(line, rising)
+        state = int(self.states[r])
+        if state == IMPOSSIBLE:
+            return DirWindow.impossible()
+        return DirWindow(
+            a_s=float(self.a_s[r, column]),
+            a_l=float(self.a_l[r, column]),
+            t_s=float(self.t_s[r, column]),
+            t_l=float(self.t_l[r, column]),
+            state=state,
+        )
+
+    def line_timing(self, line: str, column: int = 0) -> LineTiming:
+        return LineTiming(
+            rise=self.window(line, True, column),
+            fall=self.window(line, False, column),
+        )
+
+
+# ----------------------------------------------------------------------
+# The analyzer
+# ----------------------------------------------------------------------
+class LevelCompiledAnalyzer:
+    """Forward STA over the compiled form — bit-identical, batched.
+
+    Args:
+        circuit: Gate-level circuit under analysis.
+        library: Characterized cell library.
+        model: Delay model (defaults to the proposed V-shape model).
+        config: Boundary conditions (fixes the compiled load vector).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: CellLibrary,
+        model: Optional[DelayModel] = None,
+        config: Optional[StaConfig] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.library = library
+        self.model = model if model is not None else VShapeModel()
+        self.config = config or StaConfig()
+        obs = get_registry()
+        self._obs = obs
+        with obs.timer("sta.compile.build_s"):
+            self.compiled = CompiledCircuit(
+                circuit, library, self.model, self.config
+            )
+        obs.gauge("sta.compile.levels").set(self.compiled.n_levels)
+        obs.gauge("sta.compile.groups").set(self.compiled.n_groups)
+        obs.gauge("sta.compile.gates").set(self.compiled.n_gates)
+        self._m_gates = obs.counter("sta.gates_evaluated")
+        self._m_corners = obs.counter("sta.corner_calls")
+        self._m_passes = obs.counter("sta.compile.passes")
+        self._m_cols = obs.counter("sta.compile.columns")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def analyze(
+        self, pi_overrides: Optional[Dict[str, LineTiming]] = None
+    ) -> StaResult:
+        """Single-scenario run; drop-in for ``TimingAnalyzer.analyze``."""
+        compiled = self.propagate(pi_overrides=pi_overrides)
+        result = self._extract(compiled, 0)
+        if self._obs.enabled:
+            widths = self._obs.histogram("sta.window_width_s")
+            for timing in result.timings.values():
+                for window in (timing.rise, timing.fall):
+                    if window.is_active:
+                        widths.observe(window.a_l - window.a_s)
+        return result
+
+    def analyze_boundaries(
+        self, boundaries: Sequence[Boundary]
+    ) -> List[StaResult]:
+        """One batched pass over many PI boundary scenarios.
+
+        Args:
+            boundaries: ``((a_s, a_l), (t_s, t_l))`` per scenario,
+                applied to every primary input.  Loads are fixed at
+                compile time, so only the PI windows may vary.
+
+        Returns:
+            One :class:`StaResult` per scenario, each bit-identical to
+            a separate ``analyze`` run under that boundary condition.
+        """
+        compiled = self.propagate(boundaries=boundaries)
+        return [
+            self._extract(compiled, b) for b in range(compiled.n_columns)
+        ]
+
+    def propagate(
+        self,
+        factors: Optional[np.ndarray] = None,
+        boundaries: Optional[Sequence[Boundary]] = None,
+        pi_overrides: Optional[Dict[str, LineTiming]] = None,
+    ) -> CompiledWindows:
+        """The compiled forward pass over a batch of B columns.
+
+        Args:
+            factors: Per-gate variation factors ``(n_gates, B)`` aligned
+                with ``circuit.topological_order()`` (Monte Carlo mode);
+                mutually exclusive with ``boundaries``.
+            boundaries: PI boundary scenarios, one column each.
+            pi_overrides: Per-PI windows replacing the default boundary
+                condition (broadcast across all columns).
+
+        Returns:
+            The raw SoA windows of every line direction.
+        """
+        cc = self.compiled
+        if factors is not None and boundaries is not None:
+            raise ValueError("factors and boundaries are mutually exclusive")
+        if factors is not None:
+            factors = np.asarray(factors, dtype=float)
+            if factors.ndim != 2 or factors.shape[0] != cc.n_gates:
+                raise ValueError(
+                    f"factor rows {factors.shape} != gates ({cc.n_gates},B)"
+                )
+            n_cols = factors.shape[1]
+        elif boundaries is not None:
+            n_cols = len(boundaries)
+            if n_cols == 0:
+                raise ValueError("need at least one boundary scenario")
+        else:
+            n_cols = 1
+        n_rows = 2 * cc.n_lines
+        a_s = np.full((n_rows, n_cols), np.nan)
+        a_l = np.full((n_rows, n_cols), np.nan)
+        t_s = np.full((n_rows, n_cols), np.nan)
+        t_l = np.full((n_rows, n_cols), np.nan)
+        states = np.full(n_rows, IMPOSSIBLE, dtype=np.int8)
+        self._init_pis(a_s, a_l, t_s, t_l, states, boundaries, pi_overrides)
+        arrays = (a_s, a_l, t_s, t_l)
+        with self._obs.timer("sta.compile.pass_s"):
+            for level in cc.levels:
+                for group in level:
+                    f = None if factors is None else factors[group.order_idx]
+                    if isinstance(group, _CtrlGroup):
+                        self._run_ctrl(group, f, arrays, states)
+                    else:
+                        self._run_arc(group, f, arrays, states)
+        self._m_passes.inc()
+        self._m_cols.inc(n_cols)
+        # Work accounting: one corner search per gate per direction,
+        # regardless of how many columns ride along.
+        self._m_gates.inc(cc.n_gates)
+        self._m_corners.inc(2 * cc.n_gates)
+        return CompiledWindows(
+            a_s, a_l, t_s, t_l, states, cc.line_index, cc.n_lines
+        )
+
+    # ------------------------------------------------------------------
+    # Boundary conditions
+    # ------------------------------------------------------------------
+    def _init_pis(
+        self,
+        a_s: np.ndarray,
+        a_l: np.ndarray,
+        t_s: np.ndarray,
+        t_l: np.ndarray,
+        states: np.ndarray,
+        boundaries: Optional[Sequence[Boundary]],
+        pi_overrides: Optional[Dict[str, LineTiming]],
+    ) -> None:
+        cc = self.compiled
+        if boundaries is not None:
+            arr_lo = np.array([arr[0] for arr, _ in boundaries], dtype=float)
+            arr_hi = np.array([arr[1] for arr, _ in boundaries], dtype=float)
+            trn_lo = np.array([trn[0] for _, trn in boundaries], dtype=float)
+            trn_hi = np.array([trn[1] for _, trn in boundaries], dtype=float)
+        else:
+            arr_lo, arr_hi = self.config.pi_arrival
+            trn_lo, trn_hi = self.config.pi_trans
+        for pi in self.circuit.inputs:
+            override = pi_overrides.get(pi) if pi_overrides else None
+            for rising in (True, False):
+                row = cc.row(pi, rising)
+                if override is not None:
+                    window = override.window(rising)
+                    if not window.is_active:
+                        continue  # stays IMPOSSIBLE / NaN
+                    states[row] = window.state
+                    a_s[row] = window.a_s
+                    a_l[row] = window.a_l
+                    t_s[row] = window.t_s
+                    t_l[row] = window.t_l
+                else:
+                    states[row] = POTENTIAL
+                    a_s[row] = arr_lo
+                    a_l[row] = arr_hi
+                    t_s[row] = trn_lo
+                    t_l[row] = trn_hi
+
+    # ------------------------------------------------------------------
+    # Per-group forward kernels
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scatter(
+        rows: np.ndarray,
+        ok: np.ndarray,
+        state: np.ndarray,
+        values: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        states: np.ndarray,
+    ) -> None:
+        """Write one output direction; gates with no active fan-in get
+        NaN fields so a missed mask surfaces in the parity tests."""
+        if ok.all():
+            for target, value in zip(arrays, values):
+                target[rows] = value
+            states[rows] = state.astype(np.int8)
+            return
+        okb = ok[:, None]
+        for target, value in zip(arrays, values):
+            target[rows] = np.where(okb, value, np.nan)
+        states[rows] = np.where(ok, state, IMPOSSIBLE).astype(np.int8)
+
+    def _run_arc(
+        self,
+        grp: _ArcGroup,
+        f: Optional[np.ndarray],
+        arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        states: np.ndarray,
+    ) -> None:
+        """Level-batched mirror of ``kernels.arc_fanin_window``."""
+        arr_a_s, arr_a_l, arr_t_s, arr_t_l = arrays
+        if grp.no_arc_rows.size:
+            states[grp.no_arc_rows] = IMPOSSIBLE
+        for d in grp.dirs:
+            if d is None:
+                continue
+            st_in = states[d.in_rows]  # (A, G)
+            act = st_in != IMPOSSIBLE
+            n_act = act.sum(axis=0)
+            all_act = bool(act.all())
+            t_s_in = arr_t_s[d.in_rows]  # (A, G, B)
+            t_l_in = arr_t_l[d.in_rows]
+            a_s_in = arr_a_s[d.in_rows]
+            a_l_in = arr_a_l[d.in_rows]
+            arc_lo = d.pack.t_lo[:, :, None]
+            arc_hi = d.pack.t_hi[:, :, None]
+            c_lo = np.minimum(np.maximum(t_s_in, arc_lo), arc_hi)
+            c_hi = np.minimum(np.maximum(t_l_in, arc_lo), arc_hi)
+            b_hi = np.maximum(c_hi, c_lo)
+            mins, maxs = quad_extremes_batch(
+                d.pack.q_a2[:, :, :, None],
+                d.pack.q_a1[:, :, :, None],
+                d.pack.q_a0[:, :, :, None],
+                c_lo, b_hi,
+            )
+            d_adj = d.d_adj[:, None]
+            r_adj = d.r_adj[:, None]
+            d_min = mins[0] + d_adj
+            d_max = maxs[0] + d_adj
+            r_min = mins[1] + r_adj
+            r_max = maxs[1] + r_adj
+            if f is not None:
+                d_min = d_min * f
+                d_max = d_max * f
+                r_min = r_min * f
+                r_max = r_max * f
+            lows = a_s_in + d_min
+            highs = a_l_in + d_max
+            if all_act:
+                out = (
+                    lows.min(axis=0),
+                    highs.max(axis=0),
+                    r_min.min(axis=0),
+                    r_max.max(axis=0),
+                )
+            else:
+                actb = act[:, :, None]
+                out = (
+                    np.where(actb, lows, np.inf).min(axis=0),
+                    np.where(actb, highs, -np.inf).max(axis=0),
+                    np.where(actb, r_min, np.inf).min(axis=0),
+                    np.where(actb, r_max, -np.inf).max(axis=0),
+                )
+            any_def = (st_in == DEFINITE).any(axis=0)
+            state = np.where(any_def & (n_act == 1), DEFINITE, POTENTIAL)
+            self._scatter(d.out_rows, n_act > 0, state, out, arrays, states)
+
+    def _run_ctrl(
+        self,
+        grp: _CtrlGroup,
+        f: Optional[np.ndarray],
+        arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        states: np.ndarray,
+    ) -> None:
+        """Level-batched mirror of ``kernels.ctrl_response_window`` and
+        ``kernels.nonctrl_response_window`` (one group, both outputs)."""
+        arr_a_s, arr_a_l, arr_t_s, arr_t_l = arrays
+
+        # ---- to-controlling response ----
+        st_in = states[grp.ctrl_rows]  # (P, G)
+        act = st_in != IMPOSSIBLE
+        def_ = st_in == DEFINITE
+        n_act = act.sum(axis=0)
+        all_act = bool(act.all())
+        t_s_in = arr_t_s[grp.ctrl_rows]  # (P, G, B)
+        t_l_in = arr_t_l[grp.ctrl_rows]
+        a_s_in = arr_a_s[grp.ctrl_rows]
+        a_l_in = arr_a_l[grp.ctrl_rows]
+        arc_lo = grp.pack.t_lo[:, :, None]
+        arc_hi = grp.pack.t_hi[:, :, None]
+        c_lo = np.minimum(np.maximum(t_s_in, arc_lo), arc_hi)
+        c_hi = np.minimum(np.maximum(t_l_in, arc_lo), arc_hi)
+        b_hi = np.maximum(c_hi, c_lo)
+        d_adj = grp.d_adj_c[:, None]  # (G, 1)
+        r_adj = grp.r_adj_c[:, None]
+        mins, maxs = quad_extremes_batch(
+            grp.pack.q_a2[:, :, :, None],
+            grp.pack.q_a1[:, :, :, None],
+            grp.pack.q_a0[:, :, :, None],
+            c_lo, b_hi,
+        )
+        d_min = mins[0] + d_adj
+        d_max = maxs[0] + d_adj
+        r_min = mins[1] + r_adj
+        r_max = maxs[1] + r_adj
+        if f is not None:
+            d_min = d_min * f
+            d_max = d_max * f
+            r_min = r_min * f
+            r_max = r_max * f
+        has_def = def_.any(axis=0)
+        upper = a_l_in + d_max
+        if all_act:
+            a_s = (a_s_in + d_min).min(axis=0)
+            t_s = r_min.min(axis=0)
+            t_l = r_max.max(axis=0)
+            no_def_al = upper.max(axis=0)
+        else:
+            actb = act[:, :, None]
+            a_s = np.where(actb, a_s_in + d_min, np.inf).min(axis=0)
+            t_s = np.where(actb, r_min, np.inf).min(axis=0)
+            t_l = np.where(actb, r_max, -np.inf).max(axis=0)
+            no_def_al = np.where(actb, upper, -np.inf).max(axis=0)
+        if has_def.any():
+            defb = def_[:, :, None]
+            a_l = np.where(
+                has_def[:, None],
+                np.where(defb, upper, np.inf).min(axis=0),
+                no_def_al,
+            )
+        else:
+            a_l = no_def_al
+        if grp.shape is not None:
+            # Pair merge: candidates involving an inactive lane carry
+            # NaN, fail every comparison and fall to the ±inf branch of
+            # np.where — so gates with < 2 active inputs self-mask.
+            overlap_k = overlap_depth(a_s_in, a_l_in)  # (G, B)
+            ratio = grp.rt[overlap_k, grp.gate_idx]
+            t_ratio = grp.rt_t[overlap_k, grp.gate_idx]
+            tc = np.stack([c_lo, c_hi], axis=1)  # (P, 2, G, B)
+            qa2e = grp.pack.q_a2[:, :, None, :, None]
+            qa1e = grp.pack.q_a1[:, :, None, :, None]
+            qa0e = grp.pack.q_a0[:, :, None, :, None]
+            drtr = (qa2e * tc + qa1e) * tc + qa0e  # (2, P, 2, G, B)
+            dr = drtr[0] + d_adj
+            tr = drtr[1] + r_adj
+            if f is not None:
+                dr = dr * f
+                tr = tr * f
+            ii, jj, ki, kj, pairs = _pair_combos(grp.n_pins)
+            t_lo_c = tc[ii, ki]  # (C, G, B)
+            t_hi_c = tc[jj, kj]
+            dr_lo = dr[ii, ki]
+            dr_hi = dr[jj, kj]
+            roots = (cbrt_grid(t_lo_c), cbrt_grid(t_hi_c))
+            d0, s_pos, s_neg = vshape_anchor_surfaces(
+                grp.shape, t_lo_c, t_hi_c, grp.scale_c[:, :, None],
+                dr_lo, dr_hi, d_adj, f=f, roots=roots,
+            )
+            asi, asj = a_s_in[ii], a_s_in[jj]
+            ali, alj = a_l_in[ii], a_l_in[jj]
+            blo = asj - ali
+            bhi = alj - asi
+            delta = np.stack(
+                [blo, bhi, asj - asi, np.zeros_like(blo), s_pos, -s_neg],
+                axis=1,
+            )  # (C, 6, G, B)
+            valid = (blo[:, None] <= delta) & (delta <= bhi[:, None])
+            dval = _v_delay(
+                delta, d0[:, None], s_pos[:, None], s_neg[:, None],
+                dr_lo[:, None], dr_hi[:, None],
+            )
+            floor = (
+                np.maximum(asi[:, None], asj[:, None] - delta)
+                + np.minimum(0.0, delta)
+            )
+            cand = np.where(valid, floor + dval, np.inf)
+            a_s = np.minimum(a_s, cand.min(axis=(0, 1)))
+            # Same tolerance and form as DirWindow.overlaps_arrivals.
+            pair_ov = (a_s_in[grp.pa] <= a_l_in[grp.pb] + OVERLAP_TOL) & (
+                a_s_in[grp.pb] <= a_l_in[grp.pa] + OVERLAP_TOL
+            )  # (pairs, G, B)
+            first = np.arange(len(pairs), dtype=np.intp) * 4
+            pair_floor = np.maximum(a_s_in[grp.pa], a_s_in[grp.pb])
+            extra = np.where(
+                pair_ov & (ratio < 1.0),
+                pair_floor + d0[first] * ratio,
+                np.inf,
+            )
+            a_s = np.minimum(a_s, extra.min(axis=0))
+
+            # ---- transition-time merge (SK_t,min rule) ----
+            vskew, vval, sp_t, sn_t = trans_anchor_surfaces(
+                grp.shape, t_lo_c, t_hi_c, tr[ii, ki], tr[jj, kj], r_adj,
+                f=f, roots=roots,
+            )
+            delta_t = np.minimum(np.maximum(vskew, blo), bhi)
+            tval = _trans_v(
+                delta_t, vskew, vval, sp_t, sn_t, tr[ii, ki], tr[jj, kj]
+            )
+            combo_ov = np.repeat(pair_ov, 4, axis=0)
+            tval = np.where(
+                combo_ov & (t_ratio < 1.0),
+                np.minimum(tval, vval * t_ratio),
+                tval,
+            )
+            if not all_act:
+                # Unlike the arrival candidates there is no validity
+                # filter here, so combos touching an inactive lane need
+                # an explicit mask before the reduction.
+                combo_act = np.repeat(act[grp.pa] & act[grp.pb], 4, axis=0)
+                tval = np.where(combo_act[:, :, None], tval, np.inf)
+            t_s = np.minimum(t_s, tval.min(axis=0))
+        a_s = np.minimum(a_s, a_l)
+        t_s = np.minimum(t_s, t_l)
+        state = np.where(has_def, DEFINITE, POTENTIAL)
+        self._scatter(
+            grp.out_ctrl, n_act > 0, state, (a_s, a_l, t_s, t_l),
+            arrays, states,
+        )
+
+        # ---- to-non-controlling response ----
+        st_in = states[grp.nonctrl_rows]
+        act = st_in != IMPOSSIBLE
+        def_ = st_in == DEFINITE
+        n_act = act.sum(axis=0)
+        all_act = bool(act.all())
+        t_s_in = arr_t_s[grp.nonctrl_rows]
+        t_l_in = arr_t_l[grp.nonctrl_rows]
+        a_s_in = arr_a_s[grp.nonctrl_rows]
+        a_l_in = arr_a_l[grp.nonctrl_rows]
+        arc_lo = grp.npack.t_lo[:, :, None]
+        arc_hi = grp.npack.t_hi[:, :, None]
+        c_lo = np.minimum(np.maximum(t_s_in, arc_lo), arc_hi)
+        b_hi = np.maximum(
+            np.minimum(np.maximum(t_l_in, arc_lo), arc_hi), c_lo
+        )
+        d_adj = grp.d_adj_n[:, None]
+        r_adj = grp.r_adj_n[:, None]
+        mins, maxs = quad_extremes_batch(
+            grp.npack.q_a2[:, :, :, None],
+            grp.npack.q_a1[:, :, :, None],
+            grp.npack.q_a0[:, :, :, None],
+            c_lo, b_hi,
+        )
+        d_min = mins[0] + d_adj
+        d_max = maxs[0] + d_adj
+        r_min = mins[1] + r_adj
+        r_max = maxs[1] + r_adj
+        if f is not None:
+            d_min = d_min * f
+            d_max = d_max * f
+            r_min = r_min * f
+            r_max = r_max * f
+        has_def = def_.any(axis=0)
+        lows = a_s_in + d_min
+        highs = a_l_in + d_max
+        if all_act:
+            no_def_as = lows.min(axis=0)
+            a_l = highs.max(axis=0)
+            t_s = r_min.min(axis=0)
+            t_l = r_max.max(axis=0)
+        else:
+            actb = act[:, :, None]
+            no_def_as = np.where(actb, lows, np.inf).min(axis=0)
+            a_l = np.where(actb, highs, -np.inf).max(axis=0)
+            t_s = np.where(actb, r_min, np.inf).min(axis=0)
+            t_l = np.where(actb, r_max, -np.inf).max(axis=0)
+        if has_def.any():
+            defb = def_[:, :, None]
+            a_s = np.where(
+                has_def[:, None],
+                np.where(defb, lows, -np.inf).max(axis=0),
+                no_def_as,
+            )
+        else:
+            a_s = no_def_as
+        if grp.ppack is not None:
+            p_adj = grp.p_adj[:, None]
+            p_lo = grp.ppack.t_lo[:, :, None]
+            p_hi = grp.ppack.t_hi[:, :, None]
+            tc = np.stack(
+                [
+                    np.minimum(np.maximum(t_s_in, p_lo), p_hi),
+                    np.minimum(np.maximum(t_l_in, p_lo), p_hi),
+                ],
+                axis=1,
+            )  # (P, 2, G, B)
+            tails = (
+                (grp.ppack.d_a2[:, None, :, None] * tc
+                 + grp.ppack.d_a1[:, None, :, None]) * tc
+                + grp.ppack.d_a0[:, None, :, None]
+                + p_adj
+            )
+            if f is not None:
+                tails = tails * f
+            ii, jj, ki, kj, pairs = _pair_combos(grp.n_pins)
+            tail_lo = tails[ii, ki]
+            tail_hi = tails[jj, kj]
+            p0, s_pos, s_neg = peak_anchor_surfaces(
+                grp.peak, tc[ii, ki], tc[jj, kj],
+                grp.pscale_c[:, :, None], tail_lo, tail_hi, p_adj, f=f,
+            )
+            asi, asj = a_s_in[ii], a_s_in[jj]
+            ali, alj = a_l_in[ii], a_l_in[jj]
+            blo = asj - ali
+            bhi = alj - asi
+            delta = np.stack(
+                [blo, bhi, alj - ali, np.zeros_like(blo), s_pos, -s_neg],
+                axis=1,
+            )
+            valid = (blo[:, None] <= delta) & (delta <= bhi[:, None])
+            dval = _peak_delay(
+                delta, p0[:, None], s_pos[:, None], s_neg[:, None],
+                tail_lo[:, None], tail_hi[:, None],
+            )
+            ceiling = (
+                np.minimum(ali[:, None], alj[:, None] - delta)
+                + np.maximum(0.0, delta)
+            )
+            cand = np.where(valid, ceiling + dval, -np.inf)
+            a_l = np.maximum(a_l, cand.max(axis=(0, 1)))
+        a_s = np.minimum(a_s, a_l)
+        state = np.where(has_def, DEFINITE, POTENTIAL)
+        self._scatter(
+            grp.out_nonctrl, n_act > 0, state, (a_s, a_l, t_s, t_l),
+            arrays, states,
+        )
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def _extract(self, compiled: CompiledWindows, column: int) -> StaResult:
+        # Bulk variant of CompiledWindows.line_timing: tolist() converts
+        # each float64 to the bit-identical Python float in one pass, and
+        # the windows of a finished pass satisfy the DirWindow invariants
+        # by construction (the parity suite proves them equal to the
+        # validated gate-engine output), so __init__ re-validation is
+        # skipped for the 2 * n_lines instances.
+        cc = self.compiled
+        n = cc.n_lines
+        a_s = compiled.a_s[:, column].tolist()
+        a_l = compiled.a_l[:, column].tolist()
+        t_s = compiled.t_s[:, column].tolist()
+        t_l = compiled.t_l[:, column].tolist()
+        states = compiled.states.tolist()
+        new = DirWindow.__new__
+        timings: Dict[str, LineTiming] = {}
+        for i, line in enumerate(cc.lines):
+            pair = []
+            for r in (i, i + n):
+                if states[r] == IMPOSSIBLE:
+                    pair.append(DirWindow.impossible())
+                    continue
+                w = new(DirWindow)
+                w.a_s = a_s[r]
+                w.a_l = a_l[r]
+                w.t_s = t_s[r]
+                w.t_l = t_l[r]
+                w.state = states[r]
+                pair.append(w)
+            timings[line] = LineTiming(rise=pair[0], fall=pair[1])
+        return StaResult(self.circuit, timings)

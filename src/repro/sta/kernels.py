@@ -27,7 +27,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..characterize.formulas import cbrt_many
 from ..characterize.library import CellTiming, TimingArc, pair_key
+from ..models.vshape import _S_FLOOR
 from .corners import CtrlInput, _multi_ratio, _overlap_count
 from .windows import DEFINITE, DirWindow, POTENTIAL
 
@@ -143,6 +145,122 @@ class KernelContext:
 # ----------------------------------------------------------------------
 # Vectorized primitives
 # ----------------------------------------------------------------------
+def cbrt_grid(values: np.ndarray) -> np.ndarray:
+    """Shape-preserving :func:`cbrt_many` (which only takes 1-D input)."""
+    arr = np.asarray(values, dtype=float)
+    return cbrt_many(arr.ravel()).reshape(arr.shape)
+
+
+def overlap_depth(a_s_in: np.ndarray, a_l_in: np.ndarray) -> np.ndarray:
+    """Per-column max arrival-window overlap depth.
+
+    Vectorized :func:`repro.sta.corners._overlap_count` over a leading
+    window axis: the sweep-line maximum equals, for each trailing-axis
+    element, the largest number of windows covering any window's start
+    instant.  Fan-ins are tiny (<= 5), so the O(k^2) pairwise
+    formulation beats sorting per element.
+    """
+    covers = (a_s_in[:, None, ...] <= a_s_in[None, :, ...]) & (
+        a_l_in[:, None, ...] >= a_s_in[None, :, ...]
+    )
+    return covers.sum(axis=0).max(axis=0)
+
+
+def ratio_table(scales: dict, max_k: int) -> np.ndarray:
+    """Lookup table k -> multi-input ratio (1.0 for k <= 2)."""
+    return np.array(
+        [
+            1.0 if k <= 2 else _multi_ratio(scales, k)
+            for k in range(max_k + 1)
+        ],
+        dtype=float,
+    )
+
+
+def vshape_anchor_surfaces(
+    ctrl,
+    t_lo: np.ndarray,
+    t_hi: np.ndarray,
+    scale: np.ndarray,
+    dr_lo: np.ndarray,
+    dr_hi: np.ndarray,
+    load_adj: float,
+    f: Optional[np.ndarray] = None,
+    roots: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """V-shape anchors (d0, s_pos, s_neg) of the candidate surfaces.
+
+    The any-shape core of :meth:`VShapeModel.vshape_anchors_batch`: the
+    caller supplies the precomputed load adjustment, an optional
+    per-element variation factor ``f`` (Monte Carlo) and optionally the
+    precomputed cube roots of the transition times.  With ``f`` omitted
+    the float operations match the model method bit for bit.
+    """
+    x, y = roots if roots is not None else (cbrt_grid(t_lo), cbrt_grid(t_hi))
+    d0 = ctrl.d0.eval_roots(x, y) * scale + load_adj
+    if f is not None:
+        d0 = d0 * f
+    d0 = np.minimum(np.minimum(d0, dr_lo), dr_hi)
+    s_pos = np.maximum(ctrl.s_pos.eval_many(t_lo, t_hi), _S_FLOOR)
+    s_neg = np.maximum(ctrl.s_neg.eval_many(t_lo, t_hi), _S_FLOOR)
+    if f is not None:
+        s_pos = s_pos * f
+        s_neg = s_neg * f
+    return d0, s_pos, s_neg
+
+
+def trans_anchor_surfaces(
+    ctrl,
+    t_lo: np.ndarray,
+    t_hi: np.ndarray,
+    tail_lo: np.ndarray,
+    tail_hi: np.ndarray,
+    load_adj: float,
+    f: Optional[np.ndarray] = None,
+    roots: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Transition-V anchors (vertex_skew, vertex_value, s_pos, s_neg)."""
+    x, y = roots if roots is not None else (cbrt_grid(t_lo), cbrt_grid(t_hi))
+    vertex_value = ctrl.t_vertex.eval_roots(x, y) + load_adj
+    vertex_skew = ctrl.t_vertex_skew.eval_many(t_lo, t_hi)
+    if f is not None:
+        vertex_value = vertex_value * f
+        vertex_skew = vertex_skew * f
+    s_pos = np.maximum(ctrl.s_pos.eval_many(t_lo, t_hi), _S_FLOOR)
+    s_neg = np.maximum(ctrl.s_neg.eval_many(t_lo, t_hi), _S_FLOOR)
+    if f is not None:
+        s_pos = s_pos * f
+        s_neg = s_neg * f
+    vertex_skew = np.minimum(np.maximum(vertex_skew, -s_neg), s_pos)
+    vertex_value = np.minimum(np.minimum(vertex_value, tail_lo), tail_hi)
+    return vertex_skew, vertex_value, s_pos, s_neg
+
+
+def peak_anchor_surfaces(
+    data,
+    t_lo: np.ndarray,
+    t_hi: np.ndarray,
+    scale: np.ndarray,
+    tail_lo: np.ndarray,
+    tail_hi: np.ndarray,
+    load_adj: float,
+    f: Optional[np.ndarray] = None,
+    roots: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Λ-peak anchors (p0, s_pos, s_neg) of the non-ctrl slow-down."""
+    x, y = roots if roots is not None else (cbrt_grid(t_lo), cbrt_grid(t_hi))
+    p0 = data.d0.eval_roots(x, y) * scale + load_adj
+    if f is not None:
+        p0 = p0 * f
+    p0 = np.maximum(np.maximum(p0, tail_lo), tail_hi)
+    s_pos = np.maximum(data.s_pos.eval_many(t_lo, t_hi), _S_FLOOR)
+    s_neg = np.maximum(data.s_neg.eval_many(t_lo, t_hi), _S_FLOOR)
+    if f is not None:
+        s_pos = s_pos * f
+        s_neg = s_neg * f
+    return p0, s_pos, s_neg
+
+
 def quad_extremes_batch(
     a2: np.ndarray,
     a1: np.ndarray,

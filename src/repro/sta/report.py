@@ -15,7 +15,14 @@ from typing import Dict, List, Optional
 
 from ..circuit.netlist import Circuit
 from .analysis import StaResult, TimingAnalyzer
-from .corners import pin_delay_bounds
+from .corners import (
+    CtrlInput,
+    _multi_ratio,
+    _overlap_count,
+    _pair_max_arrival_peak,
+    _pair_min_arrival,
+    pin_delay_bounds,
+)
 from .windows import LineRequired
 
 NS = 1e-9
@@ -89,10 +96,118 @@ class TimingReporter:
             return None
         return window.a_l if kind == "max" else window.a_s
 
+    def _merge_candidates(
+        self, gate, cell, load: float, rising: bool, kind: str
+    ) -> List[tuple]:
+        """Pair-merged arrival bounds no single arc reproduces.
+
+        The V-shape model's simultaneous-switching merge can set the
+        earliest ctrl-response bound (and the Λ-peak extension the latest
+        non-ctrl bound) from an input *pair*; the tracer must know those
+        candidates or it would reject a perfectly valid result.  Each
+        candidate is attributed to the pair member whose own bound keeps
+        the traced arrivals monotone.
+
+        Returns:
+            (bound, pin, in_line, in_rising) tuples.
+        """
+        model = self.analyzer.model
+        ctrl = cell.ctrl
+        if ctrl is None or cell.controlling_value is None or cell.n_inputs < 2:
+            return []
+        out: List[tuple] = []
+        if (
+            kind == "min"
+            and rising == ctrl.out_rising
+            and getattr(model, "supports_pair_merge", False)
+        ):
+            in_rising = cell.controlling_value == 1
+            active = [
+                CtrlInput(pin, self.result.line(l).window(in_rising))
+                for pin, l in enumerate(gate.inputs)
+                if self.result.line(l).window(in_rising).is_active
+            ]
+            if len(active) >= 2:
+                overlap = _overlap_count(active)
+                ratio = (
+                    _multi_ratio(ctrl.multi_scale, overlap)
+                    if overlap > 2 else 1.0
+                )
+                for idx, first in enumerate(active):
+                    for second in active[idx + 1:]:
+                        bound = _pair_min_arrival(
+                            cell, model, first, second, load
+                        )
+                        # The earliest-arriving member can have switched
+                        # by the pair floor, keeping arrivals monotone.
+                        lead = (
+                            first
+                            if first.window.a_s <= second.window.a_s
+                            else second
+                        )
+                        out.append(
+                            (bound, lead.pin, gate.inputs[lead.pin], in_rising)
+                        )
+                        if ratio < 1.0 and first.window.overlaps_arrivals(
+                            second.window
+                        ):
+                            floor = max(
+                                first.window.a_s, second.window.a_s
+                            )
+                            shape = model.vshape(
+                                cell, first.pin, second.pin,
+                                first.window.t_s, second.window.t_s, load,
+                            )
+                            late = (
+                                first
+                                if first.window.a_s >= second.window.a_s
+                                else second
+                            )
+                            out.append((
+                                floor + shape.d0 * ratio,
+                                late.pin,
+                                gate.inputs[late.pin],
+                                in_rising,
+                            ))
+        elif (
+            kind == "max"
+            and rising != ctrl.out_rising
+            and hasattr(model, "nonctrl_shape")
+            and getattr(cell, "nonctrl", None) is not None
+        ):
+            in_rising = cell.controlling_value == 0
+            active = [
+                CtrlInput(pin, self.result.line(l).window(in_rising))
+                for pin, l in enumerate(gate.inputs)
+                if self.result.line(l).window(in_rising).is_active
+            ]
+            if len(active) >= 2:
+                for idx, first in enumerate(active):
+                    for second in active[idx + 1:]:
+                        bound = _pair_max_arrival_peak(
+                            cell, model, first, second, load
+                        )
+                        lead = (
+                            first
+                            if first.window.a_l <= second.window.a_l
+                            else second
+                        )
+                        out.append(
+                            (bound, lead.pin, gate.inputs[lead.pin], in_rising)
+                        )
+        return out
+
     def _trace_step(
         self, line: str, rising: bool, kind: str
     ) -> Optional[PathStage]:
-        """Find the (input line, direction, pin) reproducing the bound."""
+        """Find the (input line, direction, pin) reproducing the bound.
+
+        Raises:
+            ValueError: If no arc reproduces the bound within ``_TOL`` —
+                e.g. a stale or foreign :class:`StaResult` was paired
+                with the wrong analyzer.  Returning the closest-but-wrong
+                arc would silently fabricate a path.
+        """
         gate = self.circuit.driver(line)
         if gate is None:
             return None
@@ -113,20 +228,43 @@ class TimingReporter:
                 )
                 if kind == "max":
                     bound = in_window.a_l + d_max
-                    gap = abs(bound - target)
                 else:
                     bound = in_window.a_s + d_min
-                    gap = abs(bound - target)
+                gap = abs(bound - target)
                 candidate = (gap, pin, in_line, in_rising)
                 if best is None or candidate[0] < best[0]:
                     best = candidate
-        if best is None:
-            return None
+        for bound, pin, in_line, in_rising in self._merge_candidates(
+            gate, cell, load, rising, kind
+        ):
+            gap = abs(bound - target)
+            candidate = (gap, pin, in_line, in_rising)
+            if best is None or candidate[0] < best[0]:
+                best = candidate
+        if best is None or best[0] > _TOL:
+            direction = "R" if rising else "F"
+            detail = (
+                f"closest arc misses by {best[0]:.3e} s"
+                if best is not None
+                else "no active input arc"
+            )
+            raise ValueError(
+                f"no input arc of {line}.{direction} reproduces its "
+                f"{kind} bound {target!r} within {_TOL:g} s ({detail}); "
+                "the result does not belong to this analyzer or is stale"
+            )
         _, pin, in_line, in_rising = best
+        arrival = self._bound(in_line, in_rising, kind)
+        if arrival is None:
+            # The chosen arc's window was active above; an inactive one
+            # here means the result mutated mid-trace.
+            raise ValueError(
+                f"input {in_line} lost its active window during the trace"
+            )
         return PathStage(
             line=in_line,
             rising=in_rising,
-            arrival=self._bound(in_line, in_rising, kind) or 0.0,
+            arrival=arrival,
             cell=cell.name,
             pin=pin,
         )

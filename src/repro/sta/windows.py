@@ -19,6 +19,12 @@ DEFINITE = 1
 POTENTIAL = 0
 IMPOSSIBLE = -1
 
+#: Default tolerance of the window containment/overlap predicates.  The
+#: vectorized overlap tests in :mod:`repro.sta.compile` and
+#: :mod:`repro.stat.engine` must use the same value to stay bit-identical
+#: with :meth:`DirWindow.overlaps_arrivals`.
+OVERLAP_TOL = 1e-13
+
 
 @dataclasses.dataclass
 class DirWindow:
@@ -67,7 +73,7 @@ class DirWindow:
         return cls(arrival, arrival, trans, trans, state)
 
     def contains_event(
-        self, arrival: float, trans: float, tol: float = 1e-13
+        self, arrival: float, trans: float, tol: float = OVERLAP_TOL
     ) -> bool:
         """Whether a concrete timed event lies inside this window."""
         if not self.is_active:
@@ -77,7 +83,9 @@ class DirWindow:
             and self.t_s - tol <= trans <= self.t_l + tol
         )
 
-    def contains_window(self, other: "DirWindow", tol: float = 1e-13) -> bool:
+    def contains_window(
+        self, other: "DirWindow", tol: float = OVERLAP_TOL
+    ) -> bool:
         """Whether ``other`` is entirely inside this window."""
         if not other.is_active:
             return True
@@ -96,11 +104,21 @@ class DirWindow:
             return 0.0
         return self.a_l - self.a_s
 
-    def overlaps_arrivals(self, other: "DirWindow") -> bool:
-        """Whether the two arrival ranges intersect (both active)."""
+    def overlaps_arrivals(
+        self, other: "DirWindow", tol: float = OVERLAP_TOL
+    ) -> bool:
+        """Whether the two arrival ranges intersect (both active).
+
+        The ``a_s <= a_l + tol`` form (rather than ``a_s - tol <= a_l``)
+        is load-bearing: the vectorized engines compute exactly this
+        expression, and the two forms can disagree within an ulp of the
+        tolerance boundary.
+        """
         if not (self.is_active and other.is_active):
             return False
-        return self.a_s <= other.a_l and other.a_s <= self.a_l
+        return (
+            self.a_s <= other.a_l + tol and other.a_s <= self.a_l + tol
+        )
 
 
 @dataclasses.dataclass

@@ -37,34 +37,33 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..characterize.formulas import cbrt_many
 from ..characterize.library import CellLibrary, CellTiming, pair_key
 from ..circuit.netlist import Circuit, Gate
 from ..models.base import DelayModel
-from ..models.vshape import _S_FLOOR, VShapeModel
+from ..models.vshape import VShapeModel
 from ..sta import kernels
 from ..sta.analysis import StaConfig, StaResult, TimingAnalyzer
-from ..sta.corners import _multi_ratio
+from ..sta.compile import LevelCompiledAnalyzer
 from ..sta.kernels import (
     _pair_combos,
     _peak_delay,
     _trans_v,
     _v_delay,
+    overlap_depth,
+    peak_anchor_surfaces,
     quad_extremes_batch,
+    ratio_table,
+    trans_anchor_surfaces,
+    vshape_anchor_surfaces,
 )
 from ..sta.windows import (
     DEFINITE,
     IMPOSSIBLE,
+    OVERLAP_TOL,
     POTENTIAL,
     DirWindow,
     LineTiming,
 )
-
-
-def _cbrt(values: np.ndarray) -> np.ndarray:
-    """Shape-preserving :func:`cbrt_many` (which only takes 1-D input)."""
-    arr = np.asarray(values, dtype=float)
-    return cbrt_many(arr.ravel()).reshape(arr.shape)
 
 
 @dataclasses.dataclass
@@ -107,103 +106,6 @@ class SampleWindows:
 BlockWindows = Dict[str, Tuple[SampleWindows, SampleWindows]]
 
 
-def _overlap_depth(a_s_in: np.ndarray, a_l_in: np.ndarray) -> np.ndarray:
-    """Per-sample max arrival-window overlap depth.
-
-    Vectorized :func:`repro.sta.corners._overlap_count`: the sweep-line
-    maximum equals, for each sample, the largest number of windows
-    covering any window's start instant.  Fan-ins are tiny (<= 5), so
-    the O(k^2) pairwise formulation beats sorting per sample.
-    """
-    covers = (a_s_in[:, None, :] <= a_s_in[None, :, :]) & (
-        a_l_in[:, None, :] >= a_s_in[None, :, :]
-    )
-    return covers.sum(axis=0).max(axis=0)
-
-
-def _ratio_table(scales: dict, max_k: int) -> np.ndarray:
-    """Lookup table k -> multi-input ratio (1.0 for k <= 2)."""
-    return np.array(
-        [
-            1.0 if k <= 2 else _multi_ratio(scales, k)
-            for k in range(max_k + 1)
-        ],
-        dtype=float,
-    )
-
-
-# ----------------------------------------------------------------------
-# Anchor evaluation with the variation factor applied
-# ----------------------------------------------------------------------
-def _vshape_anchors(
-    cell: CellTiming,
-    t_lo: np.ndarray,
-    t_hi: np.ndarray,
-    scale: np.ndarray,
-    dr_lo: np.ndarray,
-    dr_hi: np.ndarray,
-    load: float,
-    f: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """:meth:`VShapeModel.vshape_anchors_batch` scaled by ``f``.
-
-    ``dr_lo`` / ``dr_hi`` arrive already scaled; the surfaces are
-    evaluated at the *nominal* clamped transition times and their
-    time-valued outputs stretched by ``f``.
-    """
-    ctrl = cell.ctrl
-    load_adj = cell.load_adjusted_delay(ctrl.out_rising, load)
-    x, y = _cbrt(t_lo), _cbrt(t_hi)
-    d0 = (ctrl.d0.eval_roots(x, y) * scale + load_adj) * f
-    d0 = np.minimum(np.minimum(d0, dr_lo), dr_hi)
-    s_pos = np.maximum(ctrl.s_pos.eval_many(t_lo, t_hi), _S_FLOOR) * f
-    s_neg = np.maximum(ctrl.s_neg.eval_many(t_lo, t_hi), _S_FLOOR) * f
-    return d0, s_pos, s_neg
-
-
-def _trans_anchors(
-    cell: CellTiming,
-    t_lo: np.ndarray,
-    t_hi: np.ndarray,
-    tail_lo: np.ndarray,
-    tail_hi: np.ndarray,
-    load: float,
-    f: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """:meth:`VShapeModel.trans_vshape_anchors_batch` scaled by ``f``."""
-    ctrl = cell.ctrl
-    load_adj = cell.load_adjusted_trans(ctrl.out_rising, load)
-    x, y = _cbrt(t_lo), _cbrt(t_hi)
-    vertex_value = (ctrl.t_vertex.eval_roots(x, y) + load_adj) * f
-    vertex_skew = ctrl.t_vertex_skew.eval_many(t_lo, t_hi) * f
-    s_pos = np.maximum(ctrl.s_pos.eval_many(t_lo, t_hi), _S_FLOOR) * f
-    s_neg = np.maximum(ctrl.s_neg.eval_many(t_lo, t_hi), _S_FLOOR) * f
-    vertex_skew = np.minimum(np.maximum(vertex_skew, -s_neg), s_pos)
-    vertex_value = np.minimum(np.minimum(vertex_value, tail_lo), tail_hi)
-    return vertex_skew, vertex_value, s_pos, s_neg
-
-
-def _peak_anchors(
-    cell: CellTiming,
-    t_lo: np.ndarray,
-    t_hi: np.ndarray,
-    scale: np.ndarray,
-    tail_lo: np.ndarray,
-    tail_hi: np.ndarray,
-    load: float,
-    f: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """:meth:`NonCtrlAwareModel.peak_anchors_batch` scaled by ``f``."""
-    data = cell.nonctrl
-    load_adj = cell.load_adjusted_delay(data.out_rising, load)
-    x, y = _cbrt(t_lo), _cbrt(t_hi)
-    p0 = (data.d0.eval_roots(x, y) * scale + load_adj) * f
-    p0 = np.maximum(np.maximum(p0, tail_lo), tail_hi)
-    s_pos = np.maximum(data.s_pos.eval_many(t_lo, t_hi), _S_FLOOR) * f
-    s_neg = np.maximum(data.s_neg.eval_many(t_lo, t_hi), _S_FLOOR) * f
-    return p0, s_pos, s_neg
-
-
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
@@ -215,6 +117,11 @@ class MonteCarloEngine:
         library: Characterized cell library.
         model: Delay model (defaults to the proposed V-shape model).
         config: STA boundary conditions.
+        engine: ``"gate"`` runs the per-gate sample-axis kernels of this
+            module; ``"level"`` delegates each block to the
+            level-compiled SoA pass (:mod:`repro.sta.compile`), whose
+            trailing batch axis generalizes the sample axis.  Both
+            produce bit-identical windows.
     """
 
     def __init__(
@@ -223,11 +130,24 @@ class MonteCarloEngine:
         library: CellLibrary,
         model: Optional[DelayModel] = None,
         config: Optional[StaConfig] = None,
+        engine: str = "gate",
     ) -> None:
+        if engine not in ("gate", "level"):
+            raise ValueError(
+                f"engine must be 'gate' or 'level', got {engine!r}"
+            )
         self.circuit = circuit
         self.library = library
         self.model = model if model is not None else VShapeModel()
         self.config = config or StaConfig()
+        self.engine = engine
+        self._level = (
+            LevelCompiledAnalyzer(
+                circuit, library, self.model, self.config
+            )
+            if engine == "level"
+            else None
+        )
         self.analyzer = TimingAnalyzer(
             circuit, library, self.model, self.config
         )
@@ -268,6 +188,11 @@ class MonteCarloEngine:
             raise ValueError(
                 f"factor rows ({factors.shape[0]}) != gates ({self.n_gates})"
             )
+        if self._level is not None:
+            # One compiled pass over the whole block: the level engine's
+            # batch axis is this engine's sample axis (both factor
+            # matrices align with topological order).
+            return self._from_compiled(self._level.propagate(factors))
         n = factors.shape[1]
         a_s, a_l = self.config.pi_arrival
         t_s, t_l = self.config.pi_trans
@@ -287,6 +212,31 @@ class MonteCarloEngine:
             windows[line] = self._propagate_gate(
                 self.circuit.gates[line], windows, factors[row]
             )
+        return windows
+
+    def _from_compiled(self, compiled) -> BlockWindows:
+        """View a compiled pass's SoA rows as :class:`SampleWindows`.
+
+        The per-line arrays are views into the compiled arrays — no
+        copies, and the float values are the compiled pass's, exactly.
+        """
+        windows: BlockWindows = {}
+        for line in self.circuit.lines:
+            pair = []
+            for rising in (True, False):
+                r = compiled.row(line, rising)
+                state = int(compiled.states[r])
+                if state == IMPOSSIBLE:
+                    pair.append(SampleWindows.impossible())
+                else:
+                    pair.append(
+                        SampleWindows(
+                            compiled.a_s[r], compiled.a_l[r],
+                            compiled.t_s[r], compiled.t_l[r],
+                            state,
+                        )
+                    )
+            windows[line] = (pair[0], pair[1])
         return windows
 
     def _propagate_gate(
@@ -377,9 +327,9 @@ class MonteCarloEngine:
         )
         if merge:
             # The overlap depth and the k-input ratios vary per sample.
-            overlap_k = _overlap_depth(a_s_in, a_l_in)
-            ratio = _ratio_table(ctrl.multi_scale, len(active))[overlap_k]
-            t_ratio = _ratio_table(
+            overlap_k = overlap_depth(a_s_in, a_l_in)
+            ratio = ratio_table(ctrl.multi_scale, len(active))[overlap_k]
+            t_ratio = ratio_table(
                 ctrl.trans_multi_scale, len(active)
             )[overlap_k]
             tc = np.stack([c_lo, c_hi], axis=1)  # (P, 2, N)
@@ -406,9 +356,9 @@ class MonteCarloEngine:
             t_hi_c = tc[jj, kj]
             dr_lo = dr[ii, ki]
             dr_hi = dr[jj, kj]
-            d0, s_pos, s_neg = _vshape_anchors(
-                cell, t_lo_c, t_hi_c, scale_c[:, None],
-                dr_lo, dr_hi, load, f,
+            d0, s_pos, s_neg = vshape_anchor_surfaces(
+                ctrl, t_lo_c, t_hi_c, scale_c[:, None],
+                dr_lo, dr_hi, d_adj, f=f,
             )
             asi, asj = a_s_in[ii], a_s_in[jj]
             ali, alj = a_l_in[ii], a_l_in[jj]
@@ -431,8 +381,10 @@ class MonteCarloEngine:
             a_s = np.minimum(a_s, cand.min(axis=(0, 1)))
             pa = np.array([a for a, _ in pairs], dtype=np.intp)
             pb = np.array([b for _, b in pairs], dtype=np.intp)
-            pair_ov = (a_s_in[pa] <= a_l_in[pb]) & (
-                a_s_in[pb] <= a_l_in[pa]
+            # Same tolerance as DirWindow.overlaps_arrivals, or the
+            # engines diverge on windows that barely touch.
+            pair_ov = (a_s_in[pa] <= a_l_in[pb] + OVERLAP_TOL) & (
+                a_s_in[pb] <= a_l_in[pa] + OVERLAP_TOL
             )  # (pairs, N)
             first = np.arange(len(pairs), dtype=np.intp) * 4
             pair_floor = np.maximum(a_s_in[pa], a_s_in[pb])
@@ -444,8 +396,8 @@ class MonteCarloEngine:
             a_s = np.minimum(a_s, extra.min(axis=0))
 
             # ---- transition-time merge (SK_t,min rule) ----
-            vskew, vval, sp_t, sn_t = _trans_anchors(
-                cell, t_lo_c, t_hi_c, tr[ii, ki], tr[jj, kj], load, f
+            vskew, vval, sp_t, sn_t = trans_anchor_surfaces(
+                ctrl, t_lo_c, t_hi_c, tr[ii, ki], tr[jj, kj], r_adj, f=f
             )
             delta_t = np.minimum(np.maximum(vskew, blo), bhi)
             tval = _trans_v(
@@ -549,9 +501,9 @@ class MonteCarloEngine:
             )
             tail_lo = tails[ii, ki]
             tail_hi = tails[jj, kj]
-            p0, s_pos, s_neg = _peak_anchors(
-                cell, tc[ii, ki], tc[jj, kj], scale_c[:, None],
-                tail_lo, tail_hi, load, f,
+            p0, s_pos, s_neg = peak_anchor_surfaces(
+                data, tc[ii, ki], tc[jj, kj], scale_c[:, None],
+                tail_lo, tail_hi, p_adj, f=f,
             )
             asi, asj = a_s_in[ii], a_s_in[jj]
             ali, alj = a_l_in[ii], a_l_in[jj]

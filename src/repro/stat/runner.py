@@ -83,6 +83,7 @@ def _pool_init(
     variation_fields: dict,
     seed: int,
     obs_enabled: bool = False,
+    engine: str = "gate",
 ) -> None:
     """Build one engine per worker process (per-block work reuses it).
 
@@ -110,7 +111,8 @@ def _pool_init(
     )
     _WORKER = {
         "engine": MonteCarloEngine(
-            circuit, library, MC_MODELS[model_name](), config
+            circuit, library, MC_MODELS[model_name](), config,
+            engine=engine,
         ),
         "variation": VariationModel.from_dict(variation_fields),
         "seed": seed,
@@ -143,6 +145,7 @@ def run_mc(
     seed: int = 0,
     jobs: int = 1,
     block: int = DEFAULT_BLOCK,
+    engine: str = "gate",
 ) -> McResult:
     """Variation-aware Monte Carlo STA over ``samples`` draws.
 
@@ -158,6 +161,10 @@ def run_mc(
         jobs: Worker processes; results are bit-identical at any value.
         block: Sample-block size (part of the result's identity — see
             the module docstring).
+        engine: Forward-pass engine per block: ``"gate"`` (per-gate
+            sample-axis kernels) or ``"level"`` (level-compiled SoA
+            pass).  Bit-identical either way — pure execution strategy,
+            like ``jobs``.
 
     Returns:
         Aggregated per-output delay distributions.
@@ -175,14 +182,16 @@ def run_mc(
     obs.counter("stat.mc.blocks").inc(len(blocks))
     block_hist = obs.histogram("stat.mc.block_s")
 
-    engine = MonteCarloEngine(circuit, library, MC_MODELS[model](), config)
+    mc_engine = MonteCarloEngine(
+        circuit, library, MC_MODELS[model](), config, engine=engine
+    )
     pieces: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
     with obs.timer("stat.mc.wall_s"):
         if jobs <= 1 or len(blocks) == 1:
             for start, size in blocks:
                 t0 = time.perf_counter()
                 pieces[start] = _run_block(
-                    engine, variation, seed, start, size
+                    mc_engine, variation, seed, start, size
                 )
                 block_hist.observe(time.perf_counter() - t0)
         else:
@@ -201,6 +210,7 @@ def run_mc(
                 variation.to_dict(),
                 seed,
                 obs.enabled,
+                engine,
             )
             workers = min(jobs, len(blocks))
             payloads: Dict[int, Optional[dict]] = {}
@@ -235,8 +245,8 @@ def run_mc(
         block=block,
         model=model,
         variation=variation,
-        nominal_max=engine.nominal.output_max_arrival(),
-        nominal_min=engine.nominal.output_min_arrival(),
+        nominal_max=mc_engine.nominal.output_max_arrival(),
+        nominal_min=mc_engine.nominal.output_min_arrival(),
         po_max=po_max,
         po_min=po_min,
     )

@@ -98,6 +98,37 @@ def test_impossible_windows_key_on_state():
     assert cache.lookup(key2, tag2) is not None
 
 
+def test_analyzer_counters_track_real_work():
+    # Work counters must mean what they say: ``sta.gates_evaluated`` is
+    # the number of corner searches actually run, so memo hits leave it
+    # (and ``sta.corner_calls``) untouched.
+    from repro.characterize.library import CellLibrary
+    from repro.circuit import load_packaged_bench
+    from repro.sta.analysis import TimingAnalyzer
+
+    registry = enable()
+    try:
+        circuit = load_packaged_bench("c432s")
+        analyzer = TimingAnalyzer(circuit, CellLibrary.load_default())
+        analyzer.analyze()
+        hits = registry.counter("sta.memo.hits").value
+        misses = registry.counter("sta.memo.misses").value
+        evaluated = registry.counter("sta.gates_evaluated").value
+        assert hits + misses == len(circuit.gates)
+        assert evaluated == misses
+        assert registry.counter("sta.corner_calls").value == 2 * evaluated
+        # Same inputs again: every gate hits the memo, no new work.
+        analyzer.analyze()
+        assert registry.counter("sta.memo.hits").value == hits + len(
+            circuit.gates
+        )
+        assert registry.counter("sta.memo.misses").value == misses
+        assert registry.counter("sta.gates_evaluated").value == evaluated
+        assert registry.counter("sta.corner_calls").value == 2 * evaluated
+    finally:
+        disable()
+
+
 def test_constructor_validation():
     with pytest.raises(ValueError):
         PropagationCache(max_entries=0, quantum=1e-15)

@@ -1,0 +1,182 @@
+"""Bit-parity and batching semantics of the level-compiled STA pass.
+
+``repro.sta.compile`` promises the same contract as every other fast
+path in this tree: **bit-identical** windows, on every line, in every
+direction, against the gate-at-a-time analyzer (itself parity-locked to
+the scalar reference by ``test_perf_parity``).  These tests hold the
+compiled pass to it across circuits, delay models, boundary-scenario
+batches, per-PI overrides, and the Monte Carlo sample axis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import load_packaged_bench
+from repro.models import NonCtrlAwareModel, PinToPinModel, VShapeModel
+from repro.sta import LevelCompiledAnalyzer
+from repro.sta.analysis import PerfConfig, StaConfig, TimingAnalyzer
+from repro.sta.windows import DirWindow, LineTiming
+from repro.stat.engine import MonteCarloEngine
+from tests.test_perf_parity import assert_results_equal
+
+NS = 1e-9
+
+MODELS = [VShapeModel, PinToPinModel, NonCtrlAwareModel]
+
+
+@pytest.mark.parametrize("model_cls", MODELS)
+@pytest.mark.parametrize("bench", ["c17", "c432s", "c880s"])
+def test_level_pass_parity(bench, model_cls, library):
+    """The compiled pass matches the gate engine bit for bit."""
+    circuit = load_packaged_bench(bench)
+    gate = TimingAnalyzer(circuit, library, model_cls()).analyze()
+    level = LevelCompiledAnalyzer(circuit, library, model_cls()).analyze()
+    assert_results_equal(circuit, gate, level)
+
+
+@pytest.mark.parametrize("model_cls", MODELS)
+@pytest.mark.parametrize("bench", ["c5315s", "c7552s"])
+def test_level_pass_parity_large(bench, model_cls, library):
+    """Parity holds on the largest packaged circuits too."""
+    circuit = load_packaged_bench(bench)
+    gate = TimingAnalyzer(circuit, library, model_cls()).analyze()
+    level = LevelCompiledAnalyzer(circuit, library, model_cls()).analyze()
+    assert_results_equal(circuit, gate, level)
+
+
+def test_engine_dispatch_through_perf_config(library, c880s):
+    """PerfConfig(engine='level') routes analyze() to the compiled pass."""
+    gate = TimingAnalyzer(c880s, library).analyze()
+    analyzer = TimingAnalyzer(
+        c880s, library, perf=PerfConfig(engine="level")
+    )
+    assert_results_equal(c880s, gate, analyzer.analyze())
+    # The compiled form is built once and reused across calls.
+    compiled = analyzer._level
+    assert compiled is not None
+    assert_results_equal(c880s, gate, analyzer.analyze())
+    assert analyzer._level is compiled
+
+
+def test_perf_config_rejects_unknown_engine():
+    with pytest.raises(ValueError, match="engine"):
+        PerfConfig(engine="warp")
+    with pytest.raises(ValueError, match="engine"):
+        MonteCarloEngine(
+            load_packaged_bench("c17"), None, engine="warp"
+        )
+
+
+def test_boundary_batch_matches_separate_analyses(library):
+    """One batched pass over B scenarios == B single-scenario analyses."""
+    circuit = load_packaged_bench("c432s")
+    scenarios = [
+        ((0.0, 0.0), (0.10 * NS, 0.10 * NS)),
+        ((0.0, 0.45 * NS), (0.08 * NS, 0.30 * NS)),
+        ((0.05 * NS, 0.20 * NS), (0.12 * NS, 0.18 * NS)),
+        ((0.0, 1.0 * NS), (0.05 * NS, 0.50 * NS)),
+    ]
+    analyzer = LevelCompiledAnalyzer(circuit, library)
+    batched = analyzer.analyze_boundaries(scenarios)
+    assert len(batched) == len(scenarios)
+    for scenario, result in zip(scenarios, batched):
+        arrival, trans = scenario
+        config = StaConfig(pi_arrival=arrival, pi_trans=trans)
+        single = TimingAnalyzer(circuit, library, config=config).analyze()
+        assert_results_equal(circuit, single, result)
+
+
+def test_pi_override_parity(library, c880s):
+    """Per-PI overrides flow through the compiled pass unchanged."""
+    overrides = {
+        c880s.inputs[0]: LineTiming(
+            rise=DirWindow(0.0, 0.3 * NS, 0.1 * NS, 0.2 * NS),
+            fall=DirWindow.impossible(),
+        ),
+        c880s.inputs[1]: LineTiming(
+            rise=DirWindow.point(0.05 * NS, 0.12 * NS),
+            fall=DirWindow.point(0.02 * NS, 0.15 * NS),
+        ),
+    }
+    gate = TimingAnalyzer(c880s, library).analyze(pi_overrides=overrides)
+    level = LevelCompiledAnalyzer(c880s, library).analyze(
+        pi_overrides=overrides
+    )
+    assert_results_equal(c880s, gate, level)
+
+
+def test_propagate_rejects_bad_batch_inputs(library):
+    circuit = load_packaged_bench("c17")
+    analyzer = LevelCompiledAnalyzer(circuit, library)
+    n = analyzer.compiled.n_gates
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        analyzer.propagate(
+            factors=np.ones((n, 2)),
+            boundaries=[((0.0, 0.0), (0.1 * NS, 0.1 * NS))],
+        )
+    with pytest.raises(ValueError, match="factor rows"):
+        analyzer.propagate(factors=np.ones((n + 1, 2)))
+    with pytest.raises(ValueError, match="boundary"):
+        analyzer.propagate(boundaries=[])
+
+
+@pytest.mark.parametrize("model_cls", [VShapeModel, NonCtrlAwareModel])
+def test_mc_level_engine_bitwise(model_cls, library):
+    """MC blocks through the compiled pass equal the per-gate engine."""
+    circuit = load_packaged_bench("c432s")
+    gate = MonteCarloEngine(circuit, library, model_cls())
+    level = MonteCarloEngine(circuit, library, model_cls(), engine="level")
+    rng = np.random.default_rng(5)
+    factors = 1.0 + 0.08 * rng.standard_normal((gate.n_gates, 7))
+    wg = gate.propagate(factors)
+    wl = level.propagate(factors)
+    for line in circuit.lines:
+        for direction in range(2):
+            a, b = wg[line][direction], wl[line][direction]
+            assert a.state == b.state, f"{line}[{direction}]"
+            if not a.is_active:
+                continue
+            for field in ("a_s", "a_l", "t_s", "t_l"):
+                assert np.array_equal(
+                    getattr(a, field), getattr(b, field)
+                ), f"{line}[{direction}].{field}"
+
+
+def test_run_mc_engine_invariance(library):
+    """run_mc results do not depend on the engine choice."""
+    from repro.stat import run_mc
+
+    circuit = load_packaged_bench("c432s")
+    kwargs = dict(samples=24, seed=9, block=8)
+    gate = run_mc(circuit, library, engine="gate", **kwargs)
+    level = run_mc(circuit, library, engine="level", **kwargs)
+    assert np.array_equal(gate.po_max, level.po_max)
+    assert np.array_equal(gate.po_min, level.po_min)
+
+
+def test_level_counters_account_per_gate(library):
+    """The compiled pass books one evaluation per gate per pass."""
+    from repro.obs import MetricsRegistry, get_registry, set_registry
+
+    circuit = load_packaged_bench("c432s")
+    previous = get_registry()
+    set_registry(MetricsRegistry())
+    try:
+        registry = get_registry()
+        analyzer = LevelCompiledAnalyzer(circuit, library)
+        n_gates = analyzer.compiled.n_gates
+        analyzer.analyze()
+        assert registry.counter("sta.gates_evaluated").value == n_gates
+        assert registry.counter("sta.corner_calls").value == 2 * n_gates
+        assert registry.counter("sta.compile.passes").value == 1
+        assert registry.counter("sta.compile.columns").value == 1
+        # A 5-column batch is still one pass of per-gate work.
+        analyzer.analyze_boundaries(
+            [((0.0, 0.0), (0.1 * NS, 0.1 * NS))] * 5
+        )
+        assert registry.counter("sta.gates_evaluated").value == 2 * n_gates
+        assert registry.counter("sta.corner_calls").value == 4 * n_gates
+        assert registry.counter("sta.compile.passes").value == 2
+        assert registry.counter("sta.compile.columns").value == 6
+    finally:
+        set_registry(previous)

@@ -63,6 +63,67 @@ class TestPathTracing:
         assert "primary input" in text
         assert "ns" in text
 
+    def test_trace_through_memoized_passes(self, c17, library):
+        # A second analyze() is served entirely from the memo; the trace
+        # must reproduce every stage bound exactly against those copies.
+        from repro.sta.analysis import PerfConfig
+
+        analyzer = TimingAnalyzer(
+            c17, library, VShapeModel(), perf=PerfConfig(memo_enabled=True)
+        )
+        first = TimingReporter(analyzer, analyzer.analyze()).critical_path()
+        second = TimingReporter(analyzer, analyzer.analyze()).critical_path()
+        assert [s.line for s in first.stages] == [
+            s.line for s in second.stages
+        ]
+        assert first.arrival == second.arrival
+
+    def test_trace_level_engine_result(self, c17, library):
+        # The level-compiled pass is bit-identical, so the gate-level
+        # tracer reproduces its bounds without slack.
+        from repro.sta.analysis import PerfConfig
+
+        gate = TimingAnalyzer(c17, library, VShapeModel())
+        gate_path = TimingReporter(gate, gate.analyze()).critical_path()
+        level = TimingAnalyzer(
+            c17, library, VShapeModel(), perf=PerfConfig(engine="level")
+        )
+        level_path = TimingReporter(
+            level, level.analyze()
+        ).critical_path()
+        assert [s.line for s in gate_path.stages] == [
+            s.line for s in level_path.stages
+        ]
+        assert gate_path.arrival == level_path.arrival
+
+    def test_trace_foreign_result_raises(self, c17, library):
+        # Pairing a result with an analyzer whose loads differ must
+        # raise, not fabricate the closest-looking path.
+        from repro.sta.analysis import StaConfig
+
+        analyzer = TimingAnalyzer(c17, library, VShapeModel())
+        other = TimingAnalyzer(
+            c17,
+            library,
+            VShapeModel(),
+            config=StaConfig(po_load=21e-15),
+        )
+        rep = TimingReporter(analyzer, other.analyze())
+        with pytest.raises(ValueError, match="stale"):
+            rep.critical_path()
+
+    def test_trace_tampered_result_raises(self, reporter, c17):
+        import copy
+
+        rep, analyzer, result = reporter
+        endpoint = rep.critical_path().endpoint
+        tampered = copy.deepcopy(result)
+        tampered.timings[endpoint].rise.a_l += 0.5 * NS
+        tampered.timings[endpoint].fall.a_l += 0.5 * NS
+        bad = TimingReporter(analyzer, tampered)
+        with pytest.raises(ValueError, match="stale"):
+            bad.critical_path()
+
 
 class TestSlackTable:
     def test_sorted_by_slack(self, reporter):
