@@ -11,6 +11,10 @@ refinement per fault, fresh faulty simulator per candidate vector):
 * **STA full pass, level engine** — the level-compiled
   structure-of-arrays pass (``repro.sta.compile``) vs. the scalar
   reference on the two largest packaged circuits.
+* **Incremental STA trials** — per-edit cost of
+  ``IncrementalAnalyzer`` what-if batches (``try_edits``, a K=32 size
+  ladder per gate) and solo re-times vs. the full level pass, on the
+  same two circuits.
 * **ITR per-decision refine** — ``refine_incremental`` over a decision
   sequence (the gate-propagation memo makes the untouched cone free).
 * **ATPG fault throughput** — ``run_all`` over a random fault list with
@@ -35,6 +39,7 @@ import contextlib
 import gc
 import json
 import os
+import random
 import sys
 import time
 from pathlib import Path
@@ -61,6 +66,7 @@ from repro.obs.manifest import (  # noqa: E402
     set_run_context,
 )
 from repro.sta.analysis import PerfConfig, TimingAnalyzer  # noqa: E402
+from repro.sta.incremental import IncrementalAnalyzer, TrialEdit  # noqa: E402
 from repro.stat import run_mc  # noqa: E402
 
 NS = 1e-9
@@ -397,6 +403,88 @@ def bench_mc(circuit, library, samples, baseline_passes, repeats):
     return out
 
 
+#: The K=32 size ladder a gate-sizing pass evaluates per candidate gate.
+_TRIAL_SIZES = (
+    0.5, 0.7, 1.0, 1.4, 2.0, 2.8, 4.0, 5.7, 8.0, 11.3, 16.0, 22.6,
+    0.35, 0.25, 3.4, 6.8, 1.2, 1.8, 2.4, 3.0, 4.8, 9.6, 0.6, 0.8,
+    1.1, 1.3, 1.6, 2.2, 2.6, 3.6, 5.0, 7.0,
+)
+
+
+def bench_sta_incremental(circuits, library, passes, trial_gates):
+    """Per-edit cost of incremental trials vs. the full level pass.
+
+    Three legs per circuit, measured in the *same run* so the ratios are
+    immune to machine drift: the full level-engine pass, a solo re-time
+    of one real resize edit (apply + revert, two cone replays), and the
+    gate-sizing optimizer's inner-loop shape — a K=32 size ladder on one
+    gate evaluated as a single ``try_edits`` batch, averaged over a
+    seeded random gate sample.  Bit-identity of all three against a
+    fresh scalar analysis is enforced by ``tests/test_incremental.py``
+    and the ``incremental`` fuzz oracle; this only measures time.
+    """
+    K = len(_TRIAL_SIZES)
+    out = {
+        "passes": passes,
+        "trial_k": K,
+        "trial_gates": trial_gates,
+        "circuits": {},
+    }
+    total_full = total_retime = total_trial = 0.0
+    for circuit in circuits:
+        analyzer = TimingAnalyzer(
+            circuit, library, perf=PerfConfig(engine="level")
+        )
+        incr = IncrementalAnalyzer(analyzer)
+        incr.analyze()
+        full_s, _ = _best_of(passes, analyzer.analyze)
+
+        # Solo re-time: one real edit, re-timed, then reverted (another
+        # re-time) — the per-edit figure halves the pair.
+        gate = max(circuit.gates, key=lambda g: len(circuit.fanouts(g)))
+        original = circuit.gates[gate].size
+
+        def retime_pair(gate=gate, original=original):
+            circuit.resize_gate(gate, original * 1.4)
+            incr.retime()
+            circuit.resize_gate(gate, original)
+            return incr.retime()
+
+        retime_s, _ = _best_of(passes, retime_pair)
+        retime_s /= 2.0
+
+        # Trial batches: K hypothetical sizes of one gate per batch.
+        rng = random.Random(12345)
+        lines = sorted(circuit.gates)
+        sample = [rng.choice(lines) for _ in range(trial_gates)]
+
+        def trial_round():
+            for g in sample:
+                incr.try_edits(
+                    [TrialEdit("resize", g, s) for s in _TRIAL_SIZES]
+                ).max_arrivals()
+
+        batch_s, _ = _best_of(passes, trial_round)
+        trial_s = batch_s / trial_gates / K
+        entry = {
+            "full_s_per_pass": full_s,
+            "retime_s_per_edit": retime_s,
+            "incr_s_per_edit": trial_s,
+            "speedup_retime": full_s / retime_s,
+            "speedup": full_s / trial_s,
+        }
+        out["circuits"][circuit.name] = entry
+        total_full += full_s
+        total_retime += retime_s
+        total_trial += trial_s
+    out["full_s_per_pass"] = total_full
+    out["retime_s_per_edit"] = total_retime
+    out["incr_s_per_edit"] = total_trial
+    out["speedup_retime"] = total_full / total_retime
+    out["speedup"] = total_full / total_trial
+    return out
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -440,6 +528,10 @@ def main():
     report["sta_full_pass_level"] = bench_sta_level(
         level_circuits, library, passes
     )
+    print("benchmarking incremental STA trials ...", flush=True)
+    report["sta_incremental"] = bench_sta_incremental(
+        level_circuits, library, passes, trial_gates=4 if args.quick else 12
+    )
     print("benchmarking ITR per-decision refine ...", flush=True)
     report["itr_refine"] = bench_itr(itr_circuit, library, decisions, repeats)
     print("benchmarking ATPG fault throughput ...", flush=True)
@@ -461,8 +553,8 @@ def main():
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     for name in (
-        "sta_full_pass", "sta_full_pass_level", "itr_refine",
-        "atpg_with_itr", "mc",
+        "sta_full_pass", "sta_full_pass_level", "sta_incremental",
+        "itr_refine", "atpg_with_itr", "mc",
     ):
         entry = report[name]
         speedup = entry.get("speedup", entry.get("speedup_serial"))

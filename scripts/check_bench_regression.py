@@ -46,6 +46,7 @@ DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_timing.json"
 GATED_METRICS = (
     ("sta_full_pass", "optimized_s_per_pass"),
     ("sta_full_pass_level", "level_s_per_pass"),
+    ("sta_incremental", "incr_s_per_edit"),
     ("itr_refine", "optimized_s_per_decision"),
     ("atpg_with_itr", "s_per_fault_optimized"),
     ("mc", "mc_s_per_sample"),

@@ -41,6 +41,8 @@ from .library import (
     TimingArc,
     arc_key,
     pair_key,
+    parse_sized_name,
+    sized_cell,
 )
 from .sweep import (
     BASE_ARRIVAL,
@@ -86,9 +88,11 @@ __all__ = [
     "pair_key",
     "pair_skew_sweep",
     "pair_skew_sweep_noncontrolling",
+    "parse_sized_name",
     "pin_to_pin_sweep",
     "plan_cell_jobs",
     "plan_nonctrl_jobs",
     "refine_minimum",
     "saturation_crossing",
+    "sized_cell",
 ]

@@ -13,10 +13,15 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .formulas import CubeRootSurface, LinForm2, QuadForm2, QuadPoly1
+
+#: Separator between a base cell name and a drive-strength suffix in a
+#: sized-variant name (``NAND2@X2.0``); see :func:`parse_sized_name`.
+SIZE_SEPARATOR = "@X"
 
 #: Name of the library shipped with the package (built by
 #: ``scripts/build_library.py`` against the generic 0.5 um technology).
@@ -174,13 +179,38 @@ class CellLibrary:
     cells: Dict[str, CellTiming]
     meta: Dict[str, object] = dataclasses.field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Materialized sized variants, keyed by full variant name.  Kept
+        # off ``cells`` so saved libraries never persist derived data.
+        self._sized_cache: Dict[str, CellTiming] = {}
+
     def cell(self, name: str) -> CellTiming:
+        """Look up a cell, materializing sized variants on demand.
+
+        ``name`` may be a characterized cell (``NAND2``) or a sized
+        variant (``NAND2@X2.0``, as produced by
+        :meth:`repro.circuit.Gate.cell_name`); variants are derived
+        deterministically from the characterized base cell via
+        :func:`sized_cell` and cached.
+        """
         try:
             return self.cells[name]
         except KeyError:
-            raise KeyError(
-                f"cell {name!r} not in library ({sorted(self.cells)})"
-            ) from None
+            pass
+        cached = self._sized_cache.get(name)
+        if cached is not None:
+            return cached
+        parsed = parse_sized_name(name)
+        if parsed is not None:
+            base_name, size = parsed
+            base = self.cells.get(base_name)
+            if base is not None:
+                variant = sized_cell(base, size, name=name)
+                self._sized_cache[name] = variant
+                return variant
+        raise KeyError(
+            f"cell {name!r} not in library ({sorted(self.cells)})"
+        ) from None
 
     def __contains__(self, name: str) -> bool:
         return name in self.cells
@@ -254,6 +284,56 @@ class CellLibrary:
                 f"packaged library {here} missing; run scripts/build_library.py"
             )
         return cls.load(here)
+
+
+# ----------------------------------------------------------------------
+# Sized variants
+# ----------------------------------------------------------------------
+def parse_sized_name(name: str) -> Optional[Tuple[str, float]]:
+    """Split ``"NAND2@X2.0"`` into ``("NAND2", 2.0)``.
+
+    Returns None for names without a well-formed, positive, finite size
+    suffix (including plain characterized-cell names).
+    """
+    base, sep, size_txt = name.partition(SIZE_SEPARATOR)
+    if not sep or not base:
+        return None
+    try:
+        size = float(size_txt)
+    except ValueError:
+        return None
+    if not math.isfinite(size) or size <= 0.0:
+        return None
+    return base, size
+
+
+def sized_cell(base: CellTiming, size: float, name: Optional[str] = None) -> CellTiming:
+    """Derive a drive-strength variant of a characterized cell.
+
+    A size-``S`` gate is modeled as ``S`` unit cells in parallel: every
+    delay/transition fit is the unit cell's evaluated at load ``C/S``.
+    That is expressible exactly in the characterized form — the T-domain
+    polynomials and surfaces are untouched while the reference load
+    scales by ``S`` and the load-sensitivity slopes by ``1/S`` (so
+    ``poly(T) + (slope/S)·(C − S·ref_load) = poly(T) + slope·(C/S −
+    ref_load)``).  Input pin capacitances scale by ``S``, which is how
+    upsizing a gate loads — and slows — its drivers.
+
+    The derivation is deterministic, so every engine materializing the
+    same variant computes bitwise-identical windows.
+    """
+    if not math.isfinite(size) or size <= 0.0:
+        raise ValueError(f"cell size must be finite and > 0, got {size!r}")
+    if name is None:
+        name = f"{base.name}{SIZE_SEPARATOR}{size!r}"
+    return dataclasses.replace(
+        base,
+        name=name,
+        input_caps=[c * size for c in base.input_caps],
+        ref_load=base.ref_load * size,
+        load_delay_slope={k: v / size for k, v in base.load_delay_slope.items()},
+        load_trans_slope={k: v / size for k, v in base.load_trans_slope.items()},
+    )
 
 
 # ----------------------------------------------------------------------

@@ -24,13 +24,14 @@ from .logic import (
     evaluate_gate,
     noncontrolled_output,
 )
-from .netlist import Circuit, CircuitError, Gate
+from .netlist import Circuit, CircuitEdit, CircuitError, Gate
 
 __all__ = [
     "BenchParseError",
     "C17_BENCH",
     "CONTROLLING_VALUE",
     "Circuit",
+    "CircuitEdit",
     "CircuitError",
     "GATE_KINDS",
     "Gate",

@@ -48,6 +48,10 @@ _GATE_RE = re.compile(
     r"^\s*(?P<out>[\w.\[\]$/-]+)\s*=\s*(?P<kw>\w+)\s*\((?P<args>[^)]*)\)\s*$"
 )
 _IO_RE = re.compile(r"^\s*(?P<dir>INPUT|OUTPUT)\s*\((?P<line>[\w.\[\]$/-]+)\)\s*$")
+# Drive strength rides along as a structured trailing comment on the gate
+# line (``G10 = NAND(G1, G3)  # size=1.5``) so sized circuits survive a
+# write/parse round trip while foreign .bench consumers see plain text.
+_SIZE_RE = re.compile(r"^\s*size\s*=\s*(?P<size>[-+0-9.eE]+)\s*$")
 
 
 class BenchParseError(ValueError):
@@ -69,7 +73,8 @@ def parse_bench(text: str, name: str = "circuit") -> Circuit:
     outputs: List[str] = []
     gates: List[Gate] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
+        code, _, comment = raw.partition("#")
+        line = code.strip()
         if not line:
             continue
         io_match = _IO_RE.match(line)
@@ -88,8 +93,17 @@ def parse_bench(text: str, name: str = "circuit") -> Circuit:
             args = [a.strip() for a in gate_match["args"].split(",") if a.strip()]
             if not args:
                 raise BenchParseError(f"line {lineno}: gate with no inputs")
+            size = 1.0
+            size_match = _SIZE_RE.match(comment)
+            if size_match:
+                try:
+                    size = float(size_match["size"])
+                except ValueError:
+                    raise BenchParseError(
+                        f"line {lineno}: bad size directive {comment!r}"
+                    ) from None
             try:
-                gates.append(Gate(gate_match["out"], kind, args))
+                gates.append(Gate(gate_match["out"], kind, args, size=size))
             except CircuitError as exc:
                 raise BenchParseError(f"line {lineno}: {exc}") from exc
             continue
@@ -112,7 +126,10 @@ def write_bench(circuit: Circuit) -> str:
     for out in circuit.topological_order():
         gate = circuit.gates[out]
         keyword = _KEYWORD_BY_KIND[gate.kind]
-        lines.append(f"{out} = {keyword}({', '.join(gate.inputs)})")
+        entry = f"{out} = {keyword}({', '.join(gate.inputs)})"
+        if gate.size != 1.0:
+            entry += f"  # size={gate.size!r}"
+        lines.append(entry)
     return "\n".join(lines) + "\n"
 
 

@@ -9,6 +9,7 @@ structure mirrors the ISCAS85 ``.bench`` view of a circuit.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from .logic import GATE_KINDS, evaluate_gate
@@ -18,13 +19,31 @@ class CircuitError(ValueError):
     """Raised for structurally invalid circuits."""
 
 
+def _validate_size(size: float) -> float:
+    try:
+        value = float(size)
+    except (TypeError, ValueError):
+        raise CircuitError(f"gate size must be a number, got {size!r}") from None
+    if not math.isfinite(value) or value <= 0.0:
+        raise CircuitError(f"gate size must be finite and > 0, got {size!r}")
+    return value
+
+
 @dataclasses.dataclass
 class Gate:
-    """One gate instance driving the line ``output``."""
+    """One gate instance driving the line ``output``.
+
+    ``size`` is a drive-strength multiplier relative to the characterized
+    unit cell: delays and output transitions scale by ``1/size``, input
+    pin capacitances by ``size`` (see
+    :meth:`repro.characterize.CellLibrary.cell` which materializes sized
+    variants on demand from :meth:`cell_name`).
+    """
 
     output: str
     kind: str
     inputs: List[str]
+    size: float = 1.0
 
     def __post_init__(self) -> None:
         if self.kind not in GATE_KINDS:
@@ -33,16 +52,47 @@ class Gate:
             raise CircuitError(f"{self.kind} gate needs exactly one input")
         if self.kind not in ("inv", "buf") and len(self.inputs) < 2:
             raise CircuitError(f"{self.kind} gate needs at least two inputs")
+        self.size = _validate_size(self.size)
 
     @property
     def n_inputs(self) -> int:
         return len(self.inputs)
 
-    def cell_name(self) -> str:
-        """Library cell name implementing this gate."""
+    def base_cell_name(self) -> str:
+        """Characterized (unit-size) library cell name for this gate."""
         if self.kind in ("inv", "buf"):
             return self.kind.upper()
         return f"{self.kind.upper()}{self.n_inputs}"
+
+    def cell_name(self) -> str:
+        """Library cell name implementing this gate.
+
+        Unit-size gates name the characterized cell directly; other sizes
+        name a derived variant (``NAND2@X2.0``).  ``repr`` of the size is
+        used so distinct float sizes can never collide on one name.
+        """
+        base = self.base_cell_name()
+        if self.size == 1.0:
+            return base
+        return f"{base}@X{self.size!r}"
+
+
+@dataclasses.dataclass(frozen=True)
+class CircuitEdit:
+    """One applied mutation, as recorded in :attr:`Circuit.edit_log`.
+
+    ``op`` is ``"resize"``, ``"swap"``, or ``"rewire"``.  ``line`` is the
+    edited gate's output line.  For rewires ``pin`` is the input position
+    and ``old``/``new`` are source line names; for resizes they are sizes;
+    for swaps they are gate kinds.
+    """
+
+    epoch: int
+    op: str
+    line: str
+    old: object
+    new: object
+    pin: Optional[int] = None
 
 
 class Circuit:
@@ -79,6 +129,13 @@ class Circuit:
         self._input_set = set(self.inputs)
         self._order: Optional[List[str]] = None
         self._fanouts: Optional[Dict[str, List[Gate]]] = None
+        #: Bumped once per applied mutation; analyzers use it to detect
+        #: that cached per-circuit state (loads, memo entries, compiled
+        #: form) may be stale.
+        self.edit_epoch: int = 0
+        #: Applied mutations in order; incremental analyzers consume the
+        #: suffix they have not seen yet.
+        self.edit_log: List[CircuitEdit] = []
 
     # ------------------------------------------------------------------
     # Structure
@@ -186,6 +243,118 @@ class Circuit:
         }
 
     # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _require_gate(self, line: str) -> Gate:
+        gate = self.gates.get(line)
+        if gate is None:
+            raise CircuitError(f"line {line!r} is not a gate output")
+        return gate
+
+    def _record_edit(self, op: str, line: str, old, new, pin=None) -> CircuitEdit:
+        self.edit_epoch += 1
+        edit = CircuitEdit(self.edit_epoch, op, line, old, new, pin)
+        self.edit_log.append(edit)
+        return edit
+
+    def resize_gate(self, line: str, size: float) -> CircuitEdit:
+        """Set the drive strength of the gate driving ``line``.
+
+        Structure (topology, levels, fan-out) is unchanged; only the
+        implementing cell's coefficients and input capacitances move.
+
+        Raises:
+            CircuitError: If ``line`` is not a gate output or ``size`` is
+                not a finite positive number.
+        """
+        gate = self._require_gate(line)
+        new_size = _validate_size(size)
+        old_size = gate.size
+        gate.size = new_size
+        return self._record_edit("resize", line, old_size, new_size)
+
+    def swap_cell(self, line: str, kind: str) -> CircuitEdit:
+        """Replace the gate function driving ``line`` with ``kind``.
+
+        The new kind must accept the gate's existing fan-in (``inv``/
+        ``buf`` take exactly one input, all other kinds at least two), so
+        the netlist structure is untouched.
+
+        Raises:
+            CircuitError: If ``line`` is not a gate output, ``kind`` is
+                unknown, or the fan-in is incompatible with ``kind``.
+        """
+        gate = self._require_gate(line)
+        if kind not in GATE_KINDS:
+            raise CircuitError(f"unknown gate kind {kind!r}")
+        unary = kind in ("inv", "buf")
+        if unary and gate.n_inputs != 1:
+            raise CircuitError(
+                f"cannot swap {gate.output} to {kind}: needs exactly one "
+                f"input, gate has {gate.n_inputs}"
+            )
+        if not unary and gate.n_inputs < 2:
+            raise CircuitError(
+                f"cannot swap {gate.output} to {kind}: needs at least two "
+                f"inputs, gate has {gate.n_inputs}"
+            )
+        old_kind = gate.kind
+        gate.kind = kind
+        return self._record_edit("swap", line, old_kind, kind)
+
+    def rewire_input(self, line: str, pin: int, new_source: str) -> CircuitEdit:
+        """Reconnect input ``pin`` of the gate driving ``line``.
+
+        Raises:
+            CircuitError: If ``line`` is not a gate output, ``pin`` is out
+                of range, ``new_source`` is not a known line, the gate
+                already reads ``new_source`` on another pin, or the edit
+                would create a combinational cycle (``new_source`` is in
+                the fan-out cone of ``line``).
+        """
+        gate = self._require_gate(line)
+        if not 0 <= pin < gate.n_inputs:
+            raise CircuitError(
+                f"pin {pin} out of range for gate {line} "
+                f"({gate.n_inputs} inputs)"
+            )
+        if new_source not in self._input_set and new_source not in self.gates:
+            raise CircuitError(f"unknown source line {new_source!r}")
+        old_source = gate.inputs[pin]
+        if new_source == old_source:
+            return self._record_edit("rewire", line, old_source, new_source, pin)
+        if new_source in gate.inputs:
+            raise CircuitError(
+                f"gate {line} already reads {new_source!r} on another pin"
+            )
+        if self._reaches(line, new_source):
+            raise CircuitError(
+                f"rewiring {line}[{pin}] to {new_source!r} would create a "
+                "combinational cycle"
+            )
+        gate.inputs[pin] = new_source
+        self._order = None
+        self._fanouts = None
+        return self._record_edit("rewire", line, old_source, new_source, pin)
+
+    def _reaches(self, src: str, target: str) -> bool:
+        """True when ``target`` lies in the transitive fan-out of ``src``."""
+        if src == target:
+            return True
+        seen = {src}
+        stack = [src]
+        while stack:
+            line = stack.pop()
+            for gate in self.fanouts(line):
+                out = gate.output
+                if out == target:
+                    return True
+                if out not in seen:
+                    seen.add(out)
+                    stack.append(out)
+        return False
+
+    # ------------------------------------------------------------------
     # Functional simulation
     # ------------------------------------------------------------------
     def evaluate(self, input_values: Dict[str, Optional[int]]) -> Dict[str, Optional[int]]:
@@ -218,7 +387,9 @@ class Circuit:
 
         Used by the fuzzing subsystem to persist failing cases as
         reproducible artifacts; :meth:`from_dict` round-trips exactly
-        (names, order, and gate pin order are all preserved).
+        (names, order, gate pin order, and gate sizes are all preserved).
+        Unit-size gates keep the legacy three-element entry so payloads
+        from older artifacts stay byte-identical.
         """
         return {
             "name": self.name,
@@ -226,6 +397,8 @@ class Circuit:
             "outputs": list(self.outputs),
             "gates": [
                 [gate.output, gate.kind, list(gate.inputs)]
+                if gate.size == 1.0
+                else [gate.output, gate.kind, list(gate.inputs), gate.size]
                 for gate in self.gates.values()
             ],
         }
@@ -245,9 +418,22 @@ class Circuit:
             raw_gates = payload["gates"]
         except (TypeError, KeyError) as exc:
             raise CircuitError(f"malformed circuit payload: {exc}") from None
-        gates = [
-            Gate(output, kind, list(pins)) for output, kind, pins in raw_gates
-        ]
+        gates = []
+        try:
+            for entry in raw_gates:
+                if len(entry) == 3:
+                    output, kind, pins = entry
+                    size = 1.0
+                elif len(entry) == 4:
+                    output, kind, pins, size = entry
+                else:
+                    raise CircuitError(
+                        f"malformed gate entry (expected 3 or 4 fields): "
+                        f"{entry!r}"
+                    )
+                gates.append(Gate(output, kind, list(pins), size=size))
+        except TypeError as exc:
+            raise CircuitError(f"malformed circuit payload: {exc}") from None
         return cls(name, inputs, outputs, gates)
 
     def __repr__(self) -> str:

@@ -90,12 +90,21 @@ def _load_circuit(spec: str):
     return load_packaged_bench(spec)
 
 
+def _perf_from_args(args: argparse.Namespace) -> PerfConfig:
+    """The :class:`PerfConfig` selected by the command's ``--engine``.
+
+    Commands without the flag get the default (``gate``) engine, so
+    every handler can call this unconditionally.
+    """
+    return PerfConfig(engine=getattr(args, "engine", "gate"))
+
+
 def _cmd_sta(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     library = CellLibrary.load_default()
     print(f"{circuit!r}")
     rows = []
-    perf = PerfConfig(engine=getattr(args, "engine", "gate"))
+    perf = _perf_from_args(args)
     for label, model in (("proposed", VShapeModel()),
                          ("pin2pin", PinToPinModel())):
         result = TimingAnalyzer(circuit, library, model, perf=perf).analyze()
@@ -119,6 +128,49 @@ def _cmd_sta(args: argparse.Namespace) -> int:
     print(f"  ratio              : {ratio:.3f}")
     print(f"  max-delay (both)   : {proposed.output_max_arrival() / NS:.4f}")
     return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from .sta.optimize import SizingConfig, optimize_sizing
+
+    circuit = _load_circuit(args.circuit)
+    library = CellLibrary.load_default()
+    try:
+        sizes = tuple(
+            float(tok) for tok in args.sizes.split(",") if tok.strip()
+        )
+        config = SizingConfig(
+            sizes=sizes,
+            max_passes=args.passes,
+            gates_per_pass=args.gates_per_pass,
+            clock=args.clock * NS if args.clock is not None else None,
+            cost=args.cost,
+            anneal_steps=args.anneal,
+            seed=args.seed,
+            mc_samples=args.mc_samples,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = optimize_sizing(
+        circuit, library, config=config, perf=_perf_from_args(args)
+    )
+    print(result.format())
+    trial_s = get_registry().histogram("sta.incr.trial_s")
+    trials = get_registry().counter("sta.incr.trials").value
+    if trials and trial_s.count:
+        print(
+            f"  trial cost    : {trial_s.total / trials * 1e3:.2f} ms/edit "
+            f"({trials} trials in {trial_s.count} batches)"
+        )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
+    # Degrading WNS is a bug (greedy only commits improvements and SA
+    # restores the best state); surface it as a failure for CI.
+    return 0 if result.final_wns >= result.initial_wns else 1
 
 
 def _parse_quantiles(spec: str) -> tuple:
@@ -149,7 +201,7 @@ def _cmd_mc(args: argparse.Namespace) -> int:
             seed=args.seed,
             jobs=args.jobs,
             block=args.block,
-            engine=getattr(args, "engine", "gate"),
+            engine=_perf_from_args(args).engine,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -635,6 +687,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="forward-pass engine: per-gate kernels or the "
                      "level-compiled SoA pass (bit-identical results)")
     sta.set_defaults(func=_cmd_sta)
+
+    opt = sub.add_parser(
+        "optimize",
+        help="timing-driven gate sizing over the incremental engine",
+        parents=[common],
+    )
+    opt.add_argument("circuit", help=".bench path or packaged name (c17...)")
+    opt.add_argument("--sizes", default="0.5,0.7,1.0,1.4,2.0,2.8,4.0,5.7",
+                     metavar="X,...", help="candidate drive strengths")
+    opt.add_argument("--passes", type=int, default=8,
+                     help="greedy critical-path passes (default: 8)")
+    opt.add_argument("--gates-per-pass", type=int, default=8, metavar="N",
+                     help="critical-path gates examined per pass")
+    opt.add_argument("--clock", type=float, default=None, metavar="NS",
+                     help="required time, ns (default: the initial max "
+                          "arrival, so WNS starts at zero)")
+    opt.add_argument("--cost", choices=("wns", "tns", "mc_q95"),
+                     default="wns", help="objective (default: wns)")
+    opt.add_argument("--anneal", type=int, default=0, metavar="STEPS",
+                     help="simulated-annealing refinement steps "
+                          "(default: 0, disabled)")
+    opt.add_argument("--seed", type=int, default=0,
+                     help="RNG seed for the annealing proposals")
+    opt.add_argument("--mc-samples", type=int, default=96, metavar="N",
+                     help="Monte Carlo samples for --cost mc_q95")
+    opt.add_argument("--engine", choices=("gate", "level"), default="level",
+                     help="forward-pass engine (default: level — trial "
+                          "batches run as compiled column sweeps)")
+    opt.add_argument("--json", default=None, metavar="PATH",
+                     help="write the JSON summary to PATH")
+    opt.set_defaults(func=_cmd_optimize)
 
     mc = sub.add_parser(
         "mc",

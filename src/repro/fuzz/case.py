@@ -51,6 +51,10 @@ class FuzzCase:
             ``pair_t_grid``, ``skews_per_side``, ``jobs``).
         mc: Monte Carlo scenario (``samples``, ``sigma_corr``,
             ``sigma_ind``, ``seed``, ``jobs``, ``block``).
+        edits: Circuit-mutation sequence as ``[op, line, value, pin]``
+            entries (``op`` in resize/swap/rewire; ``pin`` is null
+            except for rewires) — the incremental oracle replays these
+            one at a time.
         pi_windows: Per-PI window overrides,
             ``{line: {"rise"/"fall": [a_s, a_l, t_s, t_l, state]}}``.
             The shrinker uses these to preserve a deleted fan-in cone's
@@ -70,6 +74,7 @@ class FuzzCase:
     gate: Optional[dict] = None
     char: Optional[dict] = None
     mc: Optional[dict] = None
+    edits: Optional[List[list]] = None
     pi_windows: Optional[Dict[str, dict]] = None
 
     # ------------------------------------------------------------------
@@ -168,6 +173,8 @@ class FuzzCase:
             bits.append(f"{len(self.faults)} faults")
         if self.decisions is not None:
             bits.append(f"{len(self.decisions)} decisions")
+        if self.edits is not None:
+            bits.append(f"{len(self.edits)} edits")
         return " ".join(bits)
 
 

@@ -123,6 +123,64 @@ def random_models(rng: random.Random, k: Optional[int] = None) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# Circuit edit sequences
+# ----------------------------------------------------------------------
+#: Gate kinds the characterized library can implement per fan-in count.
+_SWAP_KINDS = {
+    1: ["inv", "buf"],
+    2: ["nand", "nor", "and", "or", "xor"],
+    3: ["nand", "nor", "and", "or"],
+    4: ["nand", "nor", "and", "or"],
+    5: ["nand", "nor"],
+}
+
+_EDIT_SIZES = [0.25, 0.5, 0.7, 1.0, 1.4, 2.0, 3.3, 4.0, 8.0]
+
+
+def random_edit_sequence(
+    rng: random.Random, circuit: dict, max_edits: int = 10
+) -> List[list]:
+    """A valid mutation sequence as ``[op, line, value, pin]`` entries.
+
+    Edits are applied to a live copy while generating, so rewires are
+    validated against the circuit *as mutated so far* (a rewire that was
+    legal on the seed netlist may cycle after an earlier rewire).
+    Roughly half the edits are resizes, a third cell swaps, the rest
+    rewires; resizes to the current size (incremental no-ops that must
+    still re-time cleanly) are deliberately left in.
+    """
+    from ..circuit import Circuit, CircuitError
+
+    live = Circuit.from_dict(circuit)
+    gates = list(live.gates)
+    edits: List[list] = []
+    for _ in range(rng.randint(1, max_edits)):
+        line = rng.choice(gates)
+        gate = live.gates[line]
+        roll = rng.random()
+        if roll < 0.5:
+            size = rng.choice(_EDIT_SIZES)
+            live.resize_gate(line, size)
+            edits.append(["resize", line, size, None])
+        elif roll < 0.85:
+            kinds = _SWAP_KINDS.get(gate.n_inputs)
+            if not kinds:
+                continue
+            kind = rng.choice(kinds)
+            live.swap_cell(line, kind)
+            edits.append(["swap", line, kind, None])
+        else:
+            pin = rng.randrange(gate.n_inputs)
+            source = rng.choice(live.lines)
+            try:
+                live.rewire_input(line, pin, source)
+            except CircuitError:
+                continue  # duplicate pin or would cycle; skip
+            edits.append(["rewire", line, source, pin])
+    return edits
+
+
+# ----------------------------------------------------------------------
 # ITR decisions
 # ----------------------------------------------------------------------
 def random_decisions(

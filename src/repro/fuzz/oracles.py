@@ -10,6 +10,9 @@ plus a physical ground-truth check:
 * ``level``     — the level-compiled structure-of-arrays pass
   (``PerfConfig(engine="level")``) vs. the scalar corner search, bit
   for bit;
+* ``incremental`` — cone-limited re-timing and ``try_edits`` trial
+  batches vs. a fresh scalar analysis after every edit of a random
+  mutation sequence, on both engines, bit for bit;
 * ``itr``       — incremental refinement under a random decision
   sequence, fast timing core vs. scalar reference;
 * ``atpg-jobs`` — fault-parallel ATPG (``jobs=2``) vs. the serial path:
@@ -272,6 +275,127 @@ register_oracle(Oracle(
     generate=_gen_level,
     check=_check_level,
     supports_pi_windows=True,
+))
+
+
+# ----------------------------------------------------------------------
+# incremental: cone-limited re-timing vs. fresh scalar analysis
+# ----------------------------------------------------------------------
+def _gen_incremental(rng: random.Random) -> FuzzCase:
+    circuit = gen.random_circuit_dict(rng, min_gates=5, max_gates=40)
+    return FuzzCase(
+        oracle="incremental",
+        circuit=circuit,
+        sta=gen.random_sta_dict(rng),
+        models=gen.random_models(rng, k=1),
+        edits=gen.random_edit_sequence(rng, circuit),
+    )
+
+
+def _apply_edit(circuit, edit) -> None:
+    op, line, value, pin = edit
+    if op == "resize":
+        circuit.resize_gate(line, value)
+    elif op == "swap":
+        circuit.swap_cell(line, value)
+    else:
+        circuit.rewire_input(line, pin, value)
+
+
+def _check_incremental(case: FuzzCase) -> OracleResult:
+    """Incremental state == fresh scalar analysis, after every edit.
+
+    Covers both engines, every edit kind (including no-ops and
+    shape-changing swaps that force a compiled rebuild), and — once the
+    sequence is replayed — a ``try_edits`` trial batch, column by
+    column, plus a master-untouched check afterwards.
+    """
+    from ..sta.incremental import (
+        IncrementalAnalyzer,
+        TrialEdit,
+        _timings_equal,
+    )
+
+    library = shared_library()
+    config = case.build_sta_config()
+    edits = case.edits or []
+    for name, model in case.build_models():
+        for engine in ("gate", "level"):
+            tag = f"model={name} engine={engine}"
+            circuit = case.build_circuit()
+            incr = IncrementalAnalyzer(TimingAnalyzer(
+                circuit, library, model, config,
+                perf=PerfConfig(engine=engine),
+            ))
+            incr.analyze()
+            replayed: List[list] = []
+
+            def reference():
+                ref_circuit = case.build_circuit()
+                for edit in replayed:
+                    _apply_edit(ref_circuit, edit)
+                return TimingAnalyzer(
+                    ref_circuit, library, model, config, perf=SCALAR
+                ).analyze()
+
+            for step, edit in enumerate(edits):
+                _apply_edit(circuit, edit)
+                replayed.append(edit)
+                result = incr.retime()
+                problems = _window_mismatches(circuit, reference(), result)
+                if problems:
+                    return OracleResult(
+                        False,
+                        f"{tag} step={step} {edit[0]} {edit[1]}: "
+                        + "; ".join(problems),
+                    )
+            # Trial batch: two resize candidates for each of (up to)
+            # four gates, each column vs. a fresh scalar analysis of
+            # that single-edit variant.
+            targets = sorted(circuit.gates)[:4]
+            trial_edits = [
+                TrialEdit("resize", line, size)
+                for line in targets
+                for size in (0.5, 2.0)
+            ]
+            trial = incr.try_edits(trial_edits)
+            for k, t_edit in enumerate(trial_edits):
+                variant = case.build_circuit()
+                for edit in replayed:
+                    _apply_edit(variant, edit)
+                variant.resize_gate(t_edit.line, t_edit.value)
+                ref = TimingAnalyzer(
+                    variant, library, model, config, perf=SCALAR
+                ).analyze()
+                for line in variant.lines:
+                    if not _timings_equal(
+                        trial.line_timing(line, k), ref.line(line)
+                    ):
+                        return OracleResult(
+                            False,
+                            f"{tag} trial k={k} "
+                            f"resize {t_edit.line}->x{t_edit.value} "
+                            f"differs on {line}",
+                        )
+            # Trials must leave the master state untouched.
+            problems = _window_mismatches(
+                circuit, reference(), incr.result()
+            )
+            if problems:
+                return OracleResult(
+                    False,
+                    f"{tag} master drifted after trials: "
+                    + "; ".join(problems),
+                )
+    return OracleResult(True)
+
+
+register_oracle(Oracle(
+    name="incremental",
+    description="cone-limited incremental re-timing and trial batches "
+                "vs. fresh scalar analysis after every circuit edit",
+    generate=_gen_incremental,
+    check=_check_incremental,
 ))
 
 

@@ -21,6 +21,12 @@ from .corners import (
     pin_delay_bounds,
     pin_trans_bounds,
 )
+from .incremental import (
+    IncrementalAnalyzer,
+    TrialEdit,
+    TrialResult,
+    edits_since,
+)
 from .report import PathStage, TimingPath, TimingReporter
 from .simulate import PiStimulus, SimulationResult, TimingSimulator
 from .windows import (
@@ -40,6 +46,7 @@ __all__ = [
     "DEFINITE",
     "DirWindow",
     "IMPOSSIBLE",
+    "IncrementalAnalyzer",
     "LevelCompiledAnalyzer",
     "LineRequired",
     "LineTiming",
@@ -56,8 +63,11 @@ __all__ = [
     "TimingPath",
     "TimingReporter",
     "TimingSimulator",
+    "TrialEdit",
+    "TrialResult",
     "Violation",
     "arc_fanin_window",
+    "edits_since",
     "ctrl_response_window",
     "nonctrl_response_window",
     "pin_delay_bounds",

@@ -212,6 +212,7 @@ class TimingAnalyzer:
         )
         self._loads = self._compute_loads()
         self._level = None  # lazily-built LevelCompiledAnalyzer
+        self._epoch = circuit.edit_epoch
         self._cells: Dict[str, CellTiming] = {}
         for gate in circuit.gates.values():
             name = gate.cell_name()
@@ -224,12 +225,35 @@ class TimingAnalyzer:
     def _compute_loads(self) -> Dict[str, float]:
         return compute_loads(self.circuit, self.library, self.config)
 
+    def _sync_epoch(self) -> None:
+        """Refresh per-circuit caches after out-of-band circuit edits.
+
+        Any mutation (:meth:`repro.circuit.Circuit.resize_gate` and
+        friends) bumps ``edit_epoch``; on the next analyzer entry point
+        the derived loads and any compiled form are rebuilt from the
+        current structure.  :class:`repro.sta.incremental
+        .IncrementalAnalyzer` instead patches these caches in place and
+        advances ``_epoch`` itself, which is what makes per-edit re-timing
+        cheap — this full refresh is the safe default for direct use.
+        """
+        if self.circuit.edit_epoch != self._epoch:
+            self._loads = self._compute_loads()
+            self._level = None
+            self._epoch = self.circuit.edit_epoch
+
     def load(self, line: str) -> float:
         """Capacitive load on ``line``, farads."""
         return self._loads[line]
 
     def cell_of(self, gate: Gate) -> CellTiming:
-        return self._cells[gate.cell_name()]
+        name = gate.cell_name()
+        cell = self._cells.get(name)
+        if cell is None:
+            # Sized variants appear as gates are resized; materialize on
+            # first sight (immutable and keyed by name, so entries from
+            # earlier epochs stay valid).
+            cell = self._cells[name] = self.library.cell(name)
+        return cell
 
     # ------------------------------------------------------------------
     # Forward propagation
@@ -247,12 +271,16 @@ class TimingAnalyzer:
         self, gate: Gate, timings: Dict[str, LineTiming]
     ) -> LineTiming:
         """Compute the output windows of one gate from its input windows."""
+        self._sync_epoch()
         cell = self.cell_of(gate)
         load = self.load(gate.output)
         if self._memo is None:
             return self._propagate_windows(gate, cell, load, timings)
         key, tag = self._memo.key_for(
-            cell.name, load, [timings[line] for line in gate.inputs]
+            cell.name,
+            load,
+            [timings[line] for line in gate.inputs],
+            epoch=self._epoch,
         )
         cached = self._memo.lookup(key, tag)
         if cached is not None:
@@ -324,6 +352,23 @@ class TimingAnalyzer:
             result.set_window(out_rising, window)
         return result
 
+    def level_engine(self) -> "LevelCompiledAnalyzer":
+        """The lazily-built level-compiled engine (compiling on first use).
+
+        Callers that need the compiled form directly — the incremental
+        engine patches its SoA arrays and runs column-subset kernels —
+        go through this instead of ``analyze`` so they can hold on to
+        the raw window state.
+        """
+        if self._level is None:
+            # Imported lazily: compile.py depends on this module.
+            from .compile import LevelCompiledAnalyzer
+
+            self._level = LevelCompiledAnalyzer(
+                self.circuit, self.library, self.model, self.config
+            )
+        return self._level
+
     def analyze(
         self, pi_overrides: Optional[Dict[str, LineTiming]] = None
     ) -> StaResult:
@@ -336,15 +381,9 @@ class TimingAnalyzer:
         Returns:
             Windows for every line in the circuit.
         """
+        self._sync_epoch()
         if self.perf.engine == "level":
-            if self._level is None:
-                # Imported lazily: compile.py depends on this module.
-                from .compile import LevelCompiledAnalyzer
-
-                self._level = LevelCompiledAnalyzer(
-                    self.circuit, self.library, self.model, self.config
-                )
-            return self._level.analyze(pi_overrides=pi_overrides)
+            return self.level_engine().analyze(pi_overrides=pi_overrides)
         timings: Dict[str, LineTiming] = {}
         with self._obs.timer("sta.forward_s"):
             default = self.pi_timing()
@@ -428,6 +467,7 @@ class TimingAnalyzer:
         Returns:
             Required windows for every line.
         """
+        self._sync_epoch()
         with self._obs.timer("sta.backward_s"):
             if po_required is None:
                 q_l = (

@@ -94,12 +94,17 @@ class PropagationCache:
         cell_name: str,
         load: float,
         input_timings: Sequence[LineTiming],
+        epoch: int = 0,
     ) -> Tuple[Key, Tag]:
         """Build the (hash key, exact tag) of one propagation situation.
 
         The model and boundary config are fixed per analyzer (the cache
         is per-analyzer), so the situation is fully described by the
-        cell, the output load, and the per-pin rise/fall windows.
+        cell, the output load, the per-pin rise/fall windows — and the
+        circuit's ``edit_epoch``.  The epoch is part of both the key and
+        the exact tag: a circuit mutated behind the analyzer (rewired
+        pins change which lines feed which windows) must never be served
+        a memo entry recorded before the edit.
         """
         key_parts = []
         tag_parts = []
@@ -109,8 +114,8 @@ class PropagationCache:
                 key_parts.append(k)
                 tag_parts.append(t)
         return (
-            (cell_name, load, tuple(key_parts)),
-            (load, tuple(tag_parts)),
+            (epoch, cell_name, load, tuple(key_parts)),
+            (epoch, load, tuple(tag_parts)),
         )
 
     def lookup(self, key: Key, tag: Tag) -> Optional[LineTiming]:

@@ -85,6 +85,65 @@ from .windows import (
 Boundary = Tuple[Tuple[float, float], Tuple[float, float]]
 
 
+def _shape_key(cell: CellTiming, peak_enabled: bool) -> tuple:
+    """Kernel-shape grouping key of one cell.
+
+    Gates are grouped by this key, not by cell name: any two cells with
+    the same key ride through the same stacked kernel invocation, which
+    is also exactly the condition under which one gate's coefficient
+    columns can be rewritten in place (:meth:`CompiledCircuit.patch_gate`).
+    """
+    if cell.controlling_value is not None and cell.n_inputs >= 2:
+        uses_peak = peak_enabled and getattr(cell, "nonctrl", None) is not None
+        return ("ctrl", cell.n_inputs, uses_peak)
+    arcs_t = sum(
+        1
+        for pin in range(cell.n_inputs)
+        for d in (True, False)
+        if cell.has_arc(pin, d, True)
+    )
+    arcs_f = sum(
+        1
+        for pin in range(cell.n_inputs)
+        for d in (True, False)
+        if cell.has_arc(pin, d, False)
+    )
+    return ("arc", cell.n_inputs, arcs_t, arcs_f)
+
+
+def _assign_pack_column(dst: _StackedPack, src, col: int) -> None:
+    """Overwrite one gate's column of a stacked arc pack."""
+    dst.t_lo[:, col] = src.t_lo
+    dst.t_hi[:, col] = src.t_hi
+    dst.q_a2[:, :, col] = src.q_a2
+    dst.q_a1[:, :, col] = src.q_a1
+    dst.q_a0[:, :, col] = src.q_a0
+    dst.d_a2[:, col] = src.d_a2
+    dst.d_a1[:, col] = src.d_a1
+    dst.d_a0[:, col] = src.d_a0
+
+
+#: (stacked attr, source attr, coefficient names) of a _StackedShape.
+_SHAPE_FIELDS = (
+    ("d0", "d0", ("k_xy", "k_x", "k_y", "k_c")),
+    ("s_pos", "s_pos", ("k0", "k1", "k2", "k3", "k4", "k5")),
+    ("s_neg", "s_neg", ("k0", "k1", "k2", "k3", "k4", "k5")),
+    ("t_vertex", "t_vertex", ("k_xy", "k_x", "k_y", "k_c")),
+    ("t_vertex_skew", "t_vertex_skew", ("c0", "c1", "c2")),
+)
+
+
+def _assign_shape_column(
+    dst: _StackedShape, src: SimultaneousTiming, col: int
+) -> None:
+    """Overwrite one gate's column of stacked surface coefficients."""
+    for stacked_attr, src_attr, coeffs in _SHAPE_FIELDS:
+        stacked = getattr(dst, stacked_attr)
+        surface = getattr(src, src_attr)
+        for coeff in coeffs:
+            getattr(stacked, coeff)[col, 0] = getattr(surface, coeff)
+
+
 # ----------------------------------------------------------------------
 # Stacked surfaces: per-gate coefficient columns
 # ----------------------------------------------------------------------
@@ -259,6 +318,8 @@ class _CtrlGroup:
     rt_t: Optional[np.ndarray]      # (P+1, G) multi-input trans ratios
     pa: Optional[np.ndarray]        # (pairs,) first member pin
     pb: Optional[np.ndarray]        # (pairs,) second member pin
+    #: bumped by every in-place patch; column-subset caches key on it.
+    version: int = 0
 
 
 @dataclasses.dataclass
@@ -279,6 +340,122 @@ class _ArcGroup:
     order_idx: np.ndarray  # (G,)
     dirs: Tuple[Optional[_ArcDir], Optional[_ArcDir]]  # (rise, fall)
     no_arc_rows: np.ndarray  # output rows with no producing arc at all
+    #: bumped by every in-place patch; column-subset caches key on it.
+    version: int = 0
+
+
+# ----------------------------------------------------------------------
+# Column subsets: cone-limited kernel runs (incremental STA)
+# ----------------------------------------------------------------------
+def _slice_pack(pack: _StackedPack, cols: np.ndarray) -> _StackedPack:
+    return _StackedPack(
+        t_lo=pack.t_lo[:, cols],
+        t_hi=pack.t_hi[:, cols],
+        q_a2=pack.q_a2[:, :, cols],
+        q_a1=pack.q_a1[:, :, cols],
+        q_a0=pack.q_a0[:, :, cols],
+        d_a2=pack.d_a2[:, cols],
+        d_a1=pack.d_a1[:, cols],
+        d_a0=pack.d_a0[:, cols],
+    )
+
+
+def _slice_shape(shape: _StackedShape, cols: np.ndarray) -> _StackedShape:
+    return _StackedShape(
+        d0=_StackedRoots(
+            shape.d0.k_xy[cols],
+            shape.d0.k_x[cols],
+            shape.d0.k_y[cols],
+            shape.d0.k_c[cols],
+        ),
+        s_pos=_StackedQuad2(
+            *(getattr(shape.s_pos, k)[cols]
+              for k in ("k0", "k1", "k2", "k3", "k4", "k5"))
+        ),
+        s_neg=_StackedQuad2(
+            *(getattr(shape.s_neg, k)[cols]
+              for k in ("k0", "k1", "k2", "k3", "k4", "k5"))
+        ),
+        t_vertex=_StackedRoots(
+            shape.t_vertex.k_xy[cols],
+            shape.t_vertex.k_x[cols],
+            shape.t_vertex.k_y[cols],
+            shape.t_vertex.k_c[cols],
+        ),
+        t_vertex_skew=_StackedLin2(
+            shape.t_vertex_skew.c0[cols],
+            shape.t_vertex_skew.c1[cols],
+            shape.t_vertex_skew.c2[cols],
+        ),
+    )
+
+
+def subset_group(
+    group: Union["_CtrlGroup", "_ArcGroup"], cols: Sequence[int]
+) -> Union["_CtrlGroup", "_ArcGroup"]:
+    """A column subset of one compiled group, runnable on its own.
+
+    The subset gathers the selected gates' coefficient columns (copies —
+    the source group stays patchable) while the row-gather arrays keep
+    pointing into the *global* SoA state, so running the subset through
+    the level kernels recomputes exactly those gates, bitwise as in a
+    full pass.  This is the unit of work of the incremental engine's
+    batched cone re-timing.
+    """
+    idx = np.asarray(cols, dtype=np.intp)
+    if isinstance(group, _CtrlGroup):
+        return _CtrlGroup(
+            n_pins=group.n_pins,
+            pack=_slice_pack(group.pack, idx),
+            npack=_slice_pack(group.npack, idx),
+            ppack=(
+                None if group.ppack is None else _slice_pack(group.ppack, idx)
+            ),
+            shape=(
+                None if group.shape is None else _slice_shape(group.shape, idx)
+            ),
+            peak=(
+                None if group.peak is None else _slice_shape(group.peak, idx)
+            ),
+            ctrl_rows=group.ctrl_rows[:, idx],
+            nonctrl_rows=group.nonctrl_rows[:, idx],
+            out_ctrl=group.out_ctrl[idx],
+            out_nonctrl=group.out_nonctrl[idx],
+            order_idx=group.order_idx[idx],
+            gate_idx=np.arange(idx.size, dtype=np.intp)[:, None],
+            d_adj_c=group.d_adj_c[idx],
+            r_adj_c=group.r_adj_c[idx],
+            d_adj_n=group.d_adj_n[idx],
+            r_adj_n=group.r_adj_n[idx],
+            p_adj=None if group.p_adj is None else group.p_adj[idx],
+            scale_c=None if group.scale_c is None else group.scale_c[:, idx],
+            pscale_c=(
+                None if group.pscale_c is None else group.pscale_c[:, idx]
+            ),
+            rt=None if group.rt is None else group.rt[:, idx],
+            rt_t=None if group.rt_t is None else group.rt_t[:, idx],
+            pa=group.pa,
+            pb=group.pb,
+        )
+    dirs = tuple(
+        None
+        if d is None
+        else _ArcDir(
+            pack=_slice_pack(d.pack, idx),
+            in_rows=d.in_rows[:, idx],
+            out_rows=d.out_rows[idx],
+            d_adj=d.d_adj[idx],
+            r_adj=d.r_adj[idx],
+        )
+        for d in group.dirs
+    )
+    # no_arc_rows stay IMPOSSIBLE from the baseline pass; re-asserting
+    # them is redundant in an incremental update, so subsets drop them.
+    return _ArcGroup(
+        order_idx=group.order_idx[idx],
+        dirs=dirs,
+        no_arc_rows=np.empty(0, dtype=np.intp),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -303,6 +480,7 @@ class CompiledCircuit:
         config: StaConfig,
     ) -> None:
         self.circuit = circuit
+        self.library = library
         self.lines: List[str] = circuit.lines
         self.n_lines = len(self.lines)
         self.line_index: Dict[str, int] = {
@@ -316,11 +494,17 @@ class CompiledCircuit:
         self._merge = bool(getattr(model, "supports_pair_merge", False))
         self._peak = hasattr(model, "nonctrl_shape")
         ctx = KernelContext()
+        self._ctx = ctx
         cells: Dict[str, CellTiming] = {}
         for gate in circuit.gates.values():
             name = gate.cell_name()
             if name not in cells:
                 cells[name] = library.cell(name)
+        self._cells = cells
+        #: gate output line -> (group, column, shape key); the in-place
+        #: patch path of :meth:`patch_gate` addresses columns through it.
+        self._locs: Dict[str, Tuple[Union[_CtrlGroup, _ArcGroup], int, tuple]]
+        self._locs = {}
 
         # Group gates per level by *shape*, not cell: every per-cell
         # quantity is stacked into per-gate columns, so unlike cells
@@ -329,25 +513,7 @@ class CompiledCircuit:
         for out in order:
             gate = circuit.gates[out]
             cell = cells[gate.cell_name()]
-            if cell.controlling_value is not None and cell.n_inputs >= 2:
-                uses_peak = (
-                    self._peak and getattr(cell, "nonctrl", None) is not None
-                )
-                key = ("ctrl", cell.n_inputs, uses_peak)
-            else:
-                arcs_t = sum(
-                    1
-                    for pin in range(cell.n_inputs)
-                    for d in (True, False)
-                    if cell.has_arc(pin, d, True)
-                )
-                arcs_f = sum(
-                    1
-                    for pin in range(cell.n_inputs)
-                    for d in (True, False)
-                    if cell.has_arc(pin, d, False)
-                )
-                key = ("arc", cell.n_inputs, arcs_t, arcs_f)
+            key = _shape_key(cell, self._peak)
             grouped.setdefault(level_of[out], {}).setdefault(key, []).append(
                 gate
             )
@@ -364,6 +530,8 @@ class CompiledCircuit:
                     group = self._build_arc(
                         gates, cells, order_pos, loads, ctx
                     )
+                for col, gate in enumerate(gates):
+                    self._locs[gate.output] = (group, col, key)
                 level_groups.append(group)
             self.levels.append(level_groups)
         self.n_levels = len(self.levels)
@@ -374,6 +542,143 @@ class CompiledCircuit:
         """Row of one line direction in the global SoA arrays."""
         idx = self.line_index[line]
         return idx if rising else idx + self.n_lines
+
+    # ------------------------------------------------------------------
+    # In-place patching (incremental STA)
+    # ------------------------------------------------------------------
+    def _cell_for(self, gate: Gate) -> CellTiming:
+        name = gate.cell_name()
+        cell = self._cells.get(name)
+        if cell is None:
+            cell = self._cells[name] = self.library.cell(name)
+        return cell
+
+    def can_patch(self, line: str) -> bool:
+        """True when the gate's *current* cell fits its compiled slot.
+
+        Resizes always fit (a sized variant keeps the base cell's arc
+        layout); cell swaps fit as long as the new kind shares the shape
+        key (e.g. NAND2 -> NOR2).  A swap that changes the kernel shape
+        (say NAND2 -> XOR2) or any structural edit needs a recompile.
+        """
+        loc = self._locs.get(line)
+        if loc is None:
+            return False
+        cell = self._cell_for(self.circuit.gates[line])
+        return _shape_key(cell, self._peak) == loc[2]
+
+    def patch_gate(self, line: str, load: float) -> None:
+        """Rewrite one gate's coefficient columns in place.
+
+        Re-derives every per-gate column — arc packs, surface
+        coefficients, pair scales, ratio tables, gather rows, and the
+        load-adjust terms for ``load`` — from the gate's current cell,
+        using the same scalar arithmetic as a fresh compile, so a patched
+        circuit is bitwise-indistinguishable from a recompiled one.
+
+        Raises:
+            ValueError: If the gate's current cell no longer fits its
+                compiled kernel shape (see :meth:`can_patch`).
+        """
+        loc = self._locs.get(line)
+        if loc is None:
+            raise ValueError(f"line {line!r} is not a compiled gate")
+        group, col, key = loc
+        gate = self.circuit.gates[line]
+        cell = self._cell_for(gate)
+        if _shape_key(cell, self._peak) != key:
+            raise ValueError(
+                f"cell {cell.name!r} does not fit the compiled shape {key} "
+                f"of gate {line!r}; recompile required"
+            )
+        if isinstance(group, _CtrlGroup):
+            self._patch_ctrl(group, col, gate, cell, load)
+        else:
+            self._patch_arc(group, col, gate, cell, load)
+        group.version += 1
+
+    def _patch_ctrl(
+        self,
+        grp: _CtrlGroup,
+        col: int,
+        gate: Gate,
+        cell: CellTiming,
+        load: float,
+    ) -> None:
+        ctrl_rising = cell.controlling_value == 1
+        for p in range(grp.n_pins):
+            grp.ctrl_rows[p, col] = self.row(gate.inputs[p], ctrl_rising)
+            grp.nonctrl_rows[p, col] = self.row(
+                gate.inputs[p], not ctrl_rising
+            )
+        grp.out_ctrl[col] = self.row(gate.output, cell.ctrl.out_rising)
+        grp.out_nonctrl[col] = self.row(
+            gate.output, not cell.ctrl.out_rising
+        )
+        ctx = self._ctx
+        _assign_pack_column(grp.pack, ctx.ctrl_pack(cell), col)
+        _assign_pack_column(grp.npack, ctx.nonctrl_pack(cell), col)
+        grp.d_adj_c[col] = cell.load_adjusted_delay(cell.ctrl.out_rising, load)
+        grp.r_adj_c[col] = cell.load_adjusted_trans(cell.ctrl.out_rising, load)
+        grp.d_adj_n[col] = cell.load_adjusted_delay(
+            not cell.ctrl.out_rising, load
+        )
+        grp.r_adj_n[col] = cell.load_adjusted_trans(
+            not cell.ctrl.out_rising, load
+        )
+        _, _, _, _, pairs = _pair_combos(grp.n_pins)
+        if grp.ppack is not None:
+            _assign_pack_column(grp.ppack, ctx.peak_pack(cell), col)
+            _assign_shape_column(grp.peak, cell.nonctrl, col)
+            grp.p_adj[col] = cell.load_adjusted_delay(
+                cell.nonctrl.out_rising, load
+            )
+            grp.pscale_c[:, col] = np.repeat(
+                np.array(
+                    [
+                        cell.nonctrl.pair_scale.get(pair_key(a, b), 1.0)
+                        for a, b in pairs
+                    ],
+                    dtype=float,
+                ),
+                4,
+            )
+        if grp.shape is not None:
+            _assign_shape_column(grp.shape, cell.ctrl, col)
+            grp.scale_c[:, col] = np.repeat(
+                np.array(
+                    [
+                        cell.ctrl.pair_scale.get(pair_key(a, b), 1.0)
+                        for a, b in pairs
+                    ],
+                    dtype=float,
+                ),
+                4,
+            )
+            grp.rt[:, col] = ratio_table(cell.ctrl.multi_scale, grp.n_pins)
+            grp.rt_t[:, col] = ratio_table(
+                cell.ctrl.trans_multi_scale, grp.n_pins
+            )
+
+    def _patch_arc(
+        self,
+        grp: _ArcGroup,
+        col: int,
+        gate: Gate,
+        cell: CellTiming,
+        load: float,
+    ) -> None:
+        ctx = self._ctx
+        for d, out_rising in zip(grp.dirs, (True, False)):
+            if d is None:
+                continue
+            index, pack = ctx.fanin_pack(cell, out_rising)
+            arcs = sorted(index.items(), key=lambda kv: kv[1])
+            for a, ((pin, in_rising), _) in enumerate(arcs):
+                d.in_rows[a, col] = self.row(gate.inputs[pin], in_rising)
+            _assign_pack_column(d.pack, pack, col)
+            d.d_adj[col] = cell.load_adjusted_delay(out_rising, load)
+            d.r_adj[col] = cell.load_adjusted_trans(out_rising, load)
 
     def _build_ctrl(
         self,
@@ -686,6 +991,8 @@ class LevelCompiledAnalyzer:
         obs.gauge("sta.compile.levels").set(self.compiled.n_levels)
         obs.gauge("sta.compile.groups").set(self.compiled.n_groups)
         obs.gauge("sta.compile.gates").set(self.compiled.n_gates)
+        #: SoA state of the last ``analyze`` call (see that method).
+        self.last_windows: Optional[CompiledWindows] = None
         self._m_gates = obs.counter("sta.gates_evaluated")
         self._m_corners = obs.counter("sta.corner_calls")
         self._m_passes = obs.counter("sta.compile.passes")
@@ -699,6 +1006,9 @@ class LevelCompiledAnalyzer:
     ) -> StaResult:
         """Single-scenario run; drop-in for ``TimingAnalyzer.analyze``."""
         compiled = self.propagate(pi_overrides=pi_overrides)
+        # Retained for the incremental engine, which re-times cones by
+        # mutating this state in place (see repro.sta.incremental).
+        self.last_windows = compiled
         result = self._extract(compiled, 0)
         if self._obs.enabled:
             widths = self._obs.histogram("sta.window_width_s")
@@ -787,6 +1097,26 @@ class LevelCompiledAnalyzer:
         return CompiledWindows(
             a_s, a_l, t_s, t_l, states, cc.line_index, cc.n_lines
         )
+
+    # ------------------------------------------------------------------
+    def run_group(
+        self,
+        group: Union[_CtrlGroup, _ArcGroup],
+        arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        states: np.ndarray,
+        f: Optional[np.ndarray] = None,
+    ) -> None:
+        """Run one (possibly column-subset) group against SoA state.
+
+        The incremental engine's batched cone re-timing entry point:
+        ``arrays``/``states`` are a persistent ``(2 * n_lines, B)`` window
+        state (as produced by :meth:`propagate`) and ``group`` is either
+        a compiled group or a :func:`subset_group` slice of one.
+        """
+        if isinstance(group, _CtrlGroup):
+            self._run_ctrl(group, f, arrays, states)
+        else:
+            self._run_arc(group, f, arrays, states)
 
     # ------------------------------------------------------------------
     # Boundary conditions

@@ -1,0 +1,243 @@
+"""Tests of incremental re-timing and trial batches.
+
+The contract under test is *bit-identity*: after any edit sequence,
+:meth:`repro.sta.incremental.IncrementalAnalyzer.retime` must leave
+every line's windows bitwise-equal to a fresh scalar analysis of the
+mutated circuit, and every :meth:`~repro.sta.incremental
+.IncrementalAnalyzer.try_edits` column must equal a fresh analysis of
+the circuit with only that one edit applied.
+"""
+
+import pytest
+
+from repro.circuit import Circuit, load_packaged_bench, parse_bench
+from repro.models import VShapeModel
+from repro.sta import (
+    IncrementalAnalyzer,
+    PerfConfig,
+    StaConfig,
+    TimingAnalyzer,
+    TrialEdit,
+)
+from repro.sta.cache import PropagationCache
+from repro.sta.incremental import _timings_equal
+
+#: Reference configuration: no kernels, no memo — the plain definition.
+SCALAR = PerfConfig(batched_kernels=False, memo_enabled=False)
+
+ENGINES = ("gate", "level")
+
+
+def _incremental(circuit, library, engine):
+    analyzer = TimingAnalyzer(
+        circuit, library, VShapeModel(), StaConfig(),
+        perf=PerfConfig(engine=engine),
+    )
+    return IncrementalAnalyzer(analyzer)
+
+
+def _fresh_timings(circuit, library, perf=SCALAR):
+    """Analyze a rebuilt copy of ``circuit`` from scratch."""
+    rebuilt = Circuit.from_dict(circuit.to_dict())
+    analyzer = TimingAnalyzer(
+        rebuilt, library, VShapeModel(), StaConfig(), perf=perf
+    )
+    return analyzer.analyze()
+
+
+def _assert_all_lines_equal(circuit, result, reference):
+    for line in circuit.lines:
+        assert _timings_equal(result.line(line), reference.line(line)), line
+
+
+def _edit_script(circuit):
+    """A deterministic mixed edit sequence valid on any packaged bench."""
+    gates = sorted(circuit.gates)
+    two_in = next(
+        g for g in gates if circuit.gates[g].n_inputs == 2
+    )
+    target = next(
+        g for g in gates
+        if g != two_in and circuit.gates[g].n_inputs >= 2
+    )
+    # A PI the target does not already read cannot create a cycle.
+    new_src = next(
+        pi for pi in circuit.inputs
+        if pi not in circuit.gates[target].inputs
+    )
+    return [
+        ("resize", gates[0], 2.0, None),
+        ("swap", two_in, "nor", None),
+        ("resize", gates[-1], 0.5, None),
+        ("rewire", target, new_src, 0),
+        ("resize", gates[0], 2.0, None),  # no-op resize must still work
+    ]
+
+
+def _apply(circuit, edit):
+    op, line, value, pin = edit
+    if op == "resize":
+        circuit.resize_gate(line, value)
+    elif op == "swap":
+        circuit.swap_cell(line, value)
+    else:
+        circuit.rewire_input(line, pin, value)
+
+
+class TestRetime:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_matches_fresh_after_each_edit(self, library, engine):
+        circuit = load_packaged_bench("c17")
+        incr = _incremental(circuit, library, engine)
+        incr.analyze()
+        for edit in _edit_script(circuit):
+            _apply(circuit, edit)
+            result = incr.retime()
+            reference = _fresh_timings(circuit, library)
+            _assert_all_lines_equal(circuit, result, reference)
+
+    def test_matches_fresh_on_c432s_level(self, library):
+        circuit = load_packaged_bench("c432s")
+        incr = _incremental(circuit, library, "level")
+        incr.analyze()
+        for edit in _edit_script(circuit):
+            _apply(circuit, edit)
+        result = incr.retime()
+        reference = _fresh_timings(circuit, library)
+        _assert_all_lines_equal(circuit, result, reference)
+
+    def test_full_pass_after_patched_edits_matches_fresh(self, library):
+        # Coefficient edits are patched into the compiled SoA arrays in
+        # place; a later *full* batched pass must still be bit-identical
+        # to a fresh scalar analysis (i.e. the patch really updated the
+        # compiled form, not just the incremental window state).
+        circuit = load_packaged_bench("c17")
+        incr = _incremental(circuit, library, "level")
+        incr.analyze()
+        incr.resize_gate(sorted(circuit.gates)[0], 3.3)
+        result = incr.analyzer.analyze()
+        reference = _fresh_timings(circuit, library)
+        _assert_all_lines_equal(circuit, result, reference)
+
+
+class TestTryEdits:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_columns_match_fresh_variants(self, library, engine):
+        circuit = load_packaged_bench("c17")
+        incr = _incremental(circuit, library, engine)
+        incr.analyze()
+        gates = sorted(circuit.gates)
+        two_in = next(g for g in gates if circuit.gates[g].n_inputs == 2)
+        edits = [
+            TrialEdit("resize", gates[0], 0.5),
+            TrialEdit("resize", gates[0], 2.0),
+            TrialEdit("resize", gates[-1], 4.0),
+            TrialEdit("swap", two_in, "nor"),
+        ]
+        trial = incr.try_edits(edits)
+        assert trial.n_trials == len(edits)
+        for k, e in enumerate(edits):
+            variant = Circuit.from_dict(circuit.to_dict())
+            _apply(variant, (e.op, e.line, e.value, None))
+            reference = TimingAnalyzer(
+                variant, library, VShapeModel(), StaConfig(), perf=SCALAR
+            ).analyze()
+            for line in variant.lines:
+                assert _timings_equal(
+                    trial.line_timing(line, k), reference.line(line)
+                ), f"k={k} {line}"
+            assert trial.max_arrivals()[k] == reference.output_max_arrival()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_master_state_is_untouched(self, library, engine):
+        circuit = load_packaged_bench("c17")
+        incr = _incremental(circuit, library, engine)
+        incr.analyze()
+        before = {line: incr.result().line(line) for line in circuit.lines}
+        sizes_before = {g: circuit.gates[g].size for g in circuit.gates}
+        incr.try_edits([
+            TrialEdit("resize", g, 2.0) for g in sorted(circuit.gates)[:3]
+        ])
+        assert {g: circuit.gates[g].size for g in circuit.gates} == sizes_before
+        after = incr.result()
+        for line in circuit.lines:
+            assert _timings_equal(after.line(line), before[line]), line
+
+    def test_cross_feeding_fanin_drivers(self, library):
+        # Regression: resizing g10 re-loads both g2 and g9, and g2 feeds
+        # g9 through g5 — so g9's seeded trial value goes stale once
+        # g2's change propagates, and must be *recomputed* mid-sweep
+        # with its trial load (not restored from the seed snapshot).
+        circuit = parse_bench(
+            """
+            INPUT(a)
+            INPUT(b)
+            INPUT(c)
+            OUTPUT(g10)
+            g2 = NAND(a, b)
+            g5 = NOT(g2)
+            g9 = NAND(g5, c)
+            g10 = NAND(g2, g9)
+            """,
+            name="crossfeed",
+        )
+        incr = _incremental(circuit, library, "level")
+        incr.analyze()
+        edits = [TrialEdit("resize", "g10", s) for s in (0.5, 2.0)]
+        trial = incr.try_edits(edits)
+        for k, e in enumerate(edits):
+            variant = Circuit.from_dict(circuit.to_dict())
+            variant.resize_gate(e.line, e.value)
+            reference = TimingAnalyzer(
+                variant, library, VShapeModel(), StaConfig(), perf=SCALAR
+            ).analyze()
+            for line in variant.lines:
+                assert _timings_equal(
+                    trial.line_timing(line, k), reference.line(line)
+                ), f"k={k} {line}"
+
+    def test_rejects_empty_and_structural_edits(self, library):
+        circuit = load_packaged_bench("c17")
+        incr = _incremental(circuit, library, "level")
+        incr.analyze()
+        with pytest.raises(ValueError):
+            incr.try_edits([])
+        with pytest.raises(ValueError):
+            incr.try_edits([TrialEdit("rewire", "G10", "G1")])
+
+
+class TestMemoEpoch:
+    def test_epoch_distinguishes_cache_keys(self):
+        # Regression: a circuit mutated behind the analyzer must never
+        # be served a memo entry recorded before the edit — the edit
+        # epoch is part of both the hash key and the exact tag.
+        from repro.sta.windows import DirWindow, LineTiming
+
+        cache = PropagationCache(max_entries=8, quantum=1e-15)
+        timing = LineTiming(
+            rise=DirWindow(1e-10, 2e-10, 5e-11, 8e-11),
+            fall=DirWindow(1e-10, 2e-10, 5e-11, 8e-11),
+        )
+        key0, tag0 = cache.key_for("nand2", 1e-14, [timing], epoch=0)
+        key1, tag1 = cache.key_for("nand2", 1e-14, [timing], epoch=1)
+        assert key0 != key1
+        assert tag0 != tag1
+        cache.store(key0, tag0, timing)
+        assert cache.lookup(key0, tag0) is not None
+        assert cache.lookup(key1, tag1) is None
+
+    def test_analyzer_epoch_tracks_circuit_edits(self, library):
+        circuit = load_packaged_bench("c17")
+        analyzer = TimingAnalyzer(
+            circuit, library, VShapeModel(), StaConfig(),
+            perf=PerfConfig(engine="gate"),
+        )
+        first = analyzer.analyze()
+        target = sorted(circuit.gates)[0]
+        circuit.resize_gate(target, 4.0)
+        second = analyzer.analyze()
+        reference = _fresh_timings(circuit, library)
+        _assert_all_lines_equal(circuit, second, reference)
+        assert not _timings_equal(
+            first.line(target), second.line(target)
+        )

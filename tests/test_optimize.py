@@ -1,0 +1,117 @@
+"""Tests of the timing-driven gate-sizing optimizer."""
+
+import pytest
+
+from repro.circuit import Circuit, load_packaged_bench
+from repro.models import VShapeModel
+from repro.sta import PerfConfig, StaConfig, TimingAnalyzer
+from repro.sta.optimize import (
+    DEFAULT_SIZES,
+    SizingConfig,
+    optimize_sizing,
+)
+
+
+def _fresh_worst_arrival(circuit, library, engine="level"):
+    rebuilt = Circuit.from_dict(circuit.to_dict())
+    analyzer = TimingAnalyzer(
+        rebuilt, library, VShapeModel(), StaConfig(),
+        perf=PerfConfig(engine=engine),
+    )
+    return analyzer.analyze().output_max_arrival()
+
+
+class TestSizingConfig:
+    def test_rejects_unknown_cost(self):
+        with pytest.raises(ValueError):
+            SizingConfig(cost="latency")
+
+    def test_defaults_are_sane(self):
+        config = SizingConfig()
+        assert config.sizes == DEFAULT_SIZES
+        assert config.cost == "wns"
+
+
+class TestOptimizeSizing:
+    def test_improves_wns_on_c432s(self, library):
+        circuit = load_packaged_bench("c432s")
+        config = SizingConfig(max_passes=3, gates_per_pass=4)
+        result = optimize_sizing(circuit, library, config=config)
+        assert result.commits >= 1
+        assert result.improved
+        assert result.final_wns > result.initial_wns
+        assert result.resizes  # the committed edits are reported
+        for line, (old, new) in result.resizes.items():
+            assert circuit.gates[line].size == new
+            assert old != new
+
+    def test_final_cost_matches_fresh_analysis(self, library):
+        # The optimizer's claimed final WNS comes from incremental trial
+        # columns; it must be bitwise-equal to a fresh full analysis of
+        # the mutated circuit.
+        circuit = load_packaged_bench("c432s")
+        config = SizingConfig(max_passes=2, gates_per_pass=4)
+        result = optimize_sizing(circuit, library, config=config)
+        worst = _fresh_worst_arrival(circuit, library)
+        assert result.required - result.final_wns == worst
+
+    def test_deterministic_under_seed(self, library):
+        results = []
+        for _ in range(2):
+            circuit = load_packaged_bench("c17")
+            config = SizingConfig(
+                max_passes=2, gates_per_pass=3, anneal_steps=4, seed=7
+            )
+            results.append(optimize_sizing(circuit, library, config=config))
+        a, b = results
+        assert a.resizes == b.resizes
+        assert a.final_cost == b.final_cost
+        assert a.trials == b.trials
+
+    def test_tns_mode_does_not_regress(self, library):
+        circuit = load_packaged_bench("c17")
+        # A clock at 60% of the unoptimized delay leaves real violations
+        # for the TNS objective to chew on.
+        clock = 0.6 * _fresh_worst_arrival(circuit, library)
+        config = SizingConfig(
+            max_passes=2, gates_per_pass=3, clock=clock, cost="tns"
+        )
+        result = optimize_sizing(circuit, library, config=config)
+        assert result.cost_mode == "tns"
+        assert result.final_cost <= result.initial_cost
+
+    def test_gate_engine_also_supported(self, library):
+        circuit = load_packaged_bench("c17")
+        config = SizingConfig(max_passes=1, gates_per_pass=2)
+        result = optimize_sizing(
+            circuit, library, config=config,
+            perf=PerfConfig(engine="gate"),
+        )
+        assert result.final_wns >= result.initial_wns
+
+
+class TestOptimizeCli:
+    def test_smoke_and_exit_code(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "optimize", "c17", "--passes", "1", "--gates-per-pass", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "WNS" in out
+
+    def test_json_output(self, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "sizing.json"
+        rc = main([
+            "optimize", "c17", "--passes", "1", "--gates-per-pass", "2",
+            "--json", str(out),
+        ])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["circuit"] == "c17"
+        assert payload["final_wns_ns"] >= payload["initial_wns_ns"]
