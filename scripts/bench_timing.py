@@ -485,6 +485,70 @@ def bench_sta_incremental(circuits, library, passes, trial_gates):
     return out
 
 
+def bench_server(circuit_name, warm_queries, cold_runs):
+    """Warm daemon queries vs. cold one-shot CLI processes.
+
+    The cold leg times a full ``repro-sta sta`` process per question —
+    the pre-daemon cost of one timing query (interpreter boot, library
+    load, full analysis).  The warm leg asks distinct what-if questions
+    (a fresh resize value each time, so the response memo cannot
+    answer) over real HTTP against a live :class:`ServerThread` whose
+    session engines were warmed by one untimed query.  Answers are
+    bitwise-identical either way — ``tests/test_server.py`` and the
+    ``serve`` fuzz oracle enforce that; this only measures latency.
+    """
+    import subprocess
+
+    from repro.server import ServerClient, ServerConfig, ServerThread
+
+    circuit = load_packaged_bench(circuit_name)
+    env = {
+        **os.environ,
+        "PYTHONPATH": os.pathsep.join(
+            [str(REPO_ROOT / "src")]
+            + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH")
+               else [])
+        ),
+    }
+
+    def cold_once():
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "sta", circuit_name],
+            check=True, capture_output=True, env=env, cwd=REPO_ROOT,
+        )
+
+    cold_s, _ = _best_of(cold_runs, cold_once)
+
+    gate = max(circuit.gates, key=lambda g: len(circuit.fanouts(g)))
+    counter = iter(range(1, 10 ** 9))
+
+    with ServerThread(
+        {circuit_name: circuit}, ServerConfig(port=0, workers=0)
+    ) as handle:
+        with ServerClient("127.0.0.1", handle.port) as client:
+            client.result(circuit_name, "slack", {"worst": 5})  # warm up
+
+            def warm_round():
+                for _ in range(warm_queries):
+                    client.result(circuit_name, "whatif", {"edits": [
+                        {"op": "resize", "line": gate,
+                         "value": 1.0 + next(counter) * 1e-6},
+                    ]})
+
+            warm_total, _ = _best_of(2, warm_round)
+    warm_s = warm_total / warm_queries
+    return {
+        "circuit": circuit_name,
+        "cold_runs": cold_runs,
+        "warm_queries": warm_queries,
+        "baseline": "one `repro-sta sta` process per question "
+                    "(interpreter boot + library load + full analysis)",
+        "cold_s_per_query": cold_s,
+        "warm_s_per_query": warm_s,
+        "speedup": cold_s / warm_s,
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -542,6 +606,12 @@ def main():
     report["mc"] = bench_mc(
         itr_circuit, library, mc_samples, mc_baseline_passes, repeats
     )
+    print("benchmarking daemon warm-query latency ...", flush=True)
+    report["server"] = bench_server(
+        "c432s",
+        warm_queries=16 if args.quick else 48,
+        cold_runs=2 if args.quick else 3,
+    )
 
     attach_manifest(
         report,
@@ -554,7 +624,7 @@ def main():
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     for name in (
         "sta_full_pass", "sta_full_pass_level", "sta_incremental",
-        "itr_refine", "atpg_with_itr", "mc",
+        "itr_refine", "atpg_with_itr", "mc", "server",
     ):
         entry = report[name]
         speedup = entry.get("speedup", entry.get("speedup_serial"))

@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""CI smoke for the timing daemon (``repro-sta serve``).
+
+Boots a real daemon subprocess on a fixed port with shard workers,
+fires a concurrent client mix at it (healthz, windows, slack, paths,
+Monte Carlo, what-if batches, planted duplicates), then checks
+
+* every response is structured (no tracebacks on the wire);
+* one MC response is bitwise-identical to a one-shot
+  ``repro-sta mc --json`` run (minus the run manifest);
+* ``/metrics`` exposes per-endpoint request counters and latency
+  histograms, including metrics merged back from shard workers;
+* ``POST /v1/shutdown`` exits the daemon cleanly — a nonzero daemon
+  exit (leaked workers) fails the smoke.
+
+Exits 0 on success, 1 on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Subprocess environment: works from a checkout (PYTHONPATH=src) and
+#: from an installed package alike.
+ENV = {
+    **os.environ,
+    "PYTHONPATH": os.pathsep.join(
+        [str(REPO / "src")]
+        + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH")
+           else [])
+    ),
+}
+
+from repro.server.client import ServerClient  # noqa: E402
+
+MC_PARAMS = {
+    "samples": 48, "seed": 11, "block": 16,
+    "sigma_corr": 0.04, "sigma_ind": 0.06,
+    "quantiles": [0.5, 0.95, 0.99],
+}
+
+
+def fail(message: str) -> None:
+    print(f"serve smoke FAILED: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def wait_ready(port: int, proc: subprocess.Popen, budget: float = 60.0):
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            fail(f"daemon exited early with rc={proc.returncode}")
+        try:
+            with ServerClient("127.0.0.1", port, timeout=5) as client:
+                if client.healthz().get("status") == "ok":
+                    return
+        except OSError:
+            time.sleep(0.25)
+    fail("daemon did not become ready in time")
+
+
+def client_mix(port: int) -> list:
+    """The concurrent query mix; returns the raw response bodies."""
+    queries = [
+        ("c17", "windows", {"lines": None}),
+        ("c17", "slack", {"worst": 5, "clock_ns": 2.0}),
+        ("c17", "path", {"kind": "max"}),
+        ("c432s", "windows", {"model": "vshape"}),
+        ("c432s", "slack", {"worst": 8}),
+        ("c432s", "path", {"kind": "min"}),
+        ("c432s", "mc", dict(MC_PARAMS)),
+        ("c432s", "mc", dict(MC_PARAMS)),  # duplicate: dedup/memo path
+        ("c432s", "whatif", {"edits": [
+            {"op": "resize", "line": "G100", "value": 2.0},
+        ], "clock_ns": 3.0}),
+        ("c432s", "whatif", {"edits": [
+            {"op": "resize", "line": "G100", "value": 0.5},
+        ], "clock_ns": 3.0}),
+        ("c17", "windows", {"lines": None}),  # duplicate again
+    ]
+
+    def one(spec):
+        circuit, method, params = spec
+        with ServerClient("127.0.0.1", port, timeout=60) as client:
+            return client.query(circuit, method, params)
+
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        return list(pool.map(one, queries))
+
+
+def check_responses(bodies: list) -> dict:
+    """Validate the mix; returns the first MC response body."""
+    mc_body = None
+    for body in bodies:
+        wire = json.dumps(body)
+        if "traceback" in wire.lower():
+            fail(f"traceback leaked onto the wire: {wire[:200]}")
+        if not body.get("ok"):
+            fail(f"query failed: {wire[:300]}")
+        if body["method"] == "mc" and mc_body is None:
+            mc_body = body
+    if mc_body is None:
+        fail("no MC response in the mix")
+    dupes = [b for b in bodies if b.get("cached")]
+    print(f"serve smoke: {len(bodies)} responses ok, "
+          f"{len(dupes)} answered from the memo")
+    return mc_body
+
+
+def check_cli_parity(mc_result: dict) -> None:
+    """The daemon's MC answer must equal a one-shot CLI run, bitwise."""
+    out = Path(tempfile.mkdtemp(prefix="serve-smoke-")) / "mc.json"
+    cmd = [
+        sys.executable, "-m", "repro.cli", "mc", "c432s",
+        "--samples", str(MC_PARAMS["samples"]),
+        "--seed", str(MC_PARAMS["seed"]),
+        "--block", str(MC_PARAMS["block"]),
+        "--sigma-corr", str(MC_PARAMS["sigma_corr"]),
+        "--sigma-ind", str(MC_PARAMS["sigma_ind"]),
+        "--quantiles", ",".join(str(q) for q in MC_PARAMS["quantiles"]),
+        "--json", str(out),
+    ]
+    proc = subprocess.run(
+        cmd, cwd=REPO, env=ENV, capture_output=True, text=True,
+        timeout=300,
+    )
+    if proc.returncode != 0:
+        fail(f"one-shot CLI mc failed: {proc.stderr[-400:]}")
+    reference = json.loads(out.read_text())
+    reference.pop("run_manifest", None)
+    served = json.dumps(mc_result, sort_keys=True)
+    oneshot = json.dumps(reference, sort_keys=True)
+    if served != oneshot:
+        fail(
+            "daemon MC response is not bitwise-identical to the "
+            f"one-shot CLI:\n  served:  {served[:400]}\n"
+            f"  one-shot: {oneshot[:400]}"
+        )
+    print("serve smoke: daemon MC response == one-shot CLI, bitwise")
+
+
+def check_metrics(port: int) -> None:
+    with ServerClient("127.0.0.1", port, timeout=10) as client:
+        text = client.metrics()
+    required = [
+        # Per-endpoint counters + latency histograms.
+        "repro_server_requests_windows_total",
+        "repro_server_requests_mc_total",
+        "repro_server_windows_latency_s",
+        'repro_server_mc_latency_s{quantile="0.5"}',
+        # Session metrics computed inside shard workers must merge
+        # back into the parent scrape.
+        "repro_server_session_analyzers_built_total",
+        "repro_server_session_mc_samples_total",
+        "repro_server_memo_hits_total",
+    ]
+    missing = [name for name in required if name not in text]
+    if missing:
+        fail(f"/metrics is missing {missing}; got:\n{text[:800]}")
+    print(f"serve smoke: /metrics ok ({len(text.splitlines())} lines)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=8971)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", "c17", "c432s",
+            "--port", str(args.port), "--workers", str(args.workers),
+        ],
+        cwd=REPO,
+        env=ENV,
+    )
+    try:
+        wait_ready(args.port, daemon)
+        mc_body = check_responses(client_mix(args.port))
+        check_cli_parity(mc_body["result"])
+        check_metrics(args.port)
+        with ServerClient("127.0.0.1", args.port, timeout=10) as client:
+            client.shutdown()
+        rc = daemon.wait(timeout=30)
+        if rc != 0:
+            fail(f"daemon exited rc={rc} (leaked workers?)")
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            try:
+                daemon.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+    print("serve smoke OK: clean shutdown, no leaked workers")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

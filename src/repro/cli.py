@@ -17,6 +17,9 @@ Subcommands:
 * ``obs``  — inspect, diff, and export metrics traces written with
   ``--trace-json`` (Chrome/Perfetto export, self-time profile,
   Prometheus text exposition, run-provenance manifest);
+* ``serve`` — run the timing daemon: warm per-circuit sessions behind
+  an asyncio HTTP/JSON API (see :mod:`repro.server`);
+* ``client`` — query a running ``serve`` daemon;
 * ``bench`` — list the benchmark circuits shipped with the package.
 """
 
@@ -667,6 +670,76 @@ def _global_flags() -> argparse.ArgumentParser:
     return common
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import ServerConfig, run_server
+
+    # /metrics needs a live registry whether or not --stats was given;
+    # keep an outer --stats registry if main() installed one.
+    if not get_registry().enabled:
+        set_registry(MetricsRegistry())
+    try:
+        circuits = {}
+        for spec in args.circuits:
+            circuit = _load_circuit(spec)
+            circuits[circuit.name] = circuit
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            request_timeout=args.timeout,
+            max_batch=args.max_batch,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return run_server(circuits, config)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .server.client import ServerClient
+
+    client = ServerClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.method == "healthz":
+            print(json.dumps(client.healthz(), indent=2, sort_keys=True))
+            return 0
+        if args.method == "metrics":
+            print(client.metrics(), end="")
+            return 0
+        if args.method == "shutdown":
+            print(json.dumps(client.shutdown(), indent=2, sort_keys=True))
+            return 0
+        if args.circuit is None:
+            print(
+                f"error: {args.method} needs a circuit argument",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            params = json.loads(args.params) if args.params else {}
+        except json.JSONDecodeError as exc:
+            print(
+                f"error: --params is not valid JSON: {exc}", file=sys.stderr
+            )
+            return 2
+        response = client.query(
+            args.circuit, args.method, params,
+            timeout_s=args.request_timeout,
+        )
+        response.pop("_status", None)
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("ok") else 1
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    finally:
+        client.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = _global_flags()
     parser = argparse.ArgumentParser(
@@ -910,6 +983,60 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--top", type=int, default=10, metavar="K",
                      help="self-time profile rows (default: 10)")
     obs.set_defaults(func=_cmd_obs)
+
+    serve = sub.add_parser(
+        "serve",
+        help="timing-as-a-service daemon: warm sessions over HTTP/JSON",
+        parents=[common],
+    )
+    serve.add_argument(
+        "circuits", nargs="+", metavar="CIRCUIT",
+        help=".bench paths or packaged names to load and keep warm",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8173,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8173)")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="shard worker processes; circuits are "
+                            "assigned to shards deterministically "
+                            "(default: 0 — in-process sessions)")
+    serve.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                       help="pending requests per circuit before the "
+                            "daemon answers 'overloaded' (default: 64)")
+    serve.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                       help="server-side cap on any request's wait "
+                            "(default: 30)")
+    serve.add_argument("--max-batch", type=int, default=32, metavar="N",
+                       help="cap on /v1/batch size and what-if edits "
+                            "per request (default: 32)")
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="query a running serve daemon",
+        parents=[common],
+    )
+    client.add_argument(
+        "method",
+        choices=("windows", "slack", "path", "mc", "whatif",
+                 "healthz", "metrics", "shutdown"),
+        help="query method, or a daemon endpoint "
+             "(healthz/metrics/shutdown)",
+    )
+    client.add_argument("circuit", nargs="?", default=None,
+                        help="circuit name (query methods only)")
+    client.add_argument("--params", default=None, metavar="JSON",
+                        help="method params as a JSON object")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8173)
+    client.add_argument("--timeout", type=float, default=60.0, metavar="S",
+                        help="socket timeout (default: 60)")
+    client.add_argument("--request-timeout", type=float, default=None,
+                        metavar="S", dest="request_timeout",
+                        help="server-side per-request timeout to ask for")
+    client.set_defaults(func=_cmd_client)
 
     report = sub.add_parser("report", help="critical/shortest path report",
                             parents=[common])

@@ -59,6 +59,9 @@ class FuzzCase:
             ``{line: {"rise"/"fall": [a_s, a_l, t_s, t_l, state]}}``.
             The shrinker uses these to preserve a deleted fan-in cone's
             computed windows when promoting its root to a primary input.
+        queries: Daemon query mix for the serve oracle, as
+            ``{"method": ..., "params": {...}}`` entries replayed
+            concurrently against an in-process server.
     """
 
     oracle: str
@@ -76,6 +79,7 @@ class FuzzCase:
     mc: Optional[dict] = None
     edits: Optional[List[list]] = None
     pi_windows: Optional[Dict[str, dict]] = None
+    queries: Optional[List[dict]] = None
 
     # ------------------------------------------------------------------
     # Serialization
@@ -175,6 +179,8 @@ class FuzzCase:
             bits.append(f"{len(self.decisions)} decisions")
         if self.edits is not None:
             bits.append(f"{len(self.edits)} edits")
+        if self.queries is not None:
+            bits.append(f"{len(self.queries)} queries")
         return " ".join(bits)
 
 

@@ -181,6 +181,75 @@ def random_edit_sequence(
 
 
 # ----------------------------------------------------------------------
+# Daemon query mixes
+# ----------------------------------------------------------------------
+def random_query_mix(
+    rng: random.Random, circuit: dict, max_queries: int = 7
+) -> List[dict]:
+    """A concurrent query mix for the serve oracle.
+
+    Draws from every daemon method — windows over random line subsets,
+    slack tables with and without a clock, max/min path traces, small
+    Monte Carlo runs on both forward engines, and what-if resize/swap
+    batches — then appends an exact duplicate of one query so the
+    dedup/memo path is exercised on every case.
+    """
+    from .case import _deep_copy_jsonish
+
+    gate_lines = [out for out, _, _ in circuit["gates"]]
+    fanin = {out: len(pins) for out, _, pins in circuit["gates"]}
+    all_lines = list(circuit["inputs"]) + gate_lines
+    models = sorted(MODEL_FACTORIES)
+
+    def one_query() -> dict:
+        method = rng.choice(["windows", "slack", "path", "mc", "whatif"])
+        params: dict = {"model": rng.choice(models)}
+        if method == "windows":
+            if rng.random() < 0.2:
+                params["lines"] = None  # default: the primary outputs
+            else:
+                k = rng.randint(1, min(4, len(all_lines)))
+                params["lines"] = rng.sample(all_lines, k)
+        elif method == "slack":
+            params["worst"] = rng.randint(1, 8)
+            if rng.random() < 0.6:
+                params["clock_ns"] = round(rng.uniform(0.5, 3.0), 3)
+        elif method == "path":
+            params["kind"] = rng.choice(["max", "min"])
+        elif method == "mc":
+            params.update(
+                samples=rng.choice([4, 6, 9]),
+                seed=rng.randrange(2 ** 16),
+                sigma_corr=rng.choice([0.0, 0.05]),
+                sigma_ind=rng.choice([0.0, 0.04]),
+                block=rng.choice([2, 3, 4]),
+                quantiles=[0.5, 0.9],
+                engine=rng.choice(["gate", "level"]),
+            )
+            if rng.random() < 0.4:
+                params["period_ns"] = round(rng.uniform(0.5, 3.0), 3)
+        else:
+            edits = []
+            for _ in range(rng.randint(1, 3)):
+                line = rng.choice(gate_lines)
+                kinds = _SWAP_KINDS.get(fanin[line])
+                if kinds and rng.random() < 0.3:
+                    edits.append({"op": "swap", "line": line,
+                                  "value": rng.choice(kinds)})
+                else:
+                    edits.append({"op": "resize", "line": line,
+                                  "value": rng.choice(_EDIT_SIZES)})
+            params["edits"] = edits
+            if rng.random() < 0.5:
+                params["clock_ns"] = round(rng.uniform(0.5, 3.0), 3)
+        return {"method": method, "params": params}
+
+    queries = [one_query() for _ in range(rng.randint(3, max_queries))]
+    queries.append(_deep_copy_jsonish(rng.choice(queries)))
+    return queries
+
+
+# ----------------------------------------------------------------------
 # ITR decisions
 # ----------------------------------------------------------------------
 def random_decisions(

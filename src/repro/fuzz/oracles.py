@@ -22,6 +22,10 @@ plus a physical ground-truth check:
 * ``mc``        — Monte Carlo STA: pooled sample blocks (``jobs=2``)
   vs. serial, bit for bit, and a zero-sigma single sample vs. the
   deterministic analyzer, bit for bit;
+* ``serve``     — the timing daemon: a concurrent query mix (windows,
+  slack, paths, Monte Carlo, what-if batches, planted duplicates)
+  against an in-process server vs. fresh scalar references formatted
+  through the shared serializers, bit for bit;
 * ``spice``     — the V-shape model vs. a fresh transistor-level
   simulation on a small gate, within a stated tolerance.
 
@@ -667,6 +671,151 @@ register_oracle(Oracle(
     generate=_gen_mc,
     check=_check_mc,
     max_cases=3,
+))
+
+
+# ----------------------------------------------------------------------
+# serve: timing daemon vs. fresh scalar references
+# ----------------------------------------------------------------------
+def _gen_serve(rng: random.Random) -> FuzzCase:
+    circuit = gen.random_circuit_dict(rng, min_gates=4, max_gates=24)
+    return FuzzCase(
+        oracle="serve",
+        circuit=circuit,
+        queries=gen.random_query_mix(rng, circuit),
+    )
+
+
+def _check_serve(case: FuzzCase) -> OracleResult:
+    """Daemon responses == fresh scalar references, query by query.
+
+    Replays the case's query mix concurrently (``asyncio.gather`` over
+    one in-process :class:`ServerApp`, exercising the per-circuit
+    queue, drainer batching, what-if coalescing, and the dedup/memo
+    path via the planted duplicate), then rebuilds every answer cold —
+    SCALAR-config analyzers, serial ``run_mc``, one fresh analysis per
+    what-if edit — formatted through the shared
+    :mod:`repro.server.session` serializers, so any diff is engine
+    output, not formatting.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from ..server import session as srv
+    from ..server.app import ServerApp, ServerConfig
+    from ..server.protocol import validate_request
+
+    circuit = case.build_circuit()
+    library = shared_library()
+    payloads = [
+        {"circuit": circuit.name, "method": q["method"],
+         "params": q["params"]}
+        for q in (case.queries or [])
+    ]
+    app = ServerApp(
+        {circuit.name: circuit},
+        ServerConfig(workers=0, queue_limit=max(64, len(payloads))),
+        library=library,
+    )
+
+    async def drive():
+        await app.startup()
+        try:
+            return await asyncio.gather(*[
+                app.handle_request_payload(p) for p in payloads
+            ])
+        finally:
+            await app.aclose()
+
+    responses = asyncio.run(drive())
+
+    base: Dict[str, tuple] = {}
+
+    def scalar(model: str):
+        if model not in base:
+            analyzer = TimingAnalyzer(
+                case.build_circuit(), library, MC_MODELS[model](),
+                perf=SCALAR,
+            )
+            base[model] = (analyzer, analyzer.analyze())
+        return base[model]
+
+    def reference(request) -> dict:
+        params = request.params
+        model = params["model"]
+        if request.method == "windows":
+            _, result = scalar(model)
+            lines = params["lines"]
+            if lines is None:
+                lines = list(circuit.outputs)
+            return srv.windows_payload(result, lines)
+        if request.method == "slack":
+            analyzer, result = scalar(model)
+            clock_ns = params["clock_ns"]
+            clock_s = clock_ns * 1e-9 if clock_ns is not None else None
+            return srv.slack_payload(
+                analyzer, result, clock_s, params["worst"]
+            )
+        if request.method == "path":
+            analyzer, result = scalar(model)
+            return srv.path_payload(analyzer, result, params["kind"])
+        if request.method == "mc":
+            period = (
+                params["period_ns"] * 1e-9
+                if params["period_ns"] is not None else None
+            )
+            return run_mc(
+                case.build_circuit(), library, model=model,
+                variation=VariationModel(
+                    sigma_corr=params["sigma_corr"],
+                    sigma_ind=params["sigma_ind"],
+                ),
+                samples=params["samples"], seed=params["seed"],
+                jobs=1, block=params["block"], engine=params["engine"],
+            ).summary(tuple(params["quantiles"]), period)
+        # whatif: each edit vs. a fresh scalar analysis of its variant.
+        arrivals = []
+        for edit in params["edits"]:
+            variant = case.build_circuit()
+            if edit["op"] == "resize":
+                variant.resize_gate(edit["line"], edit["value"])
+            else:
+                variant.swap_cell(edit["line"], edit["value"])
+            arrivals.append(TimingAnalyzer(
+                variant, library, MC_MODELS[model](), perf=SCALAR
+            ).analyze().output_max_arrival())
+        _, base_result = scalar(model)
+        return srv.whatif_payload(
+            params["edits"], np.asarray(arrivals),
+            base_result.output_max_arrival(), params["clock_ns"],
+        )
+
+    for i, (payload, (status, body)) in enumerate(zip(payloads, responses)):
+        tag = f"query {i} ({payload['method']})"
+        if status != 200 or not body.get("ok"):
+            error = body.get("error", {})
+            return OracleResult(
+                False,
+                f"{tag}: daemon returned {status} "
+                f"{error.get('code')}: {error.get('message')}",
+            )
+        if body["result"] != reference(validate_request(payload)):
+            return OracleResult(
+                False,
+                f"{tag}: daemon result differs from the fresh scalar "
+                "reference",
+            )
+    return OracleResult(True)
+
+
+register_oracle(Oracle(
+    name="serve",
+    description="timing daemon (concurrent query mix, coalescing, memo) "
+                "vs. fresh scalar references, bit for bit",
+    generate=_gen_serve,
+    check=_check_serve,
+    max_cases=4,
 ))
 
 

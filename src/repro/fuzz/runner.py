@@ -20,13 +20,12 @@ from __future__ import annotations
 
 import dataclasses
 import time
-import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..obs import get_registry
-from ..obs.registry import disable as _disable_obs
+from ..obs.merge import capture_and_reset, init_worker_obs, merge_payloads
 from .artifacts import DEFAULT_ARTIFACT_DIR, write_artifact
 from .case import FuzzCase
 from .generate import generate_case
@@ -40,6 +39,9 @@ SHRINK_BUDGETS: Dict[str, int] = {
     "itr": 200,
     "atpg-jobs": 60,
     "char-jobs": 0,
+    # Query mixes are only valid against the circuit they were drawn
+    # from; gate deletion invalidates them, so serve cases replay as-is.
+    "serve": 0,
     "spice": 0,
 }
 DEFAULT_SHRINK_BUDGET = 200
@@ -140,11 +142,19 @@ class FuzzReport:
 # ----------------------------------------------------------------------
 # Worker-process entry points (top level: must pickle)
 # ----------------------------------------------------------------------
-def _pool_init() -> None:
-    _disable_obs()
+def _pool_init(obs_enabled: bool = False) -> None:
+    """Install a worker registry (real or null) once per process.
+
+    With the parent instrumented, each case's metric deltas ride back
+    with its result and merge into the parent registry — the same
+    discipline as the characterize/ATPG/MC pools — so ``--jobs N``
+    counter totals match ``--jobs 1``.  Otherwise the null registry
+    keeps workers zero-overhead.
+    """
+    init_worker_obs(obs_enabled)
 
 
-def _run_coordinates(
+def _check_coordinates(
     oracle: str, seed: int, index: int
 ) -> Tuple[str, int, bool, str, float]:
     """Regenerate and check one case from its coordinates."""
@@ -154,6 +164,19 @@ def _run_coordinates(
     return oracle, index, result.ok, result.detail, (
         time.perf_counter() - start
     )
+
+
+def _run_coordinates(
+    oracle: str, seed: int, index: int
+) -> Tuple[str, int, bool, str, float, Optional[dict]]:
+    """Worker-side case check: result plus the case's metric deltas.
+
+    Only ever runs in pool workers; ``capture_and_reset`` on the
+    worker registry yields per-case deltas for the parent to merge
+    (None when instrumentation is off).
+    """
+    out = _check_coordinates(oracle, seed, index)
+    return (*out, capture_and_reset(get_registry()))
 
 
 # ----------------------------------------------------------------------
@@ -229,31 +252,21 @@ class FuzzRunner:
         for oracle, index in self._schedule():
             if self._out_of_time(started):
                 break
-            _, _, ok, detail, seconds = _run_coordinates(
+            _, _, ok, detail, seconds = _check_coordinates(
                 oracle, self.config.seed, index
             )
             outcomes.append(self._record(oracle, index, ok, detail, seconds))
         return outcomes
 
     def _run_parallel(self, started: float) -> List[CaseOutcome]:
-        if self._obs.enabled:
-            # Unlike the characterize/ATPG/MC pools, fuzz workers run
-            # whole oracle checks (some spawn pools of their own) with
-            # instrumentation off and report no metric payloads.  Say so
-            # instead of letting --stats silently under-report.
-            warnings.warn(
-                "fuzz --jobs > 1 runs oracle checks in uninstrumented "
-                "worker processes; --stats/--trace-json cover only "
-                "parent-side scheduling and shrinking, not worker "
-                "metrics. Use --jobs 1 for complete fuzz metrics.",
-                RuntimeWarning,
-                stacklevel=4,
-            )
         outcomes: List[CaseOutcome] = []
+        payloads: Dict[Tuple[int, int], Optional[dict]] = {}
         schedule = self._schedule()
         max_workers = self.config.jobs
         with ProcessPoolExecutor(
-            max_workers=max_workers, initializer=_pool_init
+            max_workers=max_workers,
+            initializer=_pool_init,
+            initargs=(self._obs.enabled,),
         ) as pool:
             pending = set()
             exhausted = False
@@ -277,10 +290,19 @@ class FuzzRunner:
                     break
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    oracle, index, ok, detail, seconds = future.result()
+                    oracle, index, ok, detail, seconds, payload = (
+                        future.result()
+                    )
+                    payloads[(self._oracle_rank(oracle), index)] = payload
                     outcomes.append(
                         self._record(oracle, index, ok, detail, seconds)
                     )
+        # Fold per-case worker metrics back in, ordered by (oracle,
+        # index) so the merge is deterministic at any completion order
+        # and --jobs N counter totals equal --jobs 1.
+        merge_payloads(
+            self._obs, [payloads[key] for key in sorted(payloads)]
+        )
         return outcomes
 
     # ------------------------------------------------------------------

@@ -1,0 +1,58 @@
+"""Timing-as-a-service: the ``repro-sta serve`` daemon.
+
+An asyncio HTTP/JSON server that loads the cell library and circuits
+once, keeps level-compiled and incremental analyzer state warm per
+circuit, and answers concurrent timing queries — arrival windows,
+slack/WNS/TNS, path reports, Monte Carlo quantiles, and what-if edit
+trials — bitwise-identical to the equivalent one-shot CLI runs.
+
+Layers (bottom up):
+
+* :mod:`repro.server.protocol` — request validation, idempotency keys,
+  structured error codes.
+* :mod:`repro.server.session` — warm per-circuit engines and the
+  query handlers.
+* :mod:`repro.server.shards` — per-circuit session sharding across
+  worker processes with merged worker metrics.
+* :mod:`repro.server.app` — queues, batching/coalescing, response
+  memo, the HTTP endpoints, and daemon entry points.
+* :mod:`repro.server.client` — a synchronous keep-alive client.
+"""
+
+from .app import (
+    SERVER_NAME,
+    ServerApp,
+    ServerConfig,
+    ServerThread,
+    run_server,
+)
+from .client import ServerClient, ServerRequestError
+from .protocol import (
+    ERROR_STATUS,
+    METHODS,
+    Request,
+    ServerError,
+    request_key,
+    validate_request,
+)
+from .session import CircuitSession, SessionRegistry
+from .shards import ShardPool
+
+__all__ = [
+    "SERVER_NAME",
+    "ServerApp",
+    "ServerConfig",
+    "ServerThread",
+    "run_server",
+    "ServerClient",
+    "ServerRequestError",
+    "ERROR_STATUS",
+    "METHODS",
+    "Request",
+    "ServerError",
+    "request_key",
+    "validate_request",
+    "CircuitSession",
+    "SessionRegistry",
+    "ShardPool",
+]

@@ -1,0 +1,141 @@
+"""A small synchronous client for the timing daemon.
+
+Keeps one HTTP/1.1 keep-alive connection per instance (reconnecting
+transparently when the server side closed an idle one), so a query
+loop pays the TCP setup once.  One instance per thread; the smoke
+script and benchmarks run N clients as N instances.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import List, Optional
+
+
+class ServerRequestError(RuntimeError):
+    """A structured error response from the daemon."""
+
+    def __init__(self, code: str, message: str, status: int) -> None:
+        super().__init__(f"{code} (HTTP {status}): {message}")
+        self.code = code
+        self.message = message
+        self.status = status
+
+
+class ServerClient:
+    """Talks JSON to a running ``repro-sta serve`` daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8173,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> tuple:
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                return response.status, response.read()
+            except (
+                http.client.HTTPException, ConnectionError, BrokenPipeError,
+                OSError,
+            ):
+                # A server-closed keep-alive looks like a dead socket on
+                # the next use; reconnect once before giving up.
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        status, body = self._request("GET", "/healthz")
+        return json.loads(body)
+
+    def metrics(self) -> str:
+        status, body = self._request("GET", "/metrics")
+        return body.decode("utf-8")
+
+    def shutdown(self) -> dict:
+        status, body = self._request("POST", "/v1/shutdown", body={})
+        return json.loads(body)
+
+    def query(
+        self,
+        circuit: str,
+        method: str,
+        params: Optional[dict] = None,
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        """One query; returns the full response body (ok or error)."""
+        payload = {"circuit": circuit, "method": method,
+                   "params": params or {}}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        status, body = self._request("POST", "/v1/query", body=payload)
+        out = json.loads(body)
+        out["_status"] = status
+        return out
+
+    def result(
+        self,
+        circuit: str,
+        method: str,
+        params: Optional[dict] = None,
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        """One query; returns just the result, raising on errors."""
+        out = self.query(circuit, method, params, timeout_s)
+        if not out.get("ok"):
+            error = out.get("error", {})
+            raise ServerRequestError(
+                error.get("code", "internal"),
+                error.get("message", "unknown error"),
+                out.get("_status", 500),
+            )
+        return out["result"]
+
+    def batch(self, requests: List[dict]) -> dict:
+        status, body = self._request(
+            "POST", "/v1/batch", body={"requests": requests}
+        )
+        out = json.loads(body)
+        out["_status"] = status
+        return out
+
+
+__all__ = ["ServerClient", "ServerRequestError"]

@@ -1,0 +1,218 @@
+"""Per-circuit session sharding across worker processes.
+
+Each worker process owns the warm sessions of a fixed subset of
+circuits (deterministic assignment: sorted names round-robin over
+shards), so a heavy query on one circuit never blocks another
+circuit's shard, and the GIL stops being the daemon's throughput
+ceiling.  Requests travel over one FIFO queue per shard and replies
+come back tagged with a monotonically increasing sequence number —
+FIFO per shard preserves per-circuit request order (the in-order
+routing contract), while the sequence number lets the parent resolve
+each reply to its awaiting future regardless of shard interleaving.
+
+Every reply also carries a ``repro.obs.merge`` payload of the worker's
+metric deltas, merged into the parent registry on arrival, so
+``/metrics`` reports one coherent view across all worker processes —
+the same discipline as the characterize/ATPG/MC pools.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import signal
+import threading
+from typing import Dict, List, Optional
+
+from ..characterize import CellLibrary
+from ..circuit import Circuit
+from ..obs import get_registry
+from ..obs.merge import capture_and_reset, init_worker_obs, merge_payloads
+from .protocol import ServerError
+from .session import SessionRegistry
+
+logger = logging.getLogger(__name__)
+
+#: Request kinds a shard understands.
+_CALL, _WHATIF_MANY, _STOP = "call", "whatif_many", None
+
+
+def _shard_main(
+    shard_id: int,
+    request_q: mp.Queue,
+    reply_q: mp.Queue,
+    circuit_dicts: Dict[str, dict],
+    library_dict: Optional[dict],
+    obs_enabled: bool,
+) -> None:
+    """Worker loop: build the shard's sessions, answer until sentinel."""
+    # The parent owns SIGINT/SIGTERM handling; a Ctrl-C must not kill
+    # workers mid-reply or the parent would report them as leaked.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    registry = init_worker_obs(obs_enabled)
+    library = (
+        CellLibrary.from_dict(library_dict)
+        if library_dict is not None
+        else CellLibrary.load_default()
+    )
+    sessions = SessionRegistry(library)
+    for payload in circuit_dicts.values():
+        sessions.register(Circuit.from_dict(payload))
+    # Registration-time metrics are parent-side bookkeeping the parent
+    # already counted once; discard them so totals match workers=0.
+    capture_and_reset(registry)
+    while True:
+        try:
+            message = request_q.get()
+        except (EOFError, OSError):
+            break
+        if message is _STOP:
+            break
+        kind, seq, circuit, *rest = message
+        try:
+            if kind == _CALL:
+                method, params = rest
+                result = sessions.dispatch(circuit, method, params)
+            else:
+                model, requests = rest
+                result = sessions.whatif_many(circuit, model, requests)
+            ok, payload = True, result
+        except ServerError as exc:
+            ok, payload = False, (exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 — never a traceback on the wire
+            logger.exception("shard %d: %s failed", shard_id, kind)
+            ok, payload = False, (
+                "internal",
+                f"{type(exc).__name__} while serving {kind}",
+            )
+        reply_q.put((seq, ok, payload, capture_and_reset(registry)))
+    reply_q.put(_STOP)
+
+
+class ShardPool:
+    """Owns the worker processes and their queues.
+
+    Synchronous core: :meth:`submit` enqueues, the per-shard pump
+    thread (started by the app with a callback) delivers replies.  The
+    asyncio integration lives in ``app.py`` — this class knows nothing
+    about event loops.
+    """
+
+    def __init__(
+        self,
+        circuits: Dict[str, Circuit],
+        workers: int,
+        library: Optional[CellLibrary] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("ShardPool needs at least one worker")
+        names = sorted(circuits)
+        workers = min(workers, max(1, len(names)))
+        self.workers = workers
+        self.shard_of = {name: i % workers for i, name in enumerate(names)}
+        obs_enabled = get_registry().enabled
+        library_dict = library.to_dict() if library is not None else None
+        self._request_qs: List[mp.Queue] = []
+        self._reply_qs: List[mp.Queue] = []
+        self._procs: List[mp.Process] = []
+        self._pumps: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        for shard_id in range(workers):
+            shard_circuits = {
+                name: circuits[name].to_dict()
+                for name in names
+                if self.shard_of[name] == shard_id
+            }
+            request_q: mp.Queue = mp.Queue()
+            reply_q: mp.Queue = mp.Queue()
+            proc = mp.Process(
+                target=_shard_main,
+                args=(shard_id, request_q, reply_q, shard_circuits,
+                      library_dict, obs_enabled),
+                name=f"repro-serve-shard-{shard_id}",
+                daemon=True,
+            )
+            proc.start()
+            self._request_qs.append(request_q)
+            self._reply_qs.append(reply_q)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    def submit(self, circuit: str, message: tuple) -> None:
+        """Enqueue one tagged request on the owning shard's FIFO."""
+        self._request_qs[self.shard_of[circuit]].put(message)
+
+    def start_pumps(self, deliver) -> None:
+        """Start one reply-pump thread per shard.
+
+        Args:
+            deliver: Callback invoked from pump threads with each
+                ``(seq, ok, payload, obs_payload)`` reply; must be
+                thread-safe (the app bridges into the event loop).
+        """
+        for shard_id, reply_q in enumerate(self._reply_qs):
+            pump = threading.Thread(
+                target=self._pump, args=(reply_q, deliver),
+                name=f"repro-serve-pump-{shard_id}", daemon=True,
+            )
+            pump.start()
+            self._pumps.append(pump)
+
+    def _pump(self, reply_q: mp.Queue, deliver) -> None:
+        while True:
+            try:
+                message = reply_q.get(timeout=0.2)
+            except queue_mod.Empty:
+                if self._stopping.is_set():
+                    break
+                continue
+            except (EOFError, OSError):
+                break
+            if message is _STOP:
+                break
+            deliver(message)
+
+    def merge_obs_payload(self, payload: Optional[dict]) -> None:
+        """Fold one worker metric payload into the parent registry."""
+        if payload is not None:
+            merge_payloads(get_registry(), [payload])
+
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 5.0) -> List[str]:
+        """Stop workers; returns the names of processes that leaked.
+
+        A worker that ignores the stop sentinel past ``timeout`` is
+        terminated (then killed); any that required force counts as
+        leaked so the daemon can exit nonzero — a hung shard is a bug,
+        not a shutdown mode.
+        """
+        self._stopping.set()
+        for request_q in self._request_qs:
+            try:
+                request_q.put(_STOP)
+            except (ValueError, OSError):
+                pass
+        leaked: List[str] = []
+        for proc in self._procs:
+            proc.join(timeout)
+            if proc.is_alive():
+                leaked.append(proc.name)
+                proc.terminate()
+                proc.join(1.0)
+                if proc.is_alive() and hasattr(proc, "kill"):
+                    proc.kill()
+                    proc.join(1.0)
+        for pump in self._pumps:
+            pump.join(timeout=1.0)
+        for q in (*self._request_qs, *self._reply_qs):
+            q.close()
+        if leaked:
+            logger.error(
+                "leaked shard worker(s): %s (pid %s)", leaked, os.getpid()
+            )
+        return leaked
+
+
+__all__ = ["ShardPool"]

@@ -94,6 +94,7 @@ class TestOracleRegistry:
     def test_expected_oracles_registered(self):
         assert set(ORACLES) >= {
             "kernels", "memo", "itr", "atpg-jobs", "char-jobs", "spice",
+            "serve",
         }
 
     def test_select_all_and_unknown(self):
@@ -140,30 +141,33 @@ class TestCampaign:
         key = lambda r: sorted((o.oracle, o.index, o.ok) for o in r.outcomes)  # noqa: E731
         assert key(serial) == key(parallel)
 
-    def test_parallel_warns_that_workers_are_uninstrumented(self, tmp_path):
-        from repro.obs import use_registry
-
-        config = FuzzConfig(
-            oracles=("kernels",), cases=2, seed=5, jobs=2,
-            artifact_dir=tmp_path,
-        )
-        with use_registry():
-            with pytest.warns(RuntimeWarning, match="uninstrumented"):
-                run_fuzz(config)
-
-    def test_serial_instrumented_run_does_not_warn(self, tmp_path):
+    def test_parallel_workers_report_merged_metrics(self, tmp_path):
+        # Pool workers run real registries whose per-case deltas merge
+        # back into the parent (like the characterize/ATPG/MC pools),
+        # so --jobs N counter totals equal --jobs 1 and no
+        # "uninstrumented workers" warning remains.
         import warnings
 
         from repro.obs import use_registry
 
-        config = FuzzConfig(
-            oracles=("kernels",), cases=2, seed=5,
-            artifact_dir=tmp_path,
-        )
-        with use_registry():
-            with warnings.catch_warnings():
-                warnings.simplefilter("error", RuntimeWarning)
-                run_fuzz(config)
+        def totals(jobs):
+            with use_registry() as registry:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error", RuntimeWarning)
+                    run_fuzz(FuzzConfig(
+                        oracles=("kernels",), cases=2, seed=5, jobs=jobs,
+                        artifact_dir=tmp_path,
+                    ))
+                snapshot = registry.snapshot()["counters"]
+            return {
+                name: value for name, value in snapshot.items()
+                if name.startswith(("fuzz.", "sta."))
+            }
+
+        serial, parallel = totals(1), totals(2)
+        assert parallel["fuzz.cases"] == 2
+        assert parallel.get("sta.gates_evaluated", 0) > 0
+        assert parallel == serial
 
     def test_config_validation(self):
         with pytest.raises(ValueError):
