@@ -1,0 +1,28 @@
+"""Benchmark: extension — multi-corner PVT switching windows.
+
+The paper signs off at one operating point; the repository rescales the
+characterized K-coefficients to PVT corners and derives every corner's
+windows in one corner-batched pass.  This benchmark validates the
+structural guarantees the corner flow rests on.
+"""
+
+from repro.experiments import extension_pvt
+
+from conftest import save_report
+
+
+def test_ext_pvt(benchmark, results_dir):
+    result = benchmark.pedantic(extension_pvt.run, rounds=1, iterations=1)
+    save_report(results_dir, result)
+    print("\n" + result.format_report())
+
+    # The batched N-corner pass is the single-corner passes, bitwise.
+    assert result.findings["batched_bit_identical_to_separate"]
+    # The merged envelope never clips a per-corner window.
+    assert result.findings["merged_bounds_every_corner"]
+    # Physics: slow silicon is materially slower than fast silicon, and
+    # site-applied derates widen windows at least as much as the flat
+    # end-multiplier they name.
+    assert result.findings["slow_over_fast_setup"] > 2.0
+    assert result.findings["derate_widens_both_sides"]
+    assert result.findings["derated_setup_over_slow"] >= 1.06

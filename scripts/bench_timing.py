@@ -485,6 +485,58 @@ def bench_sta_incremental(circuits, library, passes, trial_gates):
     return out
 
 
+def bench_corner(circuit, library, passes):
+    """Corner-batched N-corner pass vs. N separate single-corner passes.
+
+    Both legs run the level-compiled engine with compilation excluded
+    (analyzers are built once, outside the timed region) — the
+    comparison is the batched trailing-corner-axis sweep against N
+    independent sweeps, which is how multi-corner signoff would run
+    without the corner axis.  Results are bit-identical — enforced by
+    ``tests/test_pvt.py`` and the ``corners`` fuzz oracle; this only
+    measures time.
+    """
+    from repro.pvt import STANDARD_CORNERS, CornerAnalyzer, scaled_library
+    from repro.sta.compile import LevelCompiledAnalyzer
+
+    corners = [
+        STANDARD_CORNERS["fast"],
+        STANDARD_CORNERS["typ"],
+        STANDARD_CORNERS["slow"],
+        STANDARD_CORNERS["slow_derated"],
+    ]
+    libraries = [scaled_library(library, corner) for corner in corners]
+    batched = CornerAnalyzer(circuit, corners, libraries, engine="level")
+    separates = [
+        LevelCompiledAnalyzer(circuit, lib) for lib in libraries
+    ]
+    derate_pairs = [corner.derates for corner in corners]
+
+    batched_s, _ = _best_of(passes, batched.analyze)
+
+    def separate_round():
+        return [
+            analyzer.analyze_corners(derates=derates)[0]
+            for analyzer, derates in zip(separates, derate_pairs)
+        ]
+
+    separate_s, _ = _best_of(passes, separate_round)
+    n = len(corners)
+    return {
+        "circuit": circuit.name,
+        "corners": [corner.name for corner in corners],
+        "passes": passes,
+        "baseline": "one single-corner level-engine pass per corner "
+                    "(compile excluded from both legs)",
+        "batched_s_per_pass": batched_s,
+        "separate_s_per_pass": separate_s,
+        "batched_s_per_corner": batched_s / n,
+        "separate_s_per_corner": separate_s / n,
+        "batched_vs_separate_ratio": batched_s / separate_s,
+        "speedup": separate_s / batched_s,
+    }
+
+
 def bench_server(circuit_name, warm_queries, cold_runs):
     """Warm daemon queries vs. cold one-shot CLI processes.
 
@@ -606,6 +658,10 @@ def main():
     report["mc"] = bench_mc(
         itr_circuit, library, mc_samples, mc_baseline_passes, repeats
     )
+    print("benchmarking corner-batched STA ...", flush=True)
+    report["corner"] = bench_corner(
+        load_packaged_bench("c7552s"), library, passes
+    )
     print("benchmarking daemon warm-query latency ...", flush=True)
     report["server"] = bench_server(
         "c432s",
@@ -624,7 +680,7 @@ def main():
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     for name in (
         "sta_full_pass", "sta_full_pass_level", "sta_incremental",
-        "itr_refine", "atpg_with_itr", "mc", "server",
+        "itr_refine", "atpg_with_itr", "mc", "corner", "server",
     ):
         entry = report[name]
         speedup = entry.get("speedup", entry.get("speedup_serial"))

@@ -50,6 +50,7 @@ GATED_METRICS = (
     ("itr_refine", "optimized_s_per_decision"),
     ("atpg_with_itr", "s_per_fault_optimized"),
     ("mc", "mc_s_per_sample"),
+    ("corner", "batched_s_per_corner"),
     ("server", "warm_s_per_query"),
 )
 

@@ -243,6 +243,12 @@ class CellLibrary:
         if version is None and payload["format"] == "repro-cell-library-v1":
             version = 1
         if version != FORMAT_VERSION:
+            if version == 3:
+                raise LibraryFormatError(
+                    "this is a multi-corner (format_version 3) library "
+                    "— load it with repro.pvt.CornerLibrary, or re-run "
+                    "characterization for a single-corner file"
+                )
             raise LibraryFormatError(
                 f"library file is from an incompatible version "
                 f"({version}, this build reads {FORMAT_VERSION}) — "

@@ -93,6 +93,29 @@ def _load_circuit(spec: str):
     return load_packaged_bench(spec)
 
 
+def _corner_set(args: argparse.Namespace, library):
+    """``(corners, libraries)`` selected by --corners/--corner-library.
+
+    Returns None when neither flag was given (single-corner run).  With
+    ``--corner-library`` the names in ``--corners`` select a subset of
+    the characterized file; without it, corner libraries are derived
+    analytically from ``library`` by the exact time-rescale.
+    """
+    spec = getattr(args, "corners", None)
+    lib_path = getattr(args, "corner_library", None)
+    if spec is None and lib_path is None:
+        return None
+    from .pvt import CornerLibrary, parse_corner_list
+
+    if lib_path is not None:
+        corner_lib = CornerLibrary.load(lib_path)
+        names = None
+        if spec:
+            names = [tok.strip() for tok in spec.split(",") if tok.strip()]
+        return corner_lib.ordered(names)
+    return CornerLibrary.derived(library, parse_corner_list(spec)).ordered()
+
+
 def _perf_from_args(args: argparse.Namespace) -> PerfConfig:
     """The :class:`PerfConfig` selected by the command's ``--engine``.
 
@@ -102,12 +125,55 @@ def _perf_from_args(args: argparse.Namespace) -> PerfConfig:
     return PerfConfig(engine=getattr(args, "engine", "gate"))
 
 
+def _sta_corners(circuit, corner_set, perf, max_outputs: int) -> int:
+    """Multi-corner ``sta``: per-corner table plus the merged envelope."""
+    from .pvt import CornerAnalyzer
+
+    corners, libraries = corner_set
+    result = CornerAnalyzer(
+        circuit, corners, libraries, engine=perf.engine
+    ).analyze()
+    print(f"{circuit!r}")
+    print(f"\nper-corner summary ({len(corners)} corners, one batched "
+          "pass; ns):")
+    print("  corner          scale    early/late    min-delay  max-delay")
+    for corner, res in zip(corners, result.results):
+        print(
+            f"  {corner.name:<14} {corner.delay_scale():6.3f}  "
+            f"{corner.derate_early:5.2f}/{corner.derate_late:<5.2f}  "
+            f"{res.output_min_arrival() / NS:9.4f}  "
+            f"{res.output_max_arrival() / NS:9.4f}"
+        )
+    print("\nmerged envelope windows (ns):")
+    for po in circuit.outputs[:max_outputs]:
+        timing = result.merged.line(po)
+        for name, window in (("rise", timing.rise), ("fall", timing.fall)):
+            if not window.is_active:
+                continue
+            print(
+                f"  {po:>10} {name}: A=[{window.a_s / NS:7.3f},"
+                f" {window.a_l / NS:7.3f}] T=[{window.t_s / NS:6.3f},"
+                f" {window.t_l / NS:6.3f}]"
+            )
+    print("\nmerged summary (ns):")
+    print(f"  hold bound (min-delay) : {result.hold_arrival() / NS:.4f}")
+    print(f"  setup bound (max-delay): {result.setup_arrival() / NS:.4f}")
+    return 0
+
+
 def _cmd_sta(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     library = CellLibrary.load_default()
+    perf = _perf_from_args(args)
+    try:
+        corner_set = _corner_set(args, library)
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if corner_set is not None:
+        return _sta_corners(circuit, corner_set, perf, args.max_outputs)
     print(f"{circuit!r}")
     rows = []
-    perf = _perf_from_args(args)
     for label, model in (("proposed", VShapeModel()),
                          ("pin2pin", PinToPinModel())):
         result = TimingAnalyzer(circuit, library, model, perf=perf).analyze()
@@ -152,13 +218,40 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             seed=args.seed,
             mc_samples=args.mc_samples,
         )
-    except ValueError as exc:
+        corner_set = _corner_set(args, library)
+    except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    sizing_library = library
+    if corner_set is not None:
+        # Size against the slowest corner — the one that sets WNS — and
+        # report the sized netlist across the whole set afterwards.
+        corners, corner_libraries = corner_set
+        worst = max(
+            range(len(corners)), key=lambda i: corners[i].delay_scale()
+        )
+        sizing_library = corner_libraries[worst]
+        print(
+            f"sizing at worst corner {corners[worst].name!r} "
+            f"(delay scale {corners[worst].delay_scale():.3f})"
+        )
     result = optimize_sizing(
-        circuit, library, config=config, perf=_perf_from_args(args)
+        circuit, sizing_library, config=config, perf=_perf_from_args(args)
     )
     print(result.format())
+    if corner_set is not None:
+        from .pvt import CornerAnalyzer
+
+        signoff = CornerAnalyzer(
+            circuit, corners, corner_libraries,
+            engine=_perf_from_args(args).engine,
+        ).analyze()
+        print("post-sizing per-corner bounds (ns):")
+        for corner, res in zip(corners, signoff.results):
+            print(
+                f"  {corner.name:<14} min {res.output_min_arrival() / NS:8.4f}"
+                f"   max {res.output_max_arrival() / NS:8.4f}"
+            )
     trial_s = get_registry().histogram("sta.incr.trial_s")
     trials = get_registry().counter("sta.incr.trials").value
     if trials and trial_s.count:
@@ -183,6 +276,59 @@ def _parse_quantiles(spec: str) -> tuple:
     return tuple(sorted(qs))
 
 
+def _mc_corners(circuit, corner_set, variation, qs, args) -> int:
+    """Monte Carlo at every corner: one row per corner, worst last."""
+    corners, libraries = corner_set
+    period = args.period * NS if args.period is not None else None
+    print(f"{circuit!r}")
+    print(
+        f"monte carlo [{args.model}] x {len(corners)} corners: "
+        f"{args.samples} samples, seed={args.seed}, "
+        f"sigma=({variation.sigma_corr:g} corr, "
+        f"{variation.sigma_ind:g} ind)"
+    )
+    header = "  corner          nominal     mean" + "".join(
+        f"   q{q:<6g}" for q in qs
+    )
+    print(header + "   (ns)")
+    summaries = {}
+    for corner, lib in zip(corners, libraries):
+        result = run_mc(
+            circuit,
+            library=lib,
+            model=args.model,
+            variation=variation,
+            samples=args.samples,
+            seed=args.seed,
+            jobs=args.jobs,
+            block=args.block,
+            engine=_perf_from_args(args).engine,
+            derate=corner.derates,
+        )
+        summary = result.summary(qs, period)
+        summaries[corner.name] = summary
+        cells = "".join(
+            f"  {summary['quantiles_s'][str(q)] / NS:7.4f}" for q in qs
+        )
+        print(
+            f"  {corner.name:<14} {result.nominal_max / NS:7.4f}  "
+            f"{result.delay.mean() / NS:7.4f}{cells}"
+        )
+    if args.json:
+        document = {"corners": summaries}
+        attach_manifest(
+            document,
+            current_manifest(
+                seeds=[args.seed], circuit=circuit.name, jobs=args.jobs
+            ),
+        )
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_mc(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     try:
@@ -196,6 +342,9 @@ def _cmd_mc(args: argparse.Namespace) -> int:
                 args.sigma_ind if args.sigma_ind is not None else args.sigma
             ),
         )
+        if args.corners or args.corner_library:
+            corner_set = _corner_set(args, CellLibrary.load_default())
+            return _mc_corners(circuit, corner_set, variation, qs, args)
         result = run_mc(
             circuit,
             model=args.model,
@@ -206,7 +355,7 @@ def _cmd_mc(args: argparse.Namespace) -> int:
             block=args.block,
             engine=_perf_from_args(args).engine,
         )
-    except ValueError as exc:
+    except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     period = args.period * NS if args.period is not None else None
@@ -427,6 +576,11 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             overrides["skews_per_side"] = args.skews_per_side
         if overrides:
             config = dataclasses.replace(config, **overrides)
+        corners = None
+        if args.corners:
+            from .pvt import parse_corner_list
+
+            corners = parse_corner_list(args.corners)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -434,6 +588,24 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     if args.cache:
         cache = SweepCache(args.cache_dir) if args.cache_dir else SweepCache()
     jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    if corners is not None:
+        from .pvt import characterize_corners
+
+        out_path = Path(args.out) if args.out else Path("corner_library.json")
+        started = time.perf_counter()
+        corner_lib = characterize_corners(
+            corners, GENERIC_05UM, cells, config, verbose=True,
+            jobs=jobs, cache=cache, force=args.force,
+        )
+        corner_lib.save(out_path)
+        n_cells = len(corner_lib.library(corner_lib.default_corner).cells)
+        print(
+            f"wrote {out_path} ({len(corners)} corners x {n_cells} cells, "
+            f"{round(time.perf_counter() - started, 1)} s, jobs={jobs}"
+            + (f", cache={cache.root}" if cache is not None else "")
+            + ")"
+        )
+        return 0
     out_path = Path(args.out) if args.out else _packaged_library_path()
     started = time.perf_counter()
     library = characterize_library(
@@ -759,6 +931,15 @@ def build_parser() -> argparse.ArgumentParser:
     sta.add_argument("--engine", choices=("gate", "level"), default="gate",
                      help="forward-pass engine: per-gate kernels or the "
                      "level-compiled SoA pass (bit-identical results)")
+    sta.add_argument("--corners", default=None, metavar="SPEC,...",
+                     help="PVT corners to analyze in one batched pass "
+                     "(standard names like typ,fast,slow, or inline "
+                     "name:vdd=3.0:temp=125:late=1.05 specs; with "
+                     "--corner-library, a name subset of the file)")
+    sta.add_argument("--corner-library", default=None, metavar="PATH",
+                     help="characterized multi-corner library JSON "
+                     "(default: corners derived analytically from the "
+                     "packaged library)")
     sta.set_defaults(func=_cmd_sta)
 
     opt = sub.add_parser(
@@ -788,6 +969,11 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--engine", choices=("gate", "level"), default="level",
                      help="forward-pass engine (default: level — trial "
                           "batches run as compiled column sweeps)")
+    opt.add_argument("--corners", default=None, metavar="SPEC,...",
+                     help="size at the slowest of these PVT corners and "
+                     "report the sized netlist across all of them")
+    opt.add_argument("--corner-library", default=None, metavar="PATH",
+                     help="characterized multi-corner library JSON")
     opt.add_argument("--json", default=None, metavar="PATH",
                      help="write the JSON summary to PATH")
     opt.set_defaults(func=_cmd_optimize)
@@ -832,6 +1018,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "nominal STA max arrival)")
     mc.add_argument("--max-outputs", type=int, default=8,
                     help="criticality table rows to print")
+    mc.add_argument("--corners", default=None, metavar="SPEC,...",
+                    help="run the Monte Carlo at each of these PVT "
+                    "corners (per-corner library and derates)")
+    mc.add_argument("--corner-library", default=None, metavar="PATH",
+                    help="characterized multi-corner library JSON")
     mc.add_argument("--json", default=None, metavar="PATH",
                     help="write the JSON summary to PATH")
     mc.set_defaults(func=_cmd_mc)
@@ -915,6 +1106,12 @@ def build_parser() -> argparse.ArgumentParser:
     char.add_argument(
         "--skews-per-side", type=int, default=None, metavar="K",
         help="override the skew samples per side of zero",
+    )
+    char.add_argument(
+        "--corners", default=None, metavar="SPEC,...",
+        help="characterize one K-coefficient set per PVT corner and "
+             "write a multi-corner library (default output: "
+             "corner_library.json)",
     )
     char.set_defaults(func=_cmd_characterize)
 
@@ -1020,7 +1217,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "method",
-        choices=("windows", "slack", "path", "mc", "whatif",
+        choices=("windows", "slack", "path", "mc", "whatif", "corners",
                  "healthz", "metrics", "shutdown"),
         help="query method, or a daemon endpoint "
              "(healthz/metrics/shutdown)",

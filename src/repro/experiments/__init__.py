@@ -8,7 +8,7 @@ and the paper's reference values).  The pytest-benchmark harness under
 """
 
 from . import ablations, claims, fig01, fig02, fig05, fig10, fig11, fig12
-from . import mc_sta, nonctrl_ext, sec7, table2
+from . import extension_pvt, mc_sta, nonctrl_ext, sec7, table2
 from .common import ExperimentResult, default_library
 
 #: All experiments in paper order (name -> module with a run() function).
@@ -25,6 +25,7 @@ ALL_EXPERIMENTS = {
     "ablations": ablations,
     "extension-nonctrl": nonctrl_ext,
     "extension-mc-sta": mc_sta,
+    "extension-pvt": extension_pvt,
 }
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "ablations",
     "claims",
     "default_library",
+    "extension_pvt",
     "fig01",
     "fig02",
     "fig05",

@@ -62,6 +62,9 @@ class FuzzCase:
         queries: Daemon query mix for the serve oracle, as
             ``{"method": ..., "params": {...}}`` entries replayed
             concurrently against an in-process server.
+        corners: PVT corner set for the corners oracle, as
+            ``repro.pvt.Corner.to_dict()`` payloads — the batched
+            N-corner pass is diffed against N single-corner runs.
     """
 
     oracle: str
@@ -80,6 +83,7 @@ class FuzzCase:
     edits: Optional[List[list]] = None
     pi_windows: Optional[Dict[str, dict]] = None
     queries: Optional[List[dict]] = None
+    corners: Optional[List[dict]] = None
 
     # ------------------------------------------------------------------
     # Serialization
@@ -147,6 +151,14 @@ class FuzzCase:
         """Instantiate the delay models named by the case."""
         names = self.models or ["vshape"]
         return [(name, MODEL_FACTORIES[name]()) for name in names]
+
+    def build_corners(self):
+        """The case's :class:`repro.pvt.Corner` list."""
+        from ..pvt import Corner
+
+        if not self.corners:
+            raise ValueError(f"case for {self.oracle!r} carries no corners")
+        return [Corner.from_dict(spec) for spec in self.corners]
 
     def build_faults(self) -> List[CrosstalkFault]:
         if not self.faults:

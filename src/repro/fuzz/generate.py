@@ -344,6 +344,35 @@ def random_char_dict(rng: random.Random) -> dict:
 
 
 # ----------------------------------------------------------------------
+# PVT corner sets
+# ----------------------------------------------------------------------
+def random_corners(rng: random.Random) -> List[dict]:
+    """A random 2-4 corner set as ``Corner.to_dict()`` payloads.
+
+    Ranges stay inside the device model's validity (the supply always
+    clears the temperature-shifted thresholds) while straddling the
+    standard fast/slow corners; about a third of the corners carry unit
+    derates so the no-derate multiply path is exercised too.
+    """
+    corners = []
+    for k in range(rng.randint(2, 4)):
+        if rng.random() < 0.35:
+            early, late = 1.0, 1.0
+        else:
+            early = rng.uniform(0.9, 1.0)
+            late = rng.uniform(1.0, 1.1)
+        corners.append({
+            "name": f"c{k}",
+            "process": rng.uniform(0.7, 1.3),
+            "vdd": rng.uniform(2.8, 3.8),
+            "temp_c": rng.uniform(-40.0, 125.0),
+            "derate_early": early,
+            "derate_late": late,
+        })
+    return corners
+
+
+# ----------------------------------------------------------------------
 # Per-oracle case assembly
 # ----------------------------------------------------------------------
 def generate_case(oracle: str, seed: int, index: int) -> FuzzCase:

@@ -26,6 +26,10 @@ plus a physical ground-truth check:
   slack, paths, Monte Carlo, what-if batches, planted duplicates)
   against an in-process server vs. fresh scalar references formatted
   through the shared serializers, bit for bit;
+* ``corners``   — multi-corner STA: a batched N-corner pass (both the
+  corner-column level engine and the per-gate mirrors) vs. N separate
+  single-corner analyzers with scalar derates, bit for bit, plus the
+  merged envelope's conservative containment of every corner;
 * ``spice``     — the V-shape model vs. a fresh transistor-level
   simulation on a small gate, within a stated tolerance.
 
@@ -816,6 +820,84 @@ register_oracle(Oracle(
     generate=_gen_serve,
     check=_check_serve,
     max_cases=4,
+))
+
+
+# ----------------------------------------------------------------------
+# corners: batched multi-corner pass vs. separate single-corner runs
+# ----------------------------------------------------------------------
+def _gen_corners(rng: random.Random) -> FuzzCase:
+    return FuzzCase(
+        oracle="corners",
+        circuit=gen.random_circuit_dict(rng, min_gates=3, max_gates=24),
+        sta=gen.random_sta_dict(rng),
+        models=gen.random_models(rng, k=1),
+        corners=gen.random_corners(rng),
+    )
+
+
+def _check_corners(case: FuzzCase) -> OracleResult:
+    """Batched N-corner pass == N single-corner passes, bit for bit.
+
+    The references are per-corner single-library compiles with scalar
+    derates — one per corner, nothing batched — diffed against the
+    corner columns of one corner-batched level pass and against the
+    per-gate mirror engine.  The merged envelope must also contain
+    every per-corner window (conservative by construction).
+    """
+    from ..pvt import CornerAnalyzer, scaled_library
+    from ..sta.compile import LevelCompiledAnalyzer
+
+    circuit = case.build_circuit()
+    config = case.build_sta_config()
+    corners = case.build_corners()
+    for name, model in case.build_models():
+        libraries = [
+            scaled_library(shared_library(), corner) for corner in corners
+        ]
+        batched = CornerAnalyzer(
+            circuit, corners, libraries, model, config, engine="level"
+        ).analyze()
+        mirrored = CornerAnalyzer(
+            circuit, corners, libraries, model, config, engine="gate"
+        ).analyze()
+        for i, (corner, library) in enumerate(zip(corners, libraries)):
+            reference = LevelCompiledAnalyzer(
+                circuit, library, model, config
+            ).analyze_corners(derates=corner.derates)[0]
+            for engine, result in (
+                ("level", batched.results[i]),
+                ("gate", mirrored.results[i]),
+            ):
+                problems = _window_mismatches(circuit, reference, result)
+                if problems:
+                    return OracleResult(
+                        False,
+                        f"model={name} corner={corner.name} "
+                        f"engine={engine}: " + "; ".join(problems),
+                    )
+            for line in circuit.lines:
+                merged = batched.merged.line(line)
+                single = reference.line(line)
+                for direction in ("rise", "fall"):
+                    wm = getattr(merged, direction)
+                    ws = getattr(single, direction)
+                    if ws.is_active and not wm.contains_window(ws, tol=0.0):
+                        return OracleResult(
+                            False,
+                            f"model={name} corner={corner.name}: merged "
+                            f"envelope does not contain {line}.{direction}",
+                        )
+    return OracleResult(True)
+
+
+register_oracle(Oracle(
+    name="corners",
+    description="corner-batched multi-corner STA (level columns and gate "
+                "mirrors) vs. separate single-corner runs, bit for bit",
+    generate=_gen_corners,
+    check=_check_corners,
+    supports_pi_windows=False,
 ))
 
 

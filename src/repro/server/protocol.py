@@ -39,7 +39,12 @@ ERROR_STATUS: Dict[str, int] = {
 }
 
 #: Query methods the daemon answers (POST /v1/query ``method`` field).
-METHODS = ("windows", "slack", "path", "mc", "whatif")
+METHODS = ("windows", "slack", "path", "mc", "whatif", "corners")
+
+#: Corner-object keys accepted by the ``corners`` method.
+CORNER_FIELDS = (
+    "name", "process", "vdd", "temp_c", "derate_early", "derate_late"
+)
 
 #: Delay-model names accepted by every method's ``model`` param.
 MODEL_NAMES = ("vshape", "pin2pin", "nonctrl")
@@ -240,12 +245,58 @@ def _norm_whatif(params: dict, max_batch: int) -> dict:
     }
 
 
+def _norm_corners(params: dict, max_batch: int) -> dict:
+    """The ``corners`` method: one batched multi-corner pass.
+
+    Each corner is a spec string (a standard name like ``"slow"``, or
+    the CLI's inline ``name:vdd=3.0:temp=125`` form) or an object with
+    :data:`CORNER_FIELDS`; resolution happens session-side so the
+    protocol stays engine-free.
+    """
+    _reject_unknown(params, ("model", "corners", "lines"))
+    corners = params.get("corners")
+    if not isinstance(corners, list) or not corners:
+        raise _bad("corners must be a non-empty list of specs")
+    if len(corners) > max_batch:
+        raise ServerError(
+            "oversized_batch",
+            f"{len(corners)} corners exceed the per-request cap of "
+            f"{max_batch}",
+        )
+    normed: List[object] = []
+    for i, spec in enumerate(corners):
+        if isinstance(spec, str):
+            if not spec:
+                raise _bad(f"corners[{i}] must be a non-empty spec")
+            normed.append(spec)
+            continue
+        if not isinstance(spec, dict):
+            raise _bad(f"corners[{i}] must be a spec string or an object")
+        _reject_unknown(spec, CORNER_FIELDS)
+        entry = {"name": _as_str(f"corners[{i}].name", spec.get("name"))}
+        for field in CORNER_FIELDS[1:]:
+            if field in spec:
+                entry[field] = _as_float(
+                    f"corners[{i}].{field}", spec[field]
+                )
+        normed.append(entry)
+    lines = params.get("lines")
+    if lines is not None:
+        if not isinstance(lines, list) or not all(
+            isinstance(line, str) for line in lines
+        ):
+            raise _bad("lines must be a list of line names")
+        lines = list(lines)
+    return {"model": _model_of(params), "corners": normed, "lines": lines}
+
+
 _NORMALIZERS = {
     "windows": _norm_windows,
     "slack": _norm_slack,
     "path": _norm_path,
     "mc": _norm_mc,
     "whatif": _norm_whatif,
+    "corners": _norm_corners,
 }
 
 
@@ -303,6 +354,7 @@ def ok_body(request: Request, result, cached: bool) -> dict:
 __all__ = [
     "ERROR_STATUS",
     "METHODS",
+    "CORNER_FIELDS",
     "MODEL_NAMES",
     "MAX_MC_SAMPLES",
     "DEFAULT_MAX_BATCH",

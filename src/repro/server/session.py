@@ -139,6 +139,40 @@ def path_payload(
     }
 
 
+def corners_payload(corners, result, lines: List[str]) -> dict:
+    """The ``corners`` method's result body.
+
+    Per-corner window tables plus the merged setup/hold envelope, all
+    from one batched trailing-corner-axis pass.
+    """
+    return {
+        "order": [corner.name for corner in corners],
+        "corners": {
+            corner.name: windows_payload(res, lines)
+            for corner, res in zip(corners, result.results)
+        },
+        "merged": windows_payload(result.merged, lines),
+        "setup_arrival_s": result.setup_arrival(),
+        "hold_arrival_s": result.hold_arrival(),
+    }
+
+
+def resolve_corner_specs(specs) -> list:
+    """Wire corner specs (strings or objects) -> ``Corner`` list."""
+    from ..pvt import Corner, parse_corner
+
+    corners = []
+    for spec in specs:
+        if isinstance(spec, str):
+            corners.append(parse_corner(spec))
+        else:
+            corners.append(Corner.from_dict(dict(spec)))
+    names = [corner.name for corner in corners]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate corner names in {names}")
+    return corners
+
+
 def trial_entries(
     edits: List[dict],
     arrivals: np.ndarray,
@@ -199,6 +233,7 @@ class CircuitSession:
         self._incr: Dict[str, IncrementalAnalyzer] = {}
         self._results: Dict[str, StaResult] = {}
         self._mc: Dict[tuple, MonteCarloEngine] = {}
+        self._corner: Dict[tuple, tuple] = {}
         self._obs = get_registry()
         self._lines = set(circuit.lines)
         self._gate_lines = set(circuit.gates)
@@ -234,6 +269,33 @@ class CircuitSession:
             self._mc[key] = mc
             self._obs.counter("server.session.mc_engines_built").inc()
         return mc
+
+    def _corner_state(self, model: str, corners) -> tuple:
+        """Warm ``(corners, CornerSetResult)`` for one corner set.
+
+        The batched compile (and its deterministic analysis) is keyed
+        by the resolved corner definitions, so repeated queries over
+        the same corner set reuse the warm multi-corner engine.
+        """
+        from ..pvt import CornerAnalyzer, scaled_library
+
+        key = (model, tuple(
+            tuple(sorted(corner.to_dict().items())) for corner in corners
+        ))
+        state = self._corner.get(key)
+        if state is None:
+            libraries = [
+                scaled_library(self.library, corner) for corner in corners
+            ]
+            analyzer = CornerAnalyzer(
+                self.circuit, corners, libraries,
+                model=MC_MODELS[model](), config=self.config,
+                engine="level",
+            )
+            state = (corners, analyzer.analyze())
+            self._corner[key] = state
+            self._obs.counter("server.session.corner_engines_built").inc()
+        return state
 
     # -- dispatch ----------------------------------------------------
     def dispatch(self, method: str, params: dict):
@@ -314,6 +376,22 @@ class CircuitSession:
             if params["period_ns"] is not None else None
         )
         return result.summary(tuple(params["quantiles"]), period)
+
+    def _do_corners(self, params: dict) -> dict:
+        try:
+            corners = resolve_corner_specs(params["corners"])
+        except (ValueError, KeyError) as exc:
+            raise ServerError("bad_request", str(exc))
+        lines = params["lines"]
+        if lines is None:
+            lines = list(self.circuit.outputs)
+        unknown = sorted(set(lines) - self._lines)
+        if unknown:
+            raise ServerError(
+                "bad_request", f"unknown line(s) {unknown[:5]}"
+            )
+        corners, result = self._corner_state(params["model"], corners)
+        return corners_payload(corners, result, lines)
 
     def _validate_edits(self, edits: List[dict]) -> List[TrialEdit]:
         trial_edits = []

@@ -407,6 +407,44 @@ class TimingAnalyzer:
                         widths.observe(window.a_l - window.a_s)
         return StaResult(self.circuit, timings)
 
+    def analyze_corners(self, corners, libraries=None):
+        """Multi-corner analysis sharing this analyzer's model/config.
+
+        Args:
+            corners: Sequence of :class:`repro.pvt.Corner`, or a
+                :class:`repro.pvt.CornerLibrary` (then ``libraries``
+                must be None).
+            libraries: Per-corner cell libraries aligned with
+                ``corners``; defaults to the analytic time-rescale of
+                this analyzer's library at each corner.
+
+        Returns:
+            A :class:`repro.pvt.CornerSetResult` (per-corner results
+            plus the merged setup/hold envelope) from the engine this
+            analyzer's ``perf.engine`` selects.
+        """
+        from .. import pvt
+
+        if isinstance(corners, pvt.CornerLibrary):
+            if libraries is not None:
+                raise ValueError(
+                    "pass either a CornerLibrary or explicit libraries"
+                )
+            corners, libraries = corners.ordered()
+        elif libraries is None:
+            libraries = [
+                pvt.scaled_library(self.library, corner)
+                for corner in corners
+            ]
+        return pvt.analyze_corners(
+            self.circuit,
+            list(corners),
+            list(libraries),
+            self.model,
+            self.config,
+            engine=self.perf.engine,
+        )
+
     # ------------------------------------------------------------------
     # Backward propagation (required times)
     # ------------------------------------------------------------------

@@ -112,15 +112,19 @@ def _shape_key(cell: CellTiming, peak_enabled: bool) -> tuple:
 
 
 def _assign_pack_column(dst: _StackedPack, src, col: int) -> None:
-    """Overwrite one gate's column of a stacked arc pack."""
-    dst.t_lo[:, col] = src.t_lo
-    dst.t_hi[:, col] = src.t_hi
-    dst.q_a2[:, :, col] = src.q_a2
-    dst.q_a1[:, :, col] = src.q_a1
-    dst.q_a0[:, :, col] = src.q_a0
-    dst.d_a2[:, col] = src.d_a2
-    dst.d_a1[:, col] = src.d_a1
-    dst.d_a0[:, col] = src.d_a0
+    """Overwrite one gate's column of a stacked arc pack.
+
+    Patching is only legal on single-corner compiles (``can_patch``
+    refuses otherwise), so the trailing corner axis is always size 1.
+    """
+    dst.t_lo[:, col, 0] = src.t_lo
+    dst.t_hi[:, col, 0] = src.t_hi
+    dst.q_a2[:, :, col, 0] = src.q_a2
+    dst.q_a1[:, :, col, 0] = src.q_a1
+    dst.q_a0[:, :, col, 0] = src.q_a0
+    dst.d_a2[:, col, 0] = src.d_a2
+    dst.d_a1[:, col, 0] = src.d_a1
+    dst.d_a0[:, col, 0] = src.d_a0
 
 
 #: (stacked attr, source attr, coefficient names) of a _StackedShape.
@@ -148,8 +152,15 @@ def _assign_shape_column(
 # Stacked surfaces: per-gate coefficient columns
 # ----------------------------------------------------------------------
 def _col(values: Sequence[float]) -> np.ndarray:
-    """(G, 1) coefficient column — broadcasts against (..., G, B)."""
-    return np.array(values, dtype=float)[:, None]
+    """(G,) coefficient column of one corner.
+
+    :func:`_stack_corners` later stacks the per-corner columns into a
+    ``(G, C)`` array, which broadcasts against ``(..., G, B)`` exactly
+    like the old ``(G, 1)`` layout when ``C == 1`` and selects corner
+    ``b``'s coefficients in column ``b`` when the batch axis *is* the
+    corner axis (``B == C``).
+    """
+    return np.array(values, dtype=float)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -257,8 +268,10 @@ class _StackedShape:
 class _StackedPack:
     """Per-gate columns of an :class:`~repro.sta.kernels.ArcPack`.
 
-    ``t_lo`` / ``t_hi`` are ``(A, G)``; the stacked quadratic families
-    ``q_*`` are ``(2, A, G)`` (delay row 0, transition row 1).
+    As built per corner, ``t_lo`` / ``t_hi`` are ``(A, G)`` and the
+    stacked quadratic families ``q_*`` are ``(2, A, G)`` (delay row 0,
+    transition row 1); after :func:`_stack_corners` every array carries
+    a trailing corner axis — ``(A, G, C)`` / ``(2, A, G, C)``.
     """
 
     t_lo: np.ndarray
@@ -284,6 +297,32 @@ class _StackedPack:
         )
 
 
+def _stack_corners(objs: Sequence) -> object:
+    """Stack per-corner coefficient trees along a new trailing axis.
+
+    ``objs`` holds one instance per corner of the same dataclass tree
+    (:class:`_StackedPack`, :class:`_StackedShape`, …) whose ndarray
+    leaves all share a shape; the result replaces every leaf with
+    ``np.stack(leaves, axis=-1)``.  A single-corner stack is exactly the
+    old ``[..., None]`` broadcast expansion, which is why storing the
+    pre-expanded arrays keeps the compiled pass bit-identical.
+    """
+    first = objs[0]
+    if isinstance(first, np.ndarray):
+        return np.stack(objs, axis=-1)
+    kwargs = {}
+    for field in dataclasses.fields(first):
+        values = [getattr(obj, field.name) for obj in objs]
+        leaf = values[0]
+        if leaf is not None and (
+            isinstance(leaf, np.ndarray) or dataclasses.is_dataclass(leaf)
+        ):
+            kwargs[field.name] = _stack_corners(values)
+        else:
+            kwargs[field.name] = leaf
+    return type(first)(**kwargs)
+
+
 # ----------------------------------------------------------------------
 # Compiled gate groups
 # ----------------------------------------------------------------------
@@ -292,7 +331,10 @@ class _CtrlGroup:
     """Same-shape controlling-value gates of one level.
 
     Gather/scatter arrays hold *rows* of the global SoA arrays; the
-    leading axis is the pin, the trailing axis the gate.
+    leading axis is the pin, the gate axis follows, and every numeric
+    coefficient array additionally carries the trailing corner axis
+    ``C`` added by :func:`_stack_corners` (size 1 for a single-corner
+    compile).
     """
 
     n_pins: int
@@ -458,6 +500,87 @@ def subset_group(
     )
 
 
+def _stack_ctrl_groups(groups: Sequence[_CtrlGroup]) -> _CtrlGroup:
+    """Combine per-corner ctrl group builds into one corner-stacked group.
+
+    Structural arrays (gather/scatter rows, pair index vectors) must be
+    identical across corners — the libraries describe the *same* cells
+    at different operating points — and are taken from corner 0 after an
+    equality check; every numeric coefficient array gains the trailing
+    corner axis.
+    """
+    g0 = groups[0]
+    for gi in groups[1:]:
+        if not (
+            np.array_equal(g0.ctrl_rows, gi.ctrl_rows)
+            and np.array_equal(g0.nonctrl_rows, gi.nonctrl_rows)
+            and np.array_equal(g0.out_ctrl, gi.out_ctrl)
+            and np.array_equal(g0.out_nonctrl, gi.out_nonctrl)
+        ):
+            raise ValueError(
+                "corner libraries disagree on cell structure "
+                "(gather rows differ between corners)"
+            )
+
+    def stack(attr: str):
+        leaves = [getattr(g, attr) for g in groups]
+        return None if leaves[0] is None else _stack_corners(leaves)
+
+    return dataclasses.replace(
+        g0,
+        pack=stack("pack"),
+        npack=stack("npack"),
+        ppack=stack("ppack"),
+        shape=stack("shape"),
+        peak=stack("peak"),
+        d_adj_c=stack("d_adj_c"),
+        r_adj_c=stack("r_adj_c"),
+        d_adj_n=stack("d_adj_n"),
+        r_adj_n=stack("r_adj_n"),
+        p_adj=stack("p_adj"),
+        scale_c=stack("scale_c"),
+        pscale_c=stack("pscale_c"),
+        rt=stack("rt"),
+        rt_t=stack("rt_t"),
+    )
+
+
+def _stack_arc_groups(groups: Sequence[_ArcGroup]) -> _ArcGroup:
+    """Combine per-corner arc group builds into one corner-stacked group."""
+    g0 = groups[0]
+    dirs: List[Optional[_ArcDir]] = []
+    for i, d0 in enumerate(g0.dirs):
+        per_corner = [g.dirs[i] for g in groups]
+        if any((d is None) != (d0 is None) for d in per_corner):
+            raise ValueError(
+                "corner libraries disagree on cell structure "
+                "(arc directions differ between corners)"
+            )
+        if d0 is None:
+            dirs.append(None)
+            continue
+        for di in per_corner[1:]:
+            if not np.array_equal(d0.in_rows, di.in_rows):
+                raise ValueError(
+                    "corner libraries disagree on cell structure "
+                    "(arc gather rows differ between corners)"
+                )
+        dirs.append(
+            _ArcDir(
+                pack=_stack_corners([d.pack for d in per_corner]),
+                in_rows=d0.in_rows,
+                out_rows=d0.out_rows,
+                d_adj=np.stack([d.d_adj for d in per_corner], axis=-1),
+                r_adj=np.stack([d.r_adj for d in per_corner], axis=-1),
+            )
+        )
+    return _ArcGroup(
+        order_idx=g0.order_idx,
+        dirs=(dirs[0], dirs[1]),
+        no_arc_rows=g0.no_arc_rows,
+    )
+
+
 # ----------------------------------------------------------------------
 # Compiled circuit
 # ----------------------------------------------------------------------
@@ -466,7 +589,12 @@ class CompiledCircuit:
 
     Args:
         circuit: Gate-level circuit under analysis.
-        library: Characterized cell library.
+        library: Characterized cell library, or a sequence of libraries
+            (one per PVT corner) for a corner-batched compile.  With
+            ``C`` corners every coefficient array gains a trailing
+            corner axis of size ``C`` and a pass produces one batch
+            column per corner; a single library compiles with ``C = 1``
+            and is bit-identical to the pre-corner layout.
         model: Delay model — decides whether the pair-merge layout and
             the Λ-peak tail packs are compiled in.
         config: STA boundary conditions (fixes the load vector).
@@ -475,12 +603,20 @@ class CompiledCircuit:
     def __init__(
         self,
         circuit: Circuit,
-        library: CellLibrary,
+        library: Union[CellLibrary, Sequence[CellLibrary]],
         model: DelayModel,
         config: StaConfig,
     ) -> None:
         self.circuit = circuit
-        self.library = library
+        if isinstance(library, CellLibrary):
+            libraries: List[CellLibrary] = [library]
+        else:
+            libraries = list(library)
+        if not libraries:
+            raise ValueError("need at least one cell library")
+        self.library = libraries[0]
+        self.libraries = libraries
+        self.n_corners = len(libraries)
         self.lines: List[str] = circuit.lines
         self.n_lines = len(self.lines)
         self.line_index: Dict[str, int] = {
@@ -490,17 +626,26 @@ class CompiledCircuit:
         self.n_gates = len(order)
         order_pos = {line: i for i, line in enumerate(order)}
         level_of = circuit.levelize()
-        loads = compute_loads(circuit, library, config)
         self._merge = bool(getattr(model, "supports_pair_merge", False))
         self._peak = hasattr(model, "nonctrl_shape")
-        ctx = KernelContext()
-        self._ctx = ctx
-        cells: Dict[str, CellTiming] = {}
-        for gate in circuit.gates.values():
-            name = gate.cell_name()
-            if name not in cells:
-                cells[name] = library.cell(name)
-        self._cells = cells
+        # One kernel context (and one load vector) per corner: contexts
+        # cache arc packs by cell *name*, and the same name resolves to
+        # different coefficients in each corner's library.
+        ctxs = [KernelContext() for _ in libraries]
+        self._ctx = ctxs[0]
+        corner_cells: List[Dict[str, CellTiming]] = []
+        for lib in libraries:
+            cells: Dict[str, CellTiming] = {}
+            for gate in circuit.gates.values():
+                name = gate.cell_name()
+                if name not in cells:
+                    cells[name] = lib.cell(name)
+            corner_cells.append(cells)
+        self._cells = corner_cells[0]
+        corner_loads = [
+            compute_loads(circuit, lib, config) for lib in libraries
+        ]
+        self._validate_corner_cells(corner_cells)
         #: gate output line -> (group, column, shape key); the in-place
         #: patch path of :meth:`patch_gate` addresses columns through it.
         self._locs: Dict[str, Tuple[Union[_CtrlGroup, _ArcGroup], int, tuple]]
@@ -512,7 +657,7 @@ class CompiledCircuit:
         grouped: Dict[int, Dict[tuple, List[Gate]]] = {}
         for out in order:
             gate = circuit.gates[out]
-            cell = cells[gate.cell_name()]
+            cell = corner_cells[0][gate.cell_name()]
             key = _shape_key(cell, self._peak)
             grouped.setdefault(level_of[out], {}).setdefault(key, []).append(
                 gate
@@ -523,12 +668,26 @@ class CompiledCircuit:
             for key in sorted(grouped[lvl]):
                 gates = grouped[lvl][key]
                 if key[0] == "ctrl":
-                    group: Union[_CtrlGroup, _ArcGroup] = self._build_ctrl(
-                        key, gates, cells, order_pos, loads, ctx
+                    group: Union[_CtrlGroup, _ArcGroup] = _stack_ctrl_groups(
+                        [
+                            self._build_ctrl(
+                                key, gates, cells, order_pos, loads, ctx
+                            )
+                            for cells, loads, ctx in zip(
+                                corner_cells, corner_loads, ctxs
+                            )
+                        ]
                     )
                 else:
-                    group = self._build_arc(
-                        gates, cells, order_pos, loads, ctx
+                    group = _stack_arc_groups(
+                        [
+                            self._build_arc(
+                                gates, cells, order_pos, loads, ctx
+                            )
+                            for cells, loads, ctx in zip(
+                                corner_cells, corner_loads, ctxs
+                            )
+                        ]
                     )
                 for col, gate in enumerate(gates):
                     self._locs[gate.output] = (group, col, key)
@@ -536,6 +695,44 @@ class CompiledCircuit:
             self.levels.append(level_groups)
         self.n_levels = len(self.levels)
         self.n_groups = sum(len(groups) for groups in self.levels)
+
+    def _validate_corner_cells(
+        self, corner_cells: List[Dict[str, CellTiming]]
+    ) -> None:
+        """Reject corner libraries that disagree on cell *structure*.
+
+        Corner libraries may differ in every coefficient, but the arc
+        layout, controlling polarity and output polarity must match —
+        those decide gather rows and kernel shapes, which are shared
+        across the corner axis.
+        """
+        if len(corner_cells) == 1:
+            return
+        base = corner_cells[0]
+        for ci, cells in enumerate(corner_cells[1:], start=1):
+            for name, cell in base.items():
+                other = cells[name]
+                consistent = (
+                    _shape_key(cell, self._peak)
+                    == _shape_key(other, self._peak)
+                    and cell.controlling_value == other.controlling_value
+                    and (cell.ctrl is None) == (other.ctrl is None)
+                    and (
+                        cell.ctrl is None
+                        or cell.ctrl.out_rising == other.ctrl.out_rising
+                    )
+                    and all(
+                        cell.has_arc(p, d, o) == other.has_arc(p, d, o)
+                        for p in range(cell.n_inputs)
+                        for d in (True, False)
+                        for o in (True, False)
+                    )
+                )
+                if not consistent:
+                    raise ValueError(
+                        f"corner library {ci} disagrees with corner 0 on "
+                        f"the structure of cell {name!r}"
+                    )
 
     # ------------------------------------------------------------------
     def row(self, line: str, rising: bool) -> int:
@@ -560,7 +757,11 @@ class CompiledCircuit:
         layout); cell swaps fit as long as the new kind shares the shape
         key (e.g. NAND2 -> NOR2).  A swap that changes the kernel shape
         (say NAND2 -> XOR2) or any structural edit needs a recompile.
+        Corner-batched compiles are never patchable — a resize would
+        have to be re-derived against every corner library at once.
         """
+        if self.n_corners > 1:
+            return False
         loc = self._locs.get(line)
         if loc is None:
             return False
@@ -580,6 +781,10 @@ class CompiledCircuit:
             ValueError: If the gate's current cell no longer fits its
                 compiled kernel shape (see :meth:`can_patch`).
         """
+        if self.n_corners > 1:
+            raise ValueError(
+                "in-place patching requires a single-corner compile"
+            )
         loc = self._locs.get(line)
         if loc is None:
             raise ValueError(f"line {line!r} is not a compiled gate")
@@ -633,7 +838,7 @@ class CompiledCircuit:
             grp.p_adj[col] = cell.load_adjusted_delay(
                 cell.nonctrl.out_rising, load
             )
-            grp.pscale_c[:, col] = np.repeat(
+            grp.pscale_c[:, col, 0] = np.repeat(
                 np.array(
                     [
                         cell.nonctrl.pair_scale.get(pair_key(a, b), 1.0)
@@ -645,7 +850,7 @@ class CompiledCircuit:
             )
         if grp.shape is not None:
             _assign_shape_column(grp.shape, cell.ctrl, col)
-            grp.scale_c[:, col] = np.repeat(
+            grp.scale_c[:, col, 0] = np.repeat(
                 np.array(
                     [
                         cell.ctrl.pair_scale.get(pair_key(a, b), 1.0)
@@ -655,8 +860,8 @@ class CompiledCircuit:
                 ),
                 4,
             )
-            grp.rt[:, col] = ratio_table(cell.ctrl.multi_scale, grp.n_pins)
-            grp.rt_t[:, col] = ratio_table(
+            grp.rt[:, col, 0] = ratio_table(cell.ctrl.multi_scale, grp.n_pins)
+            grp.rt_t[:, col, 0] = ratio_table(
                 cell.ctrl.trans_multi_scale, grp.n_pins
             )
 
@@ -917,8 +1122,8 @@ class CompiledWindows:
     """SoA windows of one compiled pass.
 
     Rows index line x direction (rise rows first), columns index the
-    batch axis (MC samples or boundary scenarios).  ``states`` is
-    structural and shared by every column.
+    batch axis (MC samples, boundary scenarios, or PVT corners).
+    ``states`` is structural and shared by every column.
     """
 
     a_s: np.ndarray
@@ -966,7 +1171,9 @@ class LevelCompiledAnalyzer:
 
     Args:
         circuit: Gate-level circuit under analysis.
-        library: Characterized cell library.
+        library: Characterized cell library, or a sequence of per-corner
+            libraries (same cells, per-corner coefficients) to compile a
+            corner-batched engine whose batch axis is the corner axis.
         model: Delay model (defaults to the proposed V-shape model).
         config: Boundary conditions (fixes the compiled load vector).
     """
@@ -974,12 +1181,11 @@ class LevelCompiledAnalyzer:
     def __init__(
         self,
         circuit: Circuit,
-        library: CellLibrary,
+        library: Union[CellLibrary, Sequence[CellLibrary]],
         model: Optional[DelayModel] = None,
         config: Optional[StaConfig] = None,
     ) -> None:
         self.circuit = circuit
-        self.library = library
         self.model = model if model is not None else VShapeModel()
         self.config = config or StaConfig()
         obs = get_registry()
@@ -988,9 +1194,11 @@ class LevelCompiledAnalyzer:
             self.compiled = CompiledCircuit(
                 circuit, library, self.model, self.config
             )
+        self.library = self.compiled.library
         obs.gauge("sta.compile.levels").set(self.compiled.n_levels)
         obs.gauge("sta.compile.groups").set(self.compiled.n_groups)
         obs.gauge("sta.compile.gates").set(self.compiled.n_gates)
+        obs.gauge("sta.compile.corners").set(self.compiled.n_corners)
         #: SoA state of the last ``analyze`` call (see that method).
         self.last_windows: Optional[CompiledWindows] = None
         self._m_gates = obs.counter("sta.gates_evaluated")
@@ -1037,28 +1245,69 @@ class LevelCompiledAnalyzer:
             self._extract(compiled, b) for b in range(compiled.n_columns)
         ]
 
+    def analyze_corners(
+        self, derates: Optional[Tuple] = None
+    ) -> List[StaResult]:
+        """One batched pass over every compiled corner.
+
+        Args:
+            derates: Optional ``(early, late)`` derate pair; scalars or
+                length-``n_corners`` vectors (see :meth:`propagate`).
+
+        Returns:
+            One :class:`StaResult` per corner library, in compile order,
+            each bit-identical to a separate single-corner analyzer run
+            with that corner's library and scalar derates.
+        """
+        compiled = self.propagate(derates=derates)
+        self.last_windows = compiled
+        return [
+            self._extract(compiled, c) for c in range(compiled.n_columns)
+        ]
+
     def propagate(
         self,
         factors: Optional[np.ndarray] = None,
         boundaries: Optional[Sequence[Boundary]] = None,
         pi_overrides: Optional[Dict[str, LineTiming]] = None,
+        derates: Optional[Tuple] = None,
     ) -> CompiledWindows:
         """The compiled forward pass over a batch of B columns.
 
         Args:
             factors: Per-gate variation factors ``(n_gates, B)`` aligned
                 with ``circuit.topological_order()`` (Monte Carlo mode);
-                mutually exclusive with ``boundaries``.
-            boundaries: PI boundary scenarios, one column each.
+                mutually exclusive with ``boundaries``.  Requires a
+                single-corner compile — on a corner-batched compile the
+                batch axis *is* the corner axis.
+            boundaries: PI boundary scenarios, one column each
+                (single-corner compiles only, like ``factors``).
             pi_overrides: Per-PI windows replacing the default boundary
                 condition (broadcast across all columns).
+            derates: Optional ``(early, late)`` timing-derate pair.
+                Each member is a scalar, or a length-``C`` vector on a
+                corner-batched compile (one value per corner column).
+                The early derate multiplies min-side responses
+                (earliest arrivals / fastest transitions), the late
+                derate max-side responses, after any variation factor.
 
         Returns:
-            The raw SoA windows of every line direction.
+            The raw SoA windows of every line direction.  On a
+            corner-batched compile column ``c`` is corner ``c``'s pass,
+            bit-identical to a single-corner compile of that corner's
+            library run with its scalar derates.
         """
         cc = self.compiled
         if factors is not None and boundaries is not None:
             raise ValueError("factors and boundaries are mutually exclusive")
+        if cc.n_corners > 1 and (
+            factors is not None or boundaries is not None
+        ):
+            raise ValueError(
+                "factors/boundaries require a single-corner compile; "
+                "the batch axis of a corner-batched compile is the "
+                "corner axis"
+            )
         if factors is not None:
             factors = np.asarray(factors, dtype=float)
             if factors.ndim != 2 or factors.shape[0] != cc.n_gates:
@@ -1071,7 +1320,18 @@ class LevelCompiledAnalyzer:
             if n_cols == 0:
                 raise ValueError("need at least one boundary scenario")
         else:
-            n_cols = 1
+            n_cols = cc.n_corners
+        g: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        if derates is not None:
+            ge = np.asarray(derates[0], dtype=float)
+            gl = np.asarray(derates[1], dtype=float)
+            for d in (ge, gl):
+                if d.ndim > 1 or (d.ndim == 1 and d.shape[0] != n_cols):
+                    raise ValueError(
+                        f"derate shape {d.shape} does not broadcast over "
+                        f"{n_cols} batch column(s)"
+                    )
+            g = (ge, gl)
         n_rows = 2 * cc.n_lines
         a_s = np.full((n_rows, n_cols), np.nan)
         a_l = np.full((n_rows, n_cols), np.nan)
@@ -1085,9 +1345,9 @@ class LevelCompiledAnalyzer:
                 for group in level:
                     f = None if factors is None else factors[group.order_idx]
                     if isinstance(group, _CtrlGroup):
-                        self._run_ctrl(group, f, arrays, states)
+                        self._run_ctrl(group, f, arrays, states, g=g)
                     else:
-                        self._run_arc(group, f, arrays, states)
+                        self._run_arc(group, f, arrays, states, g=g)
         self._m_passes.inc()
         self._m_cols.inc(n_cols)
         # Work accounting: one corner search per gate per direction,
@@ -1105,6 +1365,7 @@ class LevelCompiledAnalyzer:
         arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
         states: np.ndarray,
         f: Optional[np.ndarray] = None,
+        g: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
         """Run one (possibly column-subset) group against SoA state.
 
@@ -1114,9 +1375,9 @@ class LevelCompiledAnalyzer:
         a compiled group or a :func:`subset_group` slice of one.
         """
         if isinstance(group, _CtrlGroup):
-            self._run_ctrl(group, f, arrays, states)
+            self._run_ctrl(group, f, arrays, states, g=g)
         else:
-            self._run_arc(group, f, arrays, states)
+            self._run_arc(group, f, arrays, states, g=g)
 
     # ------------------------------------------------------------------
     # Boundary conditions
@@ -1190,8 +1451,18 @@ class LevelCompiledAnalyzer:
         f: Optional[np.ndarray],
         arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
         states: np.ndarray,
+        g: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
-        """Level-batched mirror of ``kernels.arc_fanin_window``."""
+        """Level-batched mirror of ``kernels.arc_fanin_window``.
+
+        The pack arrays carry the trailing corner axis ``C`` (size 1 on
+        a single-corner compile), so they broadcast directly against the
+        ``(A, G, B)`` gathered windows — identical float ops to the old
+        ``[..., None]`` expansion when ``C == 1``, per-corner columns
+        when ``B == C``.  ``g`` is the optional ``(early, late)`` derate
+        pair, multiplied after ``f`` onto min-side / max-side responses.
+        """
+        ge, gl = (None, None) if g is None else g
         arr_a_s, arr_a_l, arr_t_s, arr_t_l = arrays
         if grp.no_arc_rows.size:
             states[grp.no_arc_rows] = IMPOSSIBLE
@@ -1206,19 +1477,19 @@ class LevelCompiledAnalyzer:
             t_l_in = arr_t_l[d.in_rows]
             a_s_in = arr_a_s[d.in_rows]
             a_l_in = arr_a_l[d.in_rows]
-            arc_lo = d.pack.t_lo[:, :, None]
-            arc_hi = d.pack.t_hi[:, :, None]
+            arc_lo = d.pack.t_lo
+            arc_hi = d.pack.t_hi
             c_lo = np.minimum(np.maximum(t_s_in, arc_lo), arc_hi)
             c_hi = np.minimum(np.maximum(t_l_in, arc_lo), arc_hi)
             b_hi = np.maximum(c_hi, c_lo)
             mins, maxs = quad_extremes_batch(
-                d.pack.q_a2[:, :, :, None],
-                d.pack.q_a1[:, :, :, None],
-                d.pack.q_a0[:, :, :, None],
+                d.pack.q_a2,
+                d.pack.q_a1,
+                d.pack.q_a0,
                 c_lo, b_hi,
             )
-            d_adj = d.d_adj[:, None]
-            r_adj = d.r_adj[:, None]
+            d_adj = d.d_adj
+            r_adj = d.r_adj
             d_min = mins[0] + d_adj
             d_max = maxs[0] + d_adj
             r_min = mins[1] + r_adj
@@ -1228,6 +1499,11 @@ class LevelCompiledAnalyzer:
                 d_max = d_max * f
                 r_min = r_min * f
                 r_max = r_max * f
+            if ge is not None:
+                d_min = d_min * ge
+                d_max = d_max * gl
+                r_min = r_min * ge
+                r_max = r_max * gl
             lows = a_s_in + d_min
             highs = a_l_in + d_max
             if all_act:
@@ -1255,9 +1531,22 @@ class LevelCompiledAnalyzer:
         f: Optional[np.ndarray],
         arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
         states: np.ndarray,
+        g: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
         """Level-batched mirror of ``kernels.ctrl_response_window`` and
-        ``kernels.nonctrl_response_window`` (one group, both outputs)."""
+        ``kernels.nonctrl_response_window`` (one group, both outputs).
+
+        Coefficient arrays carry the trailing corner axis (size 1 on a
+        single-corner compile) and broadcast directly against the
+        gathered ``(P, G, B)`` windows.  ``g`` is the optional
+        ``(early, late)`` derate pair: the early factor multiplies every
+        min-side quantity (earliest arrivals, fastest transitions and
+        the pair-merge candidates that can only lower them), the late
+        factor every max-side quantity (latest arrivals, slowest
+        transitions and the Λ-peak candidates that can only raise them),
+        each applied *after* the variation factor ``f``.
+        """
+        ge, gl = (None, None) if g is None else g
         arr_a_s, arr_a_l, arr_t_s, arr_t_l = arrays
 
         # ---- to-controlling response ----
@@ -1270,17 +1559,17 @@ class LevelCompiledAnalyzer:
         t_l_in = arr_t_l[grp.ctrl_rows]
         a_s_in = arr_a_s[grp.ctrl_rows]
         a_l_in = arr_a_l[grp.ctrl_rows]
-        arc_lo = grp.pack.t_lo[:, :, None]
-        arc_hi = grp.pack.t_hi[:, :, None]
+        arc_lo = grp.pack.t_lo
+        arc_hi = grp.pack.t_hi
         c_lo = np.minimum(np.maximum(t_s_in, arc_lo), arc_hi)
         c_hi = np.minimum(np.maximum(t_l_in, arc_lo), arc_hi)
         b_hi = np.maximum(c_hi, c_lo)
-        d_adj = grp.d_adj_c[:, None]  # (G, 1)
-        r_adj = grp.r_adj_c[:, None]
+        d_adj = grp.d_adj_c  # (G, C)
+        r_adj = grp.r_adj_c
         mins, maxs = quad_extremes_batch(
-            grp.pack.q_a2[:, :, :, None],
-            grp.pack.q_a1[:, :, :, None],
-            grp.pack.q_a0[:, :, :, None],
+            grp.pack.q_a2,
+            grp.pack.q_a1,
+            grp.pack.q_a0,
             c_lo, b_hi,
         )
         d_min = mins[0] + d_adj
@@ -1292,6 +1581,11 @@ class LevelCompiledAnalyzer:
             d_max = d_max * f
             r_min = r_min * f
             r_max = r_max * f
+        if ge is not None:
+            d_min = d_min * ge
+            d_max = d_max * gl
+            r_min = r_min * ge
+            r_max = r_max * gl
         has_def = def_.any(axis=0)
         upper = a_l_in + d_max
         if all_act:
@@ -1319,18 +1613,26 @@ class LevelCompiledAnalyzer:
             # NaN, fail every comparison and fall to the ±inf branch of
             # np.where — so gates with < 2 active inputs self-mask.
             overlap_k = overlap_depth(a_s_in, a_l_in)  # (G, B)
-            ratio = grp.rt[overlap_k, grp.gate_idx]
-            t_ratio = grp.rt_t[overlap_k, grp.gate_idx]
+            # Ratio lookup: rt is (P+1, G, C); the per-column corner
+            # index broadcasts to (1, 1) on a single-corner compile —
+            # every batch column reads corner 0, exactly the old (G, B)
+            # lookup — and to the per-corner column when B == C.
+            cidx = np.arange(grp.rt.shape[-1], dtype=np.intp)[None, :]
+            ratio = grp.rt[overlap_k, grp.gate_idx, cidx]
+            t_ratio = grp.rt_t[overlap_k, grp.gate_idx, cidx]
             tc = np.stack([c_lo, c_hi], axis=1)  # (P, 2, G, B)
-            qa2e = grp.pack.q_a2[:, :, None, :, None]
-            qa1e = grp.pack.q_a1[:, :, None, :, None]
-            qa0e = grp.pack.q_a0[:, :, None, :, None]
+            qa2e = grp.pack.q_a2[:, :, None]  # (2, A, 1, G, C)
+            qa1e = grp.pack.q_a1[:, :, None]
+            qa0e = grp.pack.q_a0[:, :, None]
             drtr = (qa2e * tc + qa1e) * tc + qa0e  # (2, P, 2, G, B)
             dr = drtr[0] + d_adj
             tr = drtr[1] + r_adj
             if f is not None:
                 dr = dr * f
                 tr = tr * f
+            if ge is not None:
+                dr = dr * ge
+                tr = tr * ge
             ii, jj, ki, kj, pairs = _pair_combos(grp.n_pins)
             t_lo_c = tc[ii, ki]  # (C, G, B)
             t_hi_c = tc[jj, kj]
@@ -1338,8 +1640,8 @@ class LevelCompiledAnalyzer:
             dr_hi = dr[jj, kj]
             roots = (cbrt_grid(t_lo_c), cbrt_grid(t_hi_c))
             d0, s_pos, s_neg = vshape_anchor_surfaces(
-                grp.shape, t_lo_c, t_hi_c, grp.scale_c[:, :, None],
-                dr_lo, dr_hi, d_adj, f=f, roots=roots,
+                grp.shape, t_lo_c, t_hi_c, grp.scale_c,
+                dr_lo, dr_hi, d_adj, f=f, roots=roots, g=ge,
             )
             asi, asj = a_s_in[ii], a_s_in[jj]
             ali, alj = a_l_in[ii], a_l_in[jj]
@@ -1376,7 +1678,7 @@ class LevelCompiledAnalyzer:
             # ---- transition-time merge (SK_t,min rule) ----
             vskew, vval, sp_t, sn_t = trans_anchor_surfaces(
                 grp.shape, t_lo_c, t_hi_c, tr[ii, ki], tr[jj, kj], r_adj,
-                f=f, roots=roots,
+                f=f, roots=roots, g=ge,
             )
             delta_t = np.minimum(np.maximum(vskew, blo), bhi)
             tval = _trans_v(
@@ -1413,18 +1715,18 @@ class LevelCompiledAnalyzer:
         t_l_in = arr_t_l[grp.nonctrl_rows]
         a_s_in = arr_a_s[grp.nonctrl_rows]
         a_l_in = arr_a_l[grp.nonctrl_rows]
-        arc_lo = grp.npack.t_lo[:, :, None]
-        arc_hi = grp.npack.t_hi[:, :, None]
+        arc_lo = grp.npack.t_lo
+        arc_hi = grp.npack.t_hi
         c_lo = np.minimum(np.maximum(t_s_in, arc_lo), arc_hi)
         b_hi = np.maximum(
             np.minimum(np.maximum(t_l_in, arc_lo), arc_hi), c_lo
         )
-        d_adj = grp.d_adj_n[:, None]
-        r_adj = grp.r_adj_n[:, None]
+        d_adj = grp.d_adj_n
+        r_adj = grp.r_adj_n
         mins, maxs = quad_extremes_batch(
-            grp.npack.q_a2[:, :, :, None],
-            grp.npack.q_a1[:, :, :, None],
-            grp.npack.q_a0[:, :, :, None],
+            grp.npack.q_a2,
+            grp.npack.q_a1,
+            grp.npack.q_a0,
             c_lo, b_hi,
         )
         d_min = mins[0] + d_adj
@@ -1436,6 +1738,11 @@ class LevelCompiledAnalyzer:
             d_max = d_max * f
             r_min = r_min * f
             r_max = r_max * f
+        if ge is not None:
+            d_min = d_min * ge
+            d_max = d_max * gl
+            r_min = r_min * ge
+            r_max = r_max * gl
         has_def = def_.any(axis=0)
         lows = a_s_in + d_min
         highs = a_l_in + d_max
@@ -1460,9 +1767,9 @@ class LevelCompiledAnalyzer:
         else:
             a_s = no_def_as
         if grp.ppack is not None:
-            p_adj = grp.p_adj[:, None]
-            p_lo = grp.ppack.t_lo[:, :, None]
-            p_hi = grp.ppack.t_hi[:, :, None]
+            p_adj = grp.p_adj  # (G, C)
+            p_lo = grp.ppack.t_lo
+            p_hi = grp.ppack.t_hi
             tc = np.stack(
                 [
                     np.minimum(np.maximum(t_s_in, p_lo), p_hi),
@@ -1471,19 +1778,21 @@ class LevelCompiledAnalyzer:
                 axis=1,
             )  # (P, 2, G, B)
             tails = (
-                (grp.ppack.d_a2[:, None, :, None] * tc
-                 + grp.ppack.d_a1[:, None, :, None]) * tc
-                + grp.ppack.d_a0[:, None, :, None]
+                (grp.ppack.d_a2[:, None] * tc
+                 + grp.ppack.d_a1[:, None]) * tc
+                + grp.ppack.d_a0[:, None]
                 + p_adj
             )
             if f is not None:
                 tails = tails * f
+            if gl is not None:
+                tails = tails * gl
             ii, jj, ki, kj, pairs = _pair_combos(grp.n_pins)
             tail_lo = tails[ii, ki]
             tail_hi = tails[jj, kj]
             p0, s_pos, s_neg = peak_anchor_surfaces(
                 grp.peak, tc[ii, ki], tc[jj, kj],
-                grp.pscale_c[:, :, None], tail_lo, tail_hi, p_adj, f=f,
+                grp.pscale_c, tail_lo, tail_hi, p_adj, f=f, g=gl,
             )
             asi, asj = a_s_in[ii], a_s_in[jj]
             ali, alj = a_l_in[ii], a_l_in[jj]

@@ -187,25 +187,33 @@ def vshape_anchor_surfaces(
     load_adj: float,
     f: Optional[np.ndarray] = None,
     roots: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    g: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """V-shape anchors (d0, s_pos, s_neg) of the candidate surfaces.
 
     The any-shape core of :meth:`VShapeModel.vshape_anchors_batch`: the
     caller supplies the precomputed load adjustment, an optional
-    per-element variation factor ``f`` (Monte Carlo) and optionally the
-    precomputed cube roots of the transition times.  With ``f`` omitted
-    the float operations match the model method bit for bit.
+    per-element variation factor ``f`` (Monte Carlo), an optional timing
+    derate ``g`` (multiplied after ``f``, at the same sites) and
+    optionally the precomputed cube roots of the transition times.  With
+    ``f`` and ``g`` omitted the float operations match the model method
+    bit for bit.
     """
     x, y = roots if roots is not None else (cbrt_grid(t_lo), cbrt_grid(t_hi))
     d0 = ctrl.d0.eval_roots(x, y) * scale + load_adj
     if f is not None:
         d0 = d0 * f
+    if g is not None:
+        d0 = d0 * g
     d0 = np.minimum(np.minimum(d0, dr_lo), dr_hi)
     s_pos = np.maximum(ctrl.s_pos.eval_many(t_lo, t_hi), _S_FLOOR)
     s_neg = np.maximum(ctrl.s_neg.eval_many(t_lo, t_hi), _S_FLOOR)
     if f is not None:
         s_pos = s_pos * f
         s_neg = s_neg * f
+    if g is not None:
+        s_pos = s_pos * g
+        s_neg = s_neg * g
     return d0, s_pos, s_neg
 
 
@@ -218,6 +226,7 @@ def trans_anchor_surfaces(
     load_adj: float,
     f: Optional[np.ndarray] = None,
     roots: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    g: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Transition-V anchors (vertex_skew, vertex_value, s_pos, s_neg)."""
     x, y = roots if roots is not None else (cbrt_grid(t_lo), cbrt_grid(t_hi))
@@ -226,11 +235,17 @@ def trans_anchor_surfaces(
     if f is not None:
         vertex_value = vertex_value * f
         vertex_skew = vertex_skew * f
+    if g is not None:
+        vertex_value = vertex_value * g
+        vertex_skew = vertex_skew * g
     s_pos = np.maximum(ctrl.s_pos.eval_many(t_lo, t_hi), _S_FLOOR)
     s_neg = np.maximum(ctrl.s_neg.eval_many(t_lo, t_hi), _S_FLOOR)
     if f is not None:
         s_pos = s_pos * f
         s_neg = s_neg * f
+    if g is not None:
+        s_pos = s_pos * g
+        s_neg = s_neg * g
     vertex_skew = np.minimum(np.maximum(vertex_skew, -s_neg), s_pos)
     vertex_value = np.minimum(np.minimum(vertex_value, tail_lo), tail_hi)
     return vertex_skew, vertex_value, s_pos, s_neg
@@ -246,18 +261,24 @@ def peak_anchor_surfaces(
     load_adj: float,
     f: Optional[np.ndarray] = None,
     roots: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    g: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Λ-peak anchors (p0, s_pos, s_neg) of the non-ctrl slow-down."""
     x, y = roots if roots is not None else (cbrt_grid(t_lo), cbrt_grid(t_hi))
     p0 = data.d0.eval_roots(x, y) * scale + load_adj
     if f is not None:
         p0 = p0 * f
+    if g is not None:
+        p0 = p0 * g
     p0 = np.maximum(np.maximum(p0, tail_lo), tail_hi)
     s_pos = np.maximum(data.s_pos.eval_many(t_lo, t_hi), _S_FLOOR)
     s_neg = np.maximum(data.s_neg.eval_many(t_lo, t_hi), _S_FLOOR)
     if f is not None:
         s_pos = s_pos * f
         s_neg = s_neg * f
+    if g is not None:
+        s_pos = s_pos * g
+        s_neg = s_neg * g
     return p0, s_pos, s_neg
 
 

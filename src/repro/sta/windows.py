@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional
+from typing import Optional, Sequence
 
 #: Transition states (paper Section 5.1).
 DEFINITE = 1
@@ -145,6 +145,40 @@ class LineTiming:
     def latest_arrival(self) -> Optional[float]:
         actives = [w.a_l for w in (self.rise, self.fall) if w.is_active]
         return max(actives) if actives else None
+
+
+def merge_dir_windows(windows: Sequence[DirWindow]) -> DirWindow:
+    """Conservative envelope of per-corner windows (multi-corner merge).
+
+    Setup analysis needs the latest possible arrival across corners,
+    hold the earliest: the merged window takes min over ``a_s``/``t_s``
+    and max over ``a_l``/``t_l`` of the *active* inputs, so it contains
+    every per-corner window.  The merge is DEFINITE only when every
+    active corner says DEFINITE — a transition a corner merely might
+    produce cannot be promised by the envelope — and IMPOSSIBLE only
+    when no corner can produce it at all.
+    """
+    active = [w for w in windows if w.is_active]
+    if not active:
+        return DirWindow.impossible()
+    state = (
+        DEFINITE if all(w.state == DEFINITE for w in active) else POTENTIAL
+    )
+    return DirWindow(
+        a_s=min(w.a_s for w in active),
+        a_l=max(w.a_l for w in active),
+        t_s=min(w.t_s for w in active),
+        t_l=max(w.t_l for w in active),
+        state=state,
+    )
+
+
+def merge_line_timings(timings: Sequence[LineTiming]) -> LineTiming:
+    """Per-direction :func:`merge_dir_windows` over one line's corners."""
+    return LineTiming(
+        rise=merge_dir_windows([t.rise for t in timings]),
+        fall=merge_dir_windows([t.fall for t in timings]),
+    )
 
 
 @dataclasses.dataclass

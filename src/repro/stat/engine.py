@@ -122,6 +122,12 @@ class MonteCarloEngine:
             level-compiled SoA pass (:mod:`repro.sta.compile`), whose
             trailing batch axis generalizes the sample axis.  Both
             produce bit-identical windows.
+        derate: Optional ``(early, late)`` timing-derate pair (see
+            :mod:`repro.pvt`): min-side responses multiply by the early
+            derate and max-side responses by the late derate, after the
+            per-gate variation factor.  ``None`` applies no derate
+            multiplies at all (not even by 1.0), matching the compiled
+            engine's ``derates=None``.
     """
 
     def __init__(
@@ -131,6 +137,7 @@ class MonteCarloEngine:
         model: Optional[DelayModel] = None,
         config: Optional[StaConfig] = None,
         engine: str = "gate",
+        derate: Optional[Tuple[float, float]] = None,
     ) -> None:
         if engine not in ("gate", "level"):
             raise ValueError(
@@ -141,6 +148,10 @@ class MonteCarloEngine:
         self.model = model if model is not None else VShapeModel()
         self.config = config or StaConfig()
         self.engine = engine
+        self.derate = (
+            None if derate is None
+            else (float(derate[0]), float(derate[1]))
+        )
         self._level = (
             LevelCompiledAnalyzer(
                 circuit, library, self.model, self.config
@@ -192,7 +203,9 @@ class MonteCarloEngine:
             # One compiled pass over the whole block: the level engine's
             # batch axis is this engine's sample axis (both factor
             # matrices align with topological order).
-            return self._from_compiled(self._level.propagate(factors))
+            return self._from_compiled(
+                self._level.propagate(factors, derates=self.derate)
+            )
         n = factors.shape[1]
         a_s, a_l = self.config.pi_arrival
         t_s, t_l = self.config.pi_trans
@@ -307,10 +320,16 @@ class MonteCarloEngine:
         qa1 = pack.q_a1[:, pins][:, :, None]
         qa0 = pack.q_a0[:, pins][:, :, None]
         mins, maxs = quad_extremes_batch(qa2, qa1, qa0, c_lo, b_hi)
+        ge, gl = (None, None) if self.derate is None else self.derate
         d_min = (mins[0] + d_adj) * f
         d_max = (maxs[0] + d_adj) * f
         r_min = (mins[1] + r_adj) * f
         r_max = (maxs[1] + r_adj) * f
+        if ge is not None:
+            d_min = d_min * ge
+            d_max = d_max * gl
+            r_min = r_min * ge
+            r_max = r_max * gl
 
         upper = a_l_in + d_max
         has_definite = bool(definite.any())
@@ -339,6 +358,9 @@ class MonteCarloEngine:
             drtr = (qa2e * tc + qa1e) * tc + qa0e  # (2, P, 2, N)
             dr = (drtr[0] + d_adj) * f
             tr = (drtr[1] + r_adj) * f
+            if ge is not None:
+                dr = dr * ge
+                tr = tr * ge
             ii, jj, ki, kj, pairs = _pair_combos(len(active))
             scale_c = np.repeat(
                 np.array(
@@ -358,7 +380,7 @@ class MonteCarloEngine:
             dr_hi = dr[jj, kj]
             d0, s_pos, s_neg = vshape_anchor_surfaces(
                 ctrl, t_lo_c, t_hi_c, scale_c[:, None],
-                dr_lo, dr_hi, d_adj, f=f,
+                dr_lo, dr_hi, d_adj, f=f, g=ge,
             )
             asi, asj = a_s_in[ii], a_s_in[jj]
             ali, alj = a_l_in[ii], a_l_in[jj]
@@ -397,7 +419,8 @@ class MonteCarloEngine:
 
             # ---- transition-time merge (SK_t,min rule) ----
             vskew, vval, sp_t, sn_t = trans_anchor_surfaces(
-                ctrl, t_lo_c, t_hi_c, tr[ii, ki], tr[jj, kj], r_adj, f=f
+                ctrl, t_lo_c, t_hi_c, tr[ii, ki], tr[jj, kj], r_adj,
+                f=f, g=ge,
             )
             delta_t = np.minimum(np.maximum(vskew, blo), bhi)
             tval = _trans_v(
@@ -450,10 +473,16 @@ class MonteCarloEngine:
             pack.q_a0[:, pins][:, :, None],
             c_lo, b_hi,
         )
+        ge, gl = (None, None) if self.derate is None else self.derate
         d_min = (mins[0] + d_adj) * f
         d_max = (maxs[0] + d_adj) * f
         r_min = (mins[1] + r_adj) * f
         r_max = (maxs[1] + r_adj) * f
+        if ge is not None:
+            d_min = d_min * ge
+            d_max = d_max * gl
+            r_min = r_min * ge
+            r_max = r_max * gl
 
         lows = a_s_in + d_min
         highs = a_l_in + d_max
@@ -486,6 +515,8 @@ class MonteCarloEngine:
                 + ppack.d_a0[pins][:, None, None]
                 + p_adj
             ) * f
+            if gl is not None:
+                tails = tails * gl
             ii, jj, ki, kj, pairs = _pair_combos(len(active))
             scale_c = np.repeat(
                 np.array(
@@ -503,7 +534,7 @@ class MonteCarloEngine:
             tail_hi = tails[jj, kj]
             p0, s_pos, s_neg = peak_anchor_surfaces(
                 data, tc[ii, ki], tc[jj, kj], scale_c[:, None],
-                tail_lo, tail_hi, p_adj, f=f,
+                tail_lo, tail_hi, p_adj, f=f, g=gl,
             )
             asi, asj = a_s_in[ii], a_s_in[jj]
             ali, alj = a_l_in[ii], a_l_in[jj]
@@ -562,13 +593,23 @@ class MonteCarloEngine:
             pack.q_a0[:, sel][:, :, None],
             c_lo, b_hi,
         )
+        ge, gl = (None, None) if self.derate is None else self.derate
+        d_min = (mins[0] + d_adj) * f
+        d_max = (maxs[0] + d_adj) * f
+        r_min = (mins[1] + r_adj) * f
+        r_max = (maxs[1] + r_adj) * f
+        if ge is not None:
+            d_min = d_min * ge
+            d_max = d_max * gl
+            r_min = r_min * ge
+            r_max = r_max * gl
         any_definite = any(w.state == DEFINITE for *_, w in active)
         state = DEFINITE if any_definite and len(active) == 1 else POTENTIAL
         return SampleWindows(
-            a_s=(a_s_in + (mins[0] + d_adj) * f).min(axis=0),
-            a_l=(a_l_in + (maxs[0] + d_adj) * f).max(axis=0),
-            t_s=((mins[1] + r_adj) * f).min(axis=0),
-            t_l=((maxs[1] + r_adj) * f).max(axis=0),
+            a_s=(a_s_in + d_min).min(axis=0),
+            a_l=(a_l_in + d_max).max(axis=0),
+            t_s=r_min.min(axis=0),
+            t_l=r_max.max(axis=0),
             state=state,
         )
 

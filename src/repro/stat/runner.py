@@ -84,6 +84,7 @@ def _pool_init(
     seed: int,
     obs_enabled: bool = False,
     engine: str = "gate",
+    derate: Optional[Tuple[float, float]] = None,
 ) -> None:
     """Build one engine per worker process (per-block work reuses it).
 
@@ -112,7 +113,7 @@ def _pool_init(
     _WORKER = {
         "engine": MonteCarloEngine(
             circuit, library, MC_MODELS[model_name](), config,
-            engine=engine,
+            engine=engine, derate=derate,
         ),
         "variation": VariationModel.from_dict(variation_fields),
         "seed": seed,
@@ -146,6 +147,7 @@ def run_mc(
     jobs: int = 1,
     block: int = DEFAULT_BLOCK,
     engine: str = "gate",
+    derate: Optional[Tuple[float, float]] = None,
 ) -> McResult:
     """Variation-aware Monte Carlo STA over ``samples`` draws.
 
@@ -165,6 +167,9 @@ def run_mc(
             sample-axis kernels) or ``"level"`` (level-compiled SoA
             pass).  Bit-identical either way — pure execution strategy,
             like ``jobs``.
+        derate: Optional ``(early, late)`` timing-derate pair applied
+            to every sample's windows (PVT corner margins; see
+            :class:`MonteCarloEngine`).
 
     Returns:
         Aggregated per-output delay distributions.
@@ -183,7 +188,8 @@ def run_mc(
     block_hist = obs.histogram("stat.mc.block_s")
 
     mc_engine = MonteCarloEngine(
-        circuit, library, MC_MODELS[model](), config, engine=engine
+        circuit, library, MC_MODELS[model](), config, engine=engine,
+        derate=derate,
     )
     pieces: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
     with obs.timer("stat.mc.wall_s"):
@@ -211,6 +217,7 @@ def run_mc(
                 seed,
                 obs.enabled,
                 engine,
+                derate,
             )
             workers = min(jobs, len(blocks))
             payloads: Dict[int, Optional[dict]] = {}

@@ -161,6 +161,66 @@ class TestMcCommand:
         assert args.sigma_ind == 0.01
 
 
+class TestCornerFlags:
+    def test_sta_multi_corner_table(self, capsys):
+        assert main(["sta", "c17", "--corners", "typ,slow"]) == 0
+        out = capsys.readouterr().out
+        assert "corner" in out
+        assert "slow" in out
+        assert "merged" in out
+
+    def test_sta_rejects_bad_corner_spec(self, capsys):
+        assert main(["sta", "c17", "--corners", "typ:bogus=1"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_sta_corner_library_subset(self, capsys, tmp_path):
+        from repro.characterize import CellLibrary
+        from repro.pvt import STANDARD_CORNERS, CornerLibrary
+
+        path = tmp_path / "corners.json"
+        CornerLibrary.derived(
+            CellLibrary.load_default(),
+            [STANDARD_CORNERS["typ"], STANDARD_CORNERS["slow"]],
+        ).save(path)
+        assert main([
+            "sta", "c17", "--corner-library", str(path),
+            "--corners", "slow",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "slow" in out
+
+    def test_sta_rejects_unknown_library_corner(self, capsys, tmp_path):
+        from repro.characterize import CellLibrary
+        from repro.pvt import STANDARD_CORNERS, CornerLibrary
+
+        path = tmp_path / "corners.json"
+        CornerLibrary.derived(
+            CellLibrary.load_default(), [STANDARD_CORNERS["typ"]]
+        ).save(path)
+        assert main([
+            "sta", "c17", "--corner-library", str(path),
+            "--corners", "nope",
+        ]) == 2
+
+    def test_mc_multi_corner_summary(self, capsys, tmp_path):
+        out_path = tmp_path / "mc_corners.json"
+        code = main([
+            "mc", "c17", "--samples", "16", "--block", "8",
+            "--corners", "typ,slow", "--json", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slow" in out
+        summary = json.loads(out_path.read_text())
+        assert set(summary["corners"]) == {"typ", "slow"}
+
+    def test_characterize_corners_parser(self):
+        args = build_parser().parse_args([
+            "characterize", "--corners", "typ,slow", "--cells", "INV",
+        ])
+        assert args.corners == "typ,slow"
+
+
 class TestCharacterizeCommand:
     ARGS = [
         "characterize", "--cells", "inv",

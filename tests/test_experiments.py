@@ -54,7 +54,7 @@ class TestRegistry:
         expected = {
             "figure-1", "figure-2", "figure-5", "figure-10", "figure-11",
             "figure-12", "table-2", "section-7", "claims-3.5", "ablations",
-            "extension-nonctrl", "extension-mc-sta",
+            "extension-nonctrl", "extension-mc-sta", "extension-pvt",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

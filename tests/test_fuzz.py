@@ -94,7 +94,7 @@ class TestOracleRegistry:
     def test_expected_oracles_registered(self):
         assert set(ORACLES) >= {
             "kernels", "memo", "itr", "atpg-jobs", "char-jobs", "spice",
-            "serve",
+            "serve", "corners",
         }
 
     def test_select_all_and_unknown(self):

@@ -170,3 +170,119 @@ class TestLibrarySerialization:
         lib.save(path)
         loaded = CellLibrary.load(path)
         assert loaded.cells["INV"].ctrl is None
+
+
+class TestCornerLibraryMigration:
+    """v2 single-corner files must keep loading through the v3 reader."""
+
+    def corner_doc(self, library):
+        from repro.pvt import STANDARD_CORNERS, CornerLibrary
+
+        return CornerLibrary.derived(
+            library, [STANDARD_CORNERS["typ"], STANDARD_CORNERS["slow"]]
+        ).to_dict()
+
+    def test_v2_loads_as_single_typ_corner(self, tmp_path, library):
+        from repro.pvt import CornerLibrary
+
+        path = tmp_path / "v2.json"
+        library.save(path)
+        migrated = CornerLibrary.load(path)
+        assert migrated.names == ["typ"]
+        assert migrated.default_corner == "typ"
+        assert migrated.corner("typ").vdd == library.vdd
+        assert migrated.corner("typ").derates == (1.0, 1.0)
+
+    @pytest.mark.parametrize(
+        "bench", ["c17", "c432s", "c880s", "c5315s", "c7552s"]
+    )
+    def test_v2_migration_windows_identical(self, tmp_path, library, bench):
+        """Migrated v2 windows == the plain single-corner analysis."""
+        from repro.circuit import load_packaged_bench
+        from repro.pvt import CornerAnalyzer, CornerLibrary
+        from repro.sta.compile import LevelCompiledAnalyzer
+        from tests.test_perf_parity import assert_results_equal
+
+        path = tmp_path / "v2.json"
+        library.save(path)
+        migrated = CornerLibrary.load(path)
+        circuit = load_packaged_bench(bench)
+        via_corners = CornerAnalyzer.from_library(
+            circuit, migrated
+        ).analyze()
+        direct = LevelCompiledAnalyzer(
+            circuit, CellLibrary.load(path)
+        ).analyze()
+        assert_results_equal(circuit, direct, via_corners.results[0])
+        assert_results_equal(circuit, direct, via_corners.merged)
+
+    def test_cell_library_refuses_v3_with_pointer(self, tmp_path, library):
+        doc = self.corner_doc(library)
+        path = tmp_path / "v3.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(LibraryFormatError, match="CornerLibrary"):
+            CellLibrary.load(path)
+
+    def test_v3_round_trip(self, tmp_path, library):
+        from repro.pvt import CornerLibrary
+
+        doc = self.corner_doc(library)
+        loaded = CornerLibrary.from_dict(doc)
+        assert loaded.names == ["typ", "slow"]
+        assert loaded.to_dict() == doc
+
+    def test_missing_corners_object_rejected(self, library):
+        from repro.pvt import CornerLibrary
+
+        doc = self.corner_doc(library)
+        for corners in (None, {}, []):
+            bad = dict(doc)
+            if corners is None:
+                bad.pop("corners")
+            else:
+                bad["corners"] = corners
+            with pytest.raises(
+                LibraryFormatError, match="re-run characterization"
+            ):
+                CornerLibrary.from_dict(bad)
+
+    def test_malformed_corner_entry_rejected(self, library):
+        from repro.pvt import CornerLibrary
+
+        doc = self.corner_doc(library)
+        doc["corners"]["slow"] = {"corner": doc["corners"]["slow"]["corner"]}
+        with pytest.raises(LibraryFormatError, match="slow"):
+            CornerLibrary.from_dict(doc)
+
+    def test_corner_name_mismatch_rejected(self, library):
+        from repro.pvt import CornerLibrary
+
+        doc = self.corner_doc(library)
+        doc["corners"]["slow"]["corner"]["name"] = "other"
+        with pytest.raises(LibraryFormatError, match="names itself"):
+            CornerLibrary.from_dict(doc)
+
+    def test_mixed_cell_sets_rejected(self, library):
+        from repro.pvt import CornerLibrary
+
+        doc = self.corner_doc(library)
+        cells = doc["corners"]["slow"]["library"]["cells"]
+        cells.pop(next(iter(cells)))
+        with pytest.raises(LibraryFormatError, match="mixed-corner"):
+            CornerLibrary.from_dict(doc)
+
+    def test_unknown_default_corner_rejected(self, library):
+        from repro.pvt import CornerLibrary
+
+        doc = self.corner_doc(library)
+        doc["default_corner"] = "nope"
+        with pytest.raises(LibraryFormatError, match="default corner"):
+            CornerLibrary.from_dict(doc)
+
+    def test_bad_corner_payload_rejected(self):
+        from repro.pvt import Corner
+
+        with pytest.raises(LibraryFormatError, match="re-run"):
+            Corner.from_dict({"vdd": 3.3})
+        with pytest.raises(LibraryFormatError, match="re-run"):
+            Corner.from_dict({"name": "x", "vdd": "high"})

@@ -106,8 +106,40 @@ class TestProtocol:
         (query("whatif", {"edits": [
             {"op": "resize", "line": "G1", "value": 1.0}] * 33,
         }), "oversized_batch"),
+        (query("corners"), "bad_request"),
+        (query("corners", {"corners": []}), "bad_request"),
+        (query("corners", {"corners": [42]}), "bad_request"),
+        (query("corners", {"corners": [""]}), "bad_request"),
+        (query("corners", {"corners": [{"vdd": 3.0}]}), "bad_request"),
+        (query("corners", {"corners": [
+            {"name": "x", "voltage": 3.0}]}), "bad_request"),
+        (query("corners", {"corners": [
+            {"name": "x", "vdd": "high"}]}), "bad_request"),
+        (query("corners", {"corners": ["typ"] * 33}), "oversized_batch"),
+        (query("corners", {"corners": ["typ"], "lines": "G1"}),
+         "bad_request"),
         (query("windows", timeout_s=0.0), "bad_request"),
     ]
+
+    def test_corner_specs_normalize_into_the_key(self):
+        # Spec strings pass through untouched; corner objects keep only
+        # the fields given, coerced to float — so a request spelling a
+        # field as int and one as float share the idempotency key.
+        as_int = validate_request(query("corners", {
+            "corners": ["slow", {"name": "hot", "temp_c": 125}],
+        }))
+        as_float = validate_request(query("corners", {
+            "corners": ["slow", {"name": "hot", "temp_c": 125.0}],
+        }))
+        assert as_int.params["corners"] == [
+            "slow", {"name": "hot", "temp_c": 125.0}
+        ]
+        assert as_int.key == as_float.key
+        # Corner order is part of the request's identity.
+        swapped = validate_request(query("corners", {
+            "corners": [{"name": "hot", "temp_c": 125.0}, "slow"],
+        }))
+        assert swapped.key != as_int.key
 
     @pytest.mark.parametrize("payload,code", VALIDATION_TABLE)
     def test_validation_error_table(self, payload, code):
@@ -136,6 +168,15 @@ class TestErrorPaths:
         (query("whatif", {"edits": [
             {"op": "resize", "line": "no_such_line", "value": 2.0},
         ]}), 400, "bad_request"),
+        # Corner specs resolve session-side: a malformed inline spec,
+        # a duplicate name, and an unknown line all pass the (engine-
+        # free) protocol layer but must come back structured.
+        (query("corners", {"corners": ["typ:bogus=1"]}),
+         400, "bad_request"),
+        (query("corners", {"corners": ["typ", "typ"]}),
+         400, "bad_request"),
+        (query("corners", {"corners": ["typ"], "lines": ["NOPE"]}),
+         400, "bad_request"),
     ]
 
     @pytest.mark.parametrize("payload,status,code", SERVED_TABLE)
@@ -322,6 +363,51 @@ class TestParity:
         ).summary((0.5, 0.95), None)
         assert json.dumps(body["result"], sort_keys=True) \
             == json.dumps(reference, sort_keys=True)
+
+    def test_corners_matches_fresh_corner_analyzer(self):
+        from repro.pvt import CornerAnalyzer, parse_corner, scaled_library
+        from repro.server.session import corners_payload
+
+        specs = ["typ", "slow", "fast:process=0.9:vdd=3.6:late=1.05"]
+        status, body = run_app(
+            lambda app: app.handle_request_payload(
+                query("corners", {"corners": specs})
+            )
+        )
+        assert status == 200
+        corners = [parse_corner(spec) for spec in specs]
+        reference = corners_payload(
+            corners,
+            CornerAnalyzer(
+                CIRCUIT, corners,
+                [scaled_library(LIBRARY, corner) for corner in corners],
+                model=MC_MODELS["vshape"](), engine="level",
+            ).analyze(),
+            list(CIRCUIT.outputs),
+        )
+        assert json.dumps(body["result"], sort_keys=True) \
+            == json.dumps(reference, sort_keys=True)
+
+    def test_corners_reuses_warm_engine_across_queries(self):
+        # Same corner set, different lines: distinct request keys (no
+        # app-level memo hit), but one multi-corner engine build.
+        from repro.server.session import CircuitSession
+
+        lines = sorted(CIRCUIT.outputs)
+        with use_registry() as registry:
+            session = CircuitSession(CIRCUIT, LIBRARY)
+            for subset in (lines, lines[:1]):
+                params = validate_request(query("corners", {
+                    "corners": ["typ", "slow"], "lines": subset,
+                })).params
+                session.dispatch("corners", params)
+            built = registry.counter("server.session.corner_engines_built")
+            assert built.value == 1
+            # A different corner set is a genuinely new engine.
+            session.dispatch("corners", validate_request(
+                query("corners", {"corners": ["typ", "fast"]})
+            ).params)
+            assert built.value == 2
 
     def test_whatif_matches_per_edit_fresh_analysis(self):
         edits = [
